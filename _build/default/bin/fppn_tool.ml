@@ -1,0 +1,718 @@
+(* fppn-tool: command-line front end to the FPPN tool flow.
+
+   Subcommands mirror the paper's pipeline:
+     info      network summary (processes, channels, priorities)
+     derive    task-graph derivation (Sec. III-A)
+     schedule  static schedule by list scheduling (Sec. III-B)
+     simulate  online static-order execution (Sec. IV)
+     dot       Graphviz export of the network or the task graph *)
+
+module Rat = Rt_util.Rat
+module Network = Fppn.Network
+module Process = Fppn.Process
+module Derive = Taskgraph.Derive
+module Graph = Taskgraph.Graph
+module Job = Taskgraph.Job
+module Analysis = Taskgraph.Analysis
+module Priority = Sched.Priority
+module List_scheduler = Sched.List_scheduler
+module Static_schedule = Sched.Static_schedule
+module Engine = Runtime.Engine
+module Platform = Runtime.Platform
+module Exec_time = Runtime.Exec_time
+
+open Cmdliner
+
+let ms = Rat.of_int
+
+(* --- application selection ------------------------------------------- *)
+
+type app = {
+  net : Network.t;
+  wcet : Derive.wcet_map;
+  inputs : Fppn.Netstate.input_feed;
+  default_sporadic_density : float;
+}
+
+let load_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  src
+
+let resolve_file path =
+  let src = load_file path in
+  try
+    let ast = Fppn_lang.Parser.parse src in
+    let net = Fppn_lang.Elaborate.to_network ast in
+    {
+      net;
+      wcet = Fppn_lang.Elaborate.wcet_map ~default:(ms 10) ast;
+      inputs = Fppn.Netstate.no_inputs;
+      default_sporadic_density = 0.5;
+    }
+  with
+  | Fppn_lang.Lexer.Error (msg, pos) | Fppn_lang.Parser.Error (msg, pos)
+  | Fppn_lang.Elaborate.Error (msg, pos) ->
+    Format.eprintf "%s: %s at %a@." path msg Fppn_lang.Ast.pp_pos pos;
+    exit 2
+
+let resolve_app name seed =
+  if Filename.check_suffix name ".fppn" then resolve_file name
+  else
+  match String.lowercase_ascii name with
+  | "fig1" ->
+    {
+      net = Fppn_apps.Fig1.network ();
+      wcet = Fppn_apps.Fig1.wcet;
+      inputs = Fppn_apps.Fig1.input_feed ~samples:256;
+      default_sporadic_density = 0.5;
+    }
+  | "fft" | "fft8" ->
+    let p = Fppn_apps.Fft.default_params in
+    {
+      net = Fppn_apps.Fft.network p;
+      wcet = Fppn_apps.Fft.wcet_map p;
+      inputs = Fppn_apps.Fft.input_feed p ~frames:256;
+      default_sporadic_density = 0.0;
+    }
+  | "fft-overhead" ->
+    let p = Fppn_apps.Fft.default_params in
+    {
+      net = Fppn_apps.Fft.network_with_overhead_job p;
+      wcet = Fppn_apps.Fft.wcet_map_with_overhead p ~overhead:(ms 41);
+      inputs = Fppn_apps.Fft.input_feed p ~frames:256;
+      default_sporadic_density = 0.0;
+    }
+  | "automotive" | "engine" ->
+    {
+      net = Fppn_apps.Automotive.network ();
+      wcet = Fppn_apps.Automotive.wcet;
+      inputs = Fppn_apps.Automotive.input_feed;
+      default_sporadic_density = 0.5;
+    }
+  | "fms" ->
+    {
+      net = Fppn_apps.Fms.reduced ();
+      wcet = Fppn_apps.Fms.wcet;
+      inputs = Fppn.Netstate.no_inputs;
+      default_sporadic_density = 0.5;
+    }
+  | "fms-original" ->
+    {
+      net = Fppn_apps.Fms.original ();
+      wcet = Fppn_apps.Fms.wcet;
+      inputs = Fppn.Netstate.no_inputs;
+      default_sporadic_density = 0.5;
+    }
+  | "random" ->
+    let params = { Fppn_apps.Randgen.default_params with seed } in
+    let net = Fppn_apps.Randgen.network params in
+    {
+      net;
+      wcet =
+        Fppn_apps.Randgen.wcet ~scale:(Rat.make 1 10)
+          (Derive.const_wcet Rat.one) net;
+      inputs = Fppn.Netstate.no_inputs;
+      default_sporadic_density = 0.5;
+    }
+  | other ->
+    Printf.eprintf
+      "unknown application %S (expected fig1, fft, fft-overhead, fms, fms-original, automotive, random)\n"
+      other;
+    exit 2
+
+let app_arg =
+  let doc =
+    "Application: fig1 (the paper's running example), fft / fft-overhead \
+     (Sec. V-A), fms / fms-original (Sec. V-B), automotive (engine \
+     management), random (synthetic workload), or a path to a .fppn source \
+     file (also via --file)."
+  in
+  let app_opt =
+    Arg.(value & opt string "fig1" & info [ "a"; "app" ] ~docv:"APP" ~doc)
+  in
+  let file_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE"
+          ~doc:"FPPN source file (overrides --app).")
+  in
+  Term.(
+    const (fun name file -> match file with Some f -> f | None -> name)
+    $ app_opt $ file_opt)
+
+let seed_arg =
+  let doc = "Random seed (random workload generation, sporadic traces, jitter)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let procs_arg =
+  let doc = "Number of identical processors." in
+  Arg.(value & opt int 2 & info [ "m"; "procs" ] ~docv:"M" ~doc)
+
+let frames_arg =
+  let doc = "Number of hyperperiod frames to simulate." in
+  Arg.(value & opt int 4 & info [ "frames" ] ~docv:"N" ~doc)
+
+let heuristic_arg =
+  let doc =
+    Printf.sprintf "Schedule-priority heuristic (%s) or 'auto'."
+      (String.concat ", " (List.map Priority.to_string Priority.all))
+  in
+  Arg.(value & opt string "auto" & info [ "heuristic" ] ~docv:"H" ~doc)
+
+(* --- shared helpers ---------------------------------------------------- *)
+
+let derive_app app = Derive.derive_exn ~wcet:app.wcet app.net
+
+let schedule_for g ~heuristic ~n_procs =
+  match String.lowercase_ascii heuristic with
+  | "auto" -> (
+    match snd (List_scheduler.auto ~n_procs g) with
+    | Some a ->
+      Printf.printf "heuristic: %s (first feasible)\n"
+        (Priority.to_string a.List_scheduler.heuristic);
+      a.List_scheduler.schedule
+    | None ->
+      print_endline
+        "no feasible schedule found by any heuristic; using alap-edf best effort";
+      List_scheduler.schedule_with ~heuristic:Priority.Alap_edf ~n_procs g)
+  | h -> (
+    match Priority.of_string h with
+    | Some heuristic -> List_scheduler.schedule_with ~heuristic ~n_procs g
+    | None ->
+      Printf.eprintf "unknown heuristic %S\n" h;
+      exit 2)
+
+let sporadic_traces app d ~frames ~seed ~density =
+  let horizon = Rat.mul d.Derive.hyperperiod (Rat.of_int frames) in
+  let prng = Rt_util.Prng.create seed in
+  let traces =
+    List.filter_map
+      (fun p ->
+        let proc = Network.process app.net p in
+        if Process.is_sporadic proc then
+          Some
+            ( Process.name proc,
+              Fppn.Event.random_sporadic_trace (Process.event proc)
+                (Rt_util.Prng.split prng) ~horizon ~density )
+        else None)
+      (List.init (Network.n_processes app.net) Fun.id)
+  in
+  (* drop horizon-edge events the simulation cannot handle *)
+  let _, unhandled = Engine.sporadic_assignment app.net d ~frames traces in
+  List.map
+    (fun (n, stamps) ->
+      (n, List.filter (fun s -> not (List.mem (n, s) unhandled)) stamps))
+    traces
+
+(* --- subcommands -------------------------------------------------------- *)
+
+let info_cmd =
+  let run app_name seed =
+    let app = resolve_app app_name seed in
+    let net = app.net in
+    Printf.printf "network: %s\n" (Network.name net);
+    Printf.printf "processes (%d):\n" (Network.n_processes net);
+    Array.iter
+      (fun p -> Format.printf "  %a@." Process.pp p)
+      (Network.processes net);
+    Printf.printf "internal channels (%d):\n" (List.length (Network.channels net));
+    List.iter
+      (fun (c : Network.channel_decl) ->
+        Printf.printf "  %s: %s -> %s (%s)\n" c.Network.ch_name c.Network.writer
+          c.Network.reader
+          (Fppn.Channel.kind_to_string c.Network.ch_kind))
+      (Network.channels net);
+    Printf.printf "functional priorities (%d):\n" (List.length (Network.fp_edges net));
+    List.iter
+      (fun (hi, lo) ->
+        Printf.printf "  %s -> %s\n"
+          (Process.name (Network.process net hi))
+          (Process.name (Network.process net lo)))
+      (Network.fp_edges net);
+    match Network.user_map net with
+    | Ok _ -> print_endline "scheduling subclass (Sec. III-A): satisfied"
+    | Error errs ->
+      print_endline "scheduling subclass violations:";
+      List.iter (fun e -> Format.printf "  %a@." Network.pp_user_error e) errs
+  in
+  let term = Term.(const run $ app_arg $ seed_arg) in
+  Cmd.v (Cmd.info "info" ~doc:"Describe an application network") term
+
+let derive_cmd =
+  let run app_name seed no_reduce =
+    let app = resolve_app app_name seed in
+    let d = Derive.derive_exn ~reduce:(not no_reduce) ~wcet:app.wcet app.net in
+    let g = d.Derive.graph in
+    Printf.printf "hyperperiod: %s ms\n" (Rat.to_string d.Derive.hyperperiod);
+    Printf.printf "jobs: %d, edges: %d (raw %d)\n" (Graph.n_jobs g)
+      (Graph.n_edges g) d.Derive.raw_edges;
+    List.iter
+      (fun (s : Derive.server_info) ->
+        Printf.printf
+          "server for %s: user %s, period %s ms, corrected deadline %s ms, %s window\n"
+          (Process.name (Network.process app.net s.Derive.sporadic))
+          (Process.name (Network.process app.net s.Derive.user))
+          (Rat.to_string s.Derive.server_period)
+          (Rat.to_string s.Derive.server_relative_deadline)
+          (if s.Derive.boundary_closed_right then "(a,b]" else "[a,b)"))
+      d.Derive.servers;
+    let load = Analysis.load g in
+    let w1, w2 = load.Analysis.window in
+    Printf.printf "load: %.3f over window [%s, %s] ms\n"
+      (Rat.to_float load.Analysis.value)
+      (Rat.to_string w1) (Rat.to_string w2);
+    List.iter
+      (fun m ->
+        match Analysis.necessary_condition g ~processors:m with
+        | Ok () -> Printf.printf "necessary condition (Prop 3.1) for M=%d: holds\n" m
+        | Error _ -> Printf.printf "necessary condition (Prop 3.1) for M=%d: violated\n" m)
+      [ 1; 2; 4 ]
+  in
+  let no_reduce =
+    Arg.(value & flag & info [ "no-reduce" ] ~doc:"Skip the transitive reduction.")
+  in
+  let term = Term.(const run $ app_arg $ seed_arg $ no_reduce) in
+  Cmd.v (Cmd.info "derive" ~doc:"Derive the task graph (Sec. III-A)") term
+
+let schedule_cmd =
+  let run app_name seed n_procs heuristic save svg =
+    let app = resolve_app app_name seed in
+    let d = derive_app app in
+    let g = d.Derive.graph in
+    let s = schedule_for g ~heuristic ~n_procs in
+    Option.iter
+      (fun path ->
+        Sched.Schedule_io.save ~graph:g path s;
+        Printf.printf "schedule saved to %s\n" path)
+      save;
+    Option.iter
+      (fun path ->
+        Runtime.Export.write_file path
+          (Rt_util.Gantt.to_svg
+             ~title:(Printf.sprintf "%s static schedule (M=%d)" app_name n_procs)
+             (Static_schedule.to_gantt_rows g s));
+        Printf.printf "gantt chart written to %s (svg)\n" path)
+      svg;
+    Printf.printf "makespan: %s ms (hyperperiod %s ms)\n"
+      (Rat.to_string (Static_schedule.makespan g s))
+      (Rat.to_string d.Derive.hyperperiod);
+    (match Static_schedule.check g s with
+    | [] -> print_endline "schedule: feasible"
+    | vs ->
+      Printf.printf "schedule: %d violation(s)\n" (List.length vs);
+      List.iter (fun v -> Format.printf "  %a@." (Static_schedule.pp_violation g) v) vs);
+    Rt_util.Gantt.print ~width:72
+      ~t_max:(Rat.to_float d.Derive.hyperperiod)
+      (Static_schedule.to_gantt_rows g s)
+  in
+  let save =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Persist the schedule (reload with simulate --use-schedule).")
+  in
+  let svg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE" ~doc:"Render the schedule as an SVG Gantt chart.")
+  in
+  let term =
+    Term.(const run $ app_arg $ seed_arg $ procs_arg $ heuristic_arg $ save $ svg)
+  in
+  Cmd.v (Cmd.info "schedule" ~doc:"Compute a static schedule (Sec. III-B)") term
+
+let simulate_cmd =
+  let run app_name seed n_procs frames heuristic jitter overhead density json_out
+      csv_out per_process use_schedule latency svg_out =
+    let app = resolve_app app_name seed in
+    let d = derive_app app in
+    let g = d.Derive.graph in
+    let s =
+      match use_schedule with
+      | None -> schedule_for g ~heuristic ~n_procs
+      | Some path -> (
+        match Sched.Schedule_io.load path with
+        | Ok s when Sched.Schedule_io.matches g s ->
+          Printf.printf "schedule loaded from %s\n" path;
+          s
+        | Ok _ ->
+          Printf.eprintf "%s does not cover this application's task graph\n" path;
+          exit 2
+        | Error e ->
+          Printf.eprintf "%s: %s\n" path e;
+          exit 2)
+    in
+    let n_procs = Sched.Static_schedule.n_procs s in
+    let density =
+      if density < 0.0 then app.default_sporadic_density else density
+    in
+    let traces = sporadic_traces app d ~frames ~seed ~density in
+    let platform_overhead =
+      match String.lowercase_ascii overhead with
+      | "none" -> Platform.no_overhead
+      | "mppa" -> Platform.mppa_like
+      | other ->
+        Printf.eprintf "unknown overhead model %S (none|mppa)\n" other;
+        exit 2
+    in
+    let exec =
+      if jitter <= 0.0 then Exec_time.constant
+      else Exec_time.uniform ~seed ~min_fraction:(Float.max 0.0 (1.0 -. jitter))
+    in
+    let config =
+      {
+        Engine.platform = Platform.create ~overhead:platform_overhead ~n_procs ();
+        exec;
+        frames;
+        sporadic = traces;
+        inputs = app.inputs;
+      }
+    in
+    let r = Engine.run app.net d s config in
+    Format.printf "%a@." Runtime.Exec_trace.pp_stats r.Engine.stats;
+    if per_process then
+      Format.printf "%a" Runtime.Exec_trace.pp_by_process
+        (Runtime.Exec_trace.by_process r.Engine.trace);
+    Option.iter
+      (fun path ->
+        Runtime.Export.write_file path (Runtime.Export.to_json r.Engine.trace);
+        Printf.printf "trace written to %s (json)\n" path)
+      json_out;
+    Option.iter
+      (fun path ->
+        Runtime.Export.write_file path (Runtime.Export.to_csv r.Engine.trace);
+        Printf.printf "trace written to %s (csv)\n" path)
+      csv_out;
+    Option.iter
+      (fun path ->
+        Runtime.Export.write_file path
+          (Rt_util.Gantt.to_svg
+             ~title:(Printf.sprintf "%s execution (M=%d, %d frames)" app_name n_procs frames)
+             (Runtime.Exec_trace.to_gantt_rows ~runtime_row:r.Engine.overhead_segments
+                r.Engine.trace));
+        Printf.printf "gantt chart written to %s (svg)\n" path)
+      svg_out;
+    (match Runtime.Exec_trace.misses_by_process r.Engine.trace with
+    | [] -> ()
+    | per ->
+      print_endline "misses by process:";
+      List.iter (fun (p, n) -> Printf.printf "  %-20s %d\n" p n) per);
+    (match r.Engine.unhandled_events with
+    | [] -> ()
+    | evs -> Printf.printf "events beyond the simulated horizon: %d\n" (List.length evs));
+    (* determinism check against the zero-delay reference *)
+    let horizon = Rat.mul d.Derive.hyperperiod (Rat.of_int frames) in
+    let zd =
+      Fppn.Semantics.run ~inputs:app.inputs app.net
+        (Fppn.Semantics.invocations ~sporadic:traces ~horizon app.net)
+    in
+    let eq =
+      List.equal
+        (fun (n1, h1) (n2, h2) ->
+          String.equal n1 n2 && List.equal Fppn.Value.equal h1 h2)
+        (Fppn.Semantics.signature zd)
+        (Engine.signature r)
+    in
+    Printf.printf "deterministic vs zero-delay reference: %b\n" eq;
+    List.iter
+      (fun spec ->
+        match String.split_on_char ':' spec with
+        | [ source; sink ] ->
+          (try
+             Format.printf "%a" Runtime.Latency.pp
+               (Runtime.Latency.analyse g ~source ~sink r.Engine.trace)
+           with Invalid_argument msg -> Printf.printf "latency %s: %s\n" spec msg)
+        | _ -> Printf.eprintf "bad --latency spec %S (expected SRC:SNK)\n" spec)
+      latency
+  in
+  let jitter =
+    Arg.(
+      value & opt float 0.5
+      & info [ "jitter" ] ~docv:"F"
+          ~doc:"Execution-time jitter: durations uniform in [(1-F)*C, C]. 0 = WCET.")
+  in
+  let overhead =
+    Arg.(
+      value & opt string "none"
+      & info [ "overhead" ] ~docv:"MODEL"
+          ~doc:"Runtime overhead model: none, or mppa (41/20 ms frame overhead).")
+  in
+  let density =
+    Arg.(
+      value & opt float (-1.0)
+      & info [ "density" ] ~docv:"D"
+          ~doc:"Sporadic event density in [0,1] (default: per-application).")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the execution trace as JSON.")
+  in
+  let csv_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the execution trace as CSV.")
+  in
+  let per_process =
+    Arg.(
+      value & flag
+      & info [ "per-process" ] ~doc:"Print per-process response statistics.")
+  in
+  let use_schedule =
+    Arg.(
+      value & opt (some string) None
+      & info [ "use-schedule" ] ~docv:"FILE"
+          ~doc:"Run a schedule saved by 'schedule --save' instead of scheduling.")
+  in
+  let latency =
+    Arg.(
+      value & opt_all string []
+      & info [ "latency" ] ~docv:"SRC:SNK"
+          ~doc:"Report end-to-end latency between two processes (repeatable).")
+  in
+  let svg_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE"
+          ~doc:"Render the execution trace as an SVG Gantt chart.")
+  in
+  let term =
+    Term.(
+      const run $ app_arg $ seed_arg $ procs_arg $ frames_arg $ heuristic_arg
+      $ jitter $ overhead $ density $ json_out $ csv_out $ per_process
+      $ use_schedule $ latency $ svg_out)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run the online static-order policy (Sec. IV)") term
+
+let buffers_cmd =
+  let run app_name seed hyperperiods =
+    let app = resolve_app app_name seed in
+    let r = Fppn.Buffer_analysis.analyse ~hyperperiods ~inputs:app.inputs app.net in
+    Format.printf "%a" Fppn.Buffer_analysis.pp r;
+    match Fppn.Buffer_analysis.unbounded_channels r with
+    | [] -> print_endline "all FIFOs are bounded"
+    | l ->
+      Printf.printf "%d unbounded FIFO(s) — fix the application's rates\n"
+        (List.length l);
+      exit 1
+  in
+  let hyperperiods =
+    Arg.(
+      value & opt int 4
+      & info [ "hyperperiods" ] ~docv:"N"
+          ~doc:"Number of hyperperiods to analyse (default 4).")
+  in
+  let term = Term.(const run $ app_arg $ seed_arg $ hyperperiods) in
+  Cmd.v
+    (Cmd.info "buffers" ~doc:"FIFO occupancy bounds from the reference run")
+    term
+
+let check_cmd =
+  let run app_name seed frames latency_specs =
+    let app = resolve_app app_name seed in
+    let parsed_specs =
+      List.map
+        (fun s ->
+          match String.split_on_char ':' s with
+          | [ src; snk; bound ] -> (
+            try
+              { Fppn_verify.Checker.l_source = src;
+                l_sink = snk;
+                max_reaction = Rat.of_string bound }
+            with Invalid_argument _ ->
+              Printf.eprintf "bad --latency-spec %S (expected SRC:SNK:MS)\n" s;
+              exit 2)
+          | _ ->
+            Printf.eprintf "bad --latency-spec %S (expected SRC:SNK:MS)\n" s;
+            exit 2)
+        latency_specs
+    in
+    let config =
+      { Fppn_verify.Checker.default_config with
+        Fppn_verify.Checker.seed;
+        frames;
+        inputs = app.inputs;
+        latency_specs = parsed_specs }
+    in
+    let report = Fppn_verify.Checker.run ~config ~wcet:app.wcet app.net in
+    Format.printf "%a" Fppn_verify.Checker.pp report;
+    if not report.Fppn_verify.Checker.passed then exit 1
+  in
+  let latency_specs =
+    Arg.(
+      value & opt_all string []
+      & info [ "latency-spec" ] ~docv:"SRC:SNK:MS"
+          ~doc:
+            "End-to-end reaction-time constraint to verify on the WCET \
+             execution (repeatable).")
+  in
+  let term = Term.(const run $ app_arg $ seed_arg $ frames_arg $ latency_specs) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify an application end to end: derivation, schedulability,           determinism across processor counts and jitter, trace compliance,           buffer bounds")
+    term
+
+let exact_cmd =
+  let run app_name seed n_procs budget =
+    let app = resolve_app app_name seed in
+    let d = derive_app app in
+    let g = d.Derive.graph in
+    if Graph.n_jobs g > 40 then
+      Printf.printf
+        "warning: %d jobs — exact search may not finish within the budget\n"
+        (Graph.n_jobs g);
+    let r = Sched.Exact.solve ~node_budget:budget ~n_procs g in
+    Printf.printf "nodes explored: %d; search %s\n" r.Sched.Exact.nodes
+      (if r.Sched.Exact.optimal then "exhausted (result is exact)"
+       else "hit the node budget (result is a bound)");
+    match (r.Sched.Exact.schedule, r.Sched.Exact.makespan) with
+    | Some s, Some mk ->
+      Printf.printf "feasible schedule found, makespan %s ms\n" (Rat.to_string mk);
+      Rt_util.Gantt.print ~width:72
+        ~t_max:(Rat.to_float d.Derive.hyperperiod)
+        (Static_schedule.to_gantt_rows g s)
+    | _ ->
+      if r.Sched.Exact.optimal then
+        Printf.printf "no deadline-feasible schedule exists on %d processor(s)\n"
+          n_procs
+      else print_endline "no feasible schedule found within the budget"
+  in
+  let budget =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "budget" ] ~docv:"N" ~doc:"Branch-and-bound node budget.")
+  in
+  let term = Term.(const run $ app_arg $ seed_arg $ procs_arg $ budget) in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:"Exact minimal-makespan schedule by branch and bound (small graphs)")
+    term
+
+let rta_cmd =
+  let run app_name seed =
+    let app = resolve_app app_name seed in
+    let entries = Sched.Rta.analyse ~wcet:app.wcet app.net in
+    Format.printf "%a" Sched.Rta.pp entries;
+    Printf.printf "uniprocessor RM schedulable: %b\n" (Sched.Rta.schedulable entries)
+  in
+  let term = Term.(const run $ app_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "rta"
+       ~doc:"Classical uniprocessor response-time analysis (rate-monotonic)")
+    term
+
+let dimension_cmd =
+  let run app_name seed =
+    let app = resolve_app app_name seed in
+    let d = derive_app app in
+    let v = Sched.Dimension.min_processors d.Derive.graph in
+    Format.printf "%a@." Sched.Dimension.pp v
+  in
+  let term = Term.(const run $ app_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "dimension" ~doc:"Minimal processor count (Prop. 3.1 + list scheduling)")
+    term
+
+let report_cmd =
+  let run app_name seed n_procs frames =
+    let app = resolve_app app_name seed in
+    let net = app.net in
+    Printf.printf "# FPPN deployment report: %s\n\n" (Network.name net);
+    Printf.printf "## Network\n\n%d processes, %d internal channels, %d priority edges.\n\n"
+      (Network.n_processes net)
+      (List.length (Network.channels net))
+      (List.length (Network.fp_edges net));
+    Array.iter
+      (fun p -> Format.printf "- %a@." Process.pp p)
+      (Network.processes net);
+    let d = derive_app app in
+    let g = d.Derive.graph in
+    let load = Taskgraph.Analysis.load g in
+    Printf.printf
+      "\n## Task graph (Sec. III-A)\n\nHyperperiod %s ms; %d jobs, %d edges \
+       (%d before reduction); load %.3f.\n"
+      (Rat.to_string d.Derive.hyperperiod)
+      (Graph.n_jobs g) (Graph.n_edges g) d.Derive.raw_edges
+      (Rat.to_float load.Taskgraph.Analysis.value);
+    let v = Sched.Dimension.min_processors g in
+    Format.printf "\nDimensioning: %a@." Sched.Dimension.pp v;
+    Printf.printf "\n## Static schedule (M=%d)\n\n```\n" n_procs;
+    let s = schedule_for g ~heuristic:"auto" ~n_procs in
+    Rt_util.Gantt.print ~width:70
+      ~t_max:(Rat.to_float d.Derive.hyperperiod)
+      (Static_schedule.to_gantt_rows g s);
+    Printf.printf "```\n\n## Uniprocessor response-time analysis\n\n```\n";
+    Format.printf "%a" Sched.Rta.pp (Sched.Rta.analyse ~wcet:app.wcet net);
+    Printf.printf "```\n\n## Buffer bounds\n\n```\n";
+    Format.printf "%a"
+      Fppn.Buffer_analysis.pp
+      (Fppn.Buffer_analysis.analyse ~hyperperiods:(max 2 frames) ~inputs:app.inputs net);
+    Printf.printf "```\n\n## Verification (Props. 2.1 / 3.1 / 4.1)\n\n```\n";
+    let config =
+      { Fppn_verify.Checker.default_config with
+        Fppn_verify.Checker.seed;
+        frames;
+        processor_counts = [ n_procs ];
+        inputs = app.inputs }
+    in
+    let report = Fppn_verify.Checker.run ~config ~wcet:app.wcet net in
+    Format.printf "%a" Fppn_verify.Checker.pp report;
+    Printf.printf "```\n"
+  in
+  let term = Term.(const run $ app_arg $ seed_arg $ procs_arg $ frames_arg) in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Emit a complete Markdown deployment report for an application")
+    term
+
+let fmt_cmd =
+  let run path =
+    let src = load_file path in
+    match Fppn_lang.Parser.parse src with
+    | ast -> print_string (Fppn_lang.Printer.to_string ast)
+    | exception Fppn_lang.Parser.Error (msg, pos)
+    | exception Fppn_lang.Lexer.Error (msg, pos) ->
+      Format.eprintf "%s: %s at %a@." path msg Fppn_lang.Ast.pp_pos pos;
+      exit 2
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"FPPN source file.")
+  in
+  let term = Term.(const run $ file) in
+  Cmd.v (Cmd.info "fmt" ~doc:"Reformat an FPPN source file to canonical form") term
+
+let dot_cmd =
+  let run app_name seed taskgraph =
+    let app = resolve_app app_name seed in
+    if taskgraph then
+      let d = derive_app app in
+      print_string (Graph.to_dot d.Derive.graph)
+    else print_string (Network.to_dot app.net)
+  in
+  let taskgraph =
+    Arg.(
+      value & flag
+      & info [ "taskgraph" ] ~doc:"Export the derived task graph instead of the network.")
+  in
+  let term = Term.(const run $ app_arg $ seed_arg $ taskgraph) in
+  Cmd.v (Cmd.info "dot" ~doc:"Export Graphviz DOT") term
+
+let () =
+  let doc =
+    "Deterministic execution of real-time multiprocessor applications \
+     (FPPN; Poplavko et al., DATE 2015)"
+  in
+  let info = Cmd.info "fppn-tool" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            info_cmd; check_cmd; report_cmd; derive_cmd; schedule_cmd;
+            exact_cmd; simulate_cmd; buffers_cmd; dimension_cmd; rta_cmd;
+            fmt_cmd; dot_cmd;
+          ]))

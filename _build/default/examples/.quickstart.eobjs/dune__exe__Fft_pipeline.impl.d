@@ -1,0 +1,1 @@
+examples/fft_pipeline.ml: Array Float Format Fppn Fppn_apps List Printf Rt_util Runtime Sched Taskgraph

@@ -1,0 +1,1 @@
+examples/fms_avionics.ml: Format Fppn Fppn_apps List Printf Rt_util Runtime Sched String Taskgraph

@@ -1,0 +1,1 @@
+examples/fms_avionics.mli:

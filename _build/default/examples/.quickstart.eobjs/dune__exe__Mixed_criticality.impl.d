@@ -1,0 +1,1 @@
+examples/mixed_criticality.ml: Format Fppn List Mixedcrit Printf Rt_util Runtime Sched Taskgraph

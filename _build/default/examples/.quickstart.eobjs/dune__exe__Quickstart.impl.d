@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Fppn List Printf Rt_util Runtime Sched String Taskgraph

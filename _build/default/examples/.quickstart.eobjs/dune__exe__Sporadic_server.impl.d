@@ -1,0 +1,1 @@
+examples/sporadic_server.ml: Array Format Fppn Hashtbl List Printf Rt_util Runtime Sched String Taskgraph

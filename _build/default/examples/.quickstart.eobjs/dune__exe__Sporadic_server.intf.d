@@ -1,0 +1,1 @@
+examples/sporadic_server.mli:

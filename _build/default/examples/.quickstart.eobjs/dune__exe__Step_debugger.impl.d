@@ -1,0 +1,1 @@
+examples/step_debugger.ml: Filename Fppn Fppn_lang List Printf Rt_util String Sys

@@ -1,0 +1,1 @@
+examples/step_debugger.mli:

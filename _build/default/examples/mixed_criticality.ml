@@ -1,0 +1,103 @@
+(* Mixed-criticality execution — the last future-work item of the paper
+   ("we plan to support ... mixed-critical scheduling") implemented on
+   top of the FPPN flow.
+
+   A flight-control pair (Sensor -> Control, HI criticality) shares two
+   processors with best-effort Logger/Telemetry processes (LO).  Each HI
+   process has an optimistic profiled budget C_LO and a conservative
+   C_HI.  The runtime follows the LO static order; when a HI job
+   overruns its C_LO budget, the frame degrades: pending LO jobs are
+   dropped and the HI chain keeps its conservative guarantees.
+
+   Run with:  dune exec examples/mixed_criticality.exe *)
+
+module Rat = Rt_util.Rat
+module V = Fppn.Value
+module Event = Fppn.Event
+module Process = Fppn.Process
+module Network = Fppn.Network
+module Spec = Mixedcrit.Spec
+module Dual_schedule = Mixedcrit.Dual_schedule
+module Mc_engine = Mixedcrit.Mc_engine
+
+let ms = Rat.of_int
+
+let network () =
+  let b = Network.Builder.create "flight-control" in
+  let add name body =
+    Network.Builder.add_process b
+      (Process.make ~name
+         ~event:(Event.periodic ~period:(ms 100) ~deadline:(ms 100) ())
+         (Process.Native body))
+  in
+  add "Sensor" (fun ctx -> ctx.Process.write "meas" (V.Int ctx.Process.job_index));
+  add "Control" (fun ctx ->
+      let x = ctx.Process.read "meas" in
+      ctx.Process.write "cmd" x;
+      ctx.Process.write "actuator" x);
+  add "Logger" (fun ctx -> ctx.Process.write "log" (ctx.Process.read "cmd"));
+  add "Telemetry" (fun ctx -> ctx.Process.write "telemetry" (V.Int ctx.Process.job_index));
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:"Sensor"
+    ~reader:"Control" "meas";
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:"Control"
+    ~reader:"Logger" "cmd";
+  Network.Builder.add_priority b "Sensor" "Control";
+  Network.Builder.add_priority b "Control" "Logger";
+  Network.Builder.add_output b ~owner:"Control" "actuator";
+  Network.Builder.add_output b ~owner:"Logger" "log";
+  Network.Builder.add_output b ~owner:"Telemetry" "telemetry";
+  Network.Builder.finish_exn b
+
+let () =
+  let net = network () in
+  let spec =
+    Spec.of_list ~default_criticality:Spec.Lo
+      ~wcet_lo:
+        (Taskgraph.Derive.wcet_of_list (ms 30)
+           [ ("Sensor", ms 15); ("Control", ms 20) ])
+      ~hi:[ ("Sensor", ms 40); ("Control", ms 55) ]
+  in
+  print_endline "criticality assignment:";
+  List.iter
+    (fun name ->
+      Format.printf "  %-10s %a  (C_LO %s ms, C_HI %s ms)@." name
+        Spec.pp_criticality
+        (Spec.criticality spec name)
+        (Rat.to_string (Spec.wcet_lo spec name))
+        (Rat.to_string (Spec.wcet_hi spec name)))
+    [ "Sensor"; "Control"; "Logger"; "Telemetry" ];
+
+  let dual = Dual_schedule.build_exn ~n_procs:2 ~spec net in
+  Printf.printf "\ndual schedules built with heuristic %s\n"
+    (Sched.Priority.to_string dual.Dual_schedule.heuristic);
+  print_endline "LO-mode schedule (all jobs, optimistic budgets):";
+  Rt_util.Gantt.print ~width:60 ~t_min:0.0 ~t_max:100.0
+    (Sched.Static_schedule.to_gantt_rows dual.Dual_schedule.derived.Taskgraph.Derive.graph
+       dual.Dual_schedule.lo_schedule);
+  (match dual.Dual_schedule.hi with
+  | Some hi ->
+    print_endline "HI-mode schedule (HI jobs only, conservative budgets):";
+    Rt_util.Gantt.print ~width:60 ~t_min:0.0 ~t_max:100.0
+      (Sched.Static_schedule.to_gantt_rows hi.Dual_schedule.hi_graph
+         hi.Dual_schedule.hi_schedule)
+  | None -> print_endline "no HI processes");
+
+  (* 20 frames with jittered true execution times: some frames overrun *)
+  let config =
+    { (Mc_engine.default_config ~frames:20 ~n_procs:2 ()) with
+      Mc_engine.exec = Runtime.Exec_time.uniform ~seed:11 ~min_fraction:0.3 }
+  in
+  let r = Mc_engine.run net ~spec dual config in
+  Printf.printf "20 frames executed: %d degraded, %d LO jobs dropped\n"
+    (List.length r.Mc_engine.mode_switches)
+    r.Mc_engine.dropped_lo;
+  Printf.printf "HI deadline misses: %d (the guarantee)\n" r.Mc_engine.hi_misses;
+  Printf.printf "LO deadline misses: %d\n" r.Mc_engine.lo_misses;
+  List.iter
+    (fun (frame, t) ->
+      Printf.printf "  frame %2d degraded at t = %s ms\n" frame (Rat.to_string t))
+    r.Mc_engine.mode_switches;
+  let count name = List.length (List.assoc name r.Mc_engine.output_history) in
+  Printf.printf
+    "outputs over 20 frames: actuator %d/20 (HI, always), log %d/20, telemetry %d/20 (LO, best effort)\n"
+    (count "actuator") (count "log") (count "telemetry")

@@ -1,0 +1,126 @@
+(* A guided tour of the sporadic-server machinery of Secs. III-A and IV
+   (Fig. 2): how real sporadic events map onto periodic server-job
+   slots, what the deadline correction d_p' = d_p - T_u does, and how
+   the window boundary rule depends on the functional priority between
+   the sporadic process and its user.
+
+   Run with:  dune exec examples/sporadic_server.exe *)
+
+module Rat = Rt_util.Rat
+module V = Fppn.Value
+module Event = Fppn.Event
+module Process = Fppn.Process
+module Network = Fppn.Network
+module Derive = Taskgraph.Derive
+module Engine = Runtime.Engine
+
+let ms = Rat.of_int
+
+(* A sporadic Config (burst 2, min period 500 ms, deadline 700 ms)
+   configures a periodic Worker (200 ms).  [config_first] selects the
+   functional priority direction, and with it the boundary rule. *)
+let network ~config_first =
+  let b = Network.Builder.create "server-demo" in
+  Network.Builder.add_process b
+    (Process.make ~name:"Worker"
+       ~event:(Event.periodic ~period:(ms 200) ~deadline:(ms 200) ())
+       (Process.Native
+          (fun ctx ->
+            let cfg = ctx.Process.read "cfg" in
+            ctx.Process.write "out" (V.Pair (V.Int ctx.Process.job_index, cfg)))));
+  Network.Builder.add_process b
+    (Process.make ~name:"Config"
+       ~event:(Event.sporadic ~burst:2 ~min_period:(ms 500) ~deadline:(ms 700) ())
+       (Process.Native
+          (fun ctx -> ctx.Process.write "cfg" (V.Int ctx.Process.job_index))));
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:"Config"
+    ~reader:"Worker" "cfg";
+  if config_first then Network.Builder.add_priority b "Config" "Worker"
+  else Network.Builder.add_priority b "Worker" "Config";
+  Network.Builder.add_output b ~owner:"Worker" "out";
+  Network.Builder.finish_exn b
+
+let describe ~config_first =
+  let net = network ~config_first in
+  let d = Derive.derive_exn ~wcet:(Derive.const_wcet (ms 10)) net in
+  let g = d.Derive.graph in
+  Printf.printf "\n=== functional priority: %s ===\n"
+    (if config_first then "Config -> Worker (sporadic above its user)"
+     else "Worker -> Config (user above the sporadic)");
+  (match d.Derive.servers with
+  | [ s ] ->
+    Printf.printf
+      "server transformation: T' = %s ms (user period), corrected deadline d_p' = \
+       %s ms (d_p - T' = 700 - 200)\n"
+      (Rat.to_string s.Derive.server_period)
+      (Rat.to_string s.Derive.server_relative_deadline);
+    Printf.printf "window boundary rule: %s\n"
+      (if s.Derive.boundary_closed_right then
+         "(a, b] — an event exactly at b joins the subset at b"
+       else "[a, b) — an event exactly at b waits for the next subset")
+  | _ -> assert false);
+  Printf.printf "task graph over H = %s ms: %d jobs (%d server slots)\n"
+    (Rat.to_string d.Derive.hyperperiod)
+    (Taskgraph.Graph.n_jobs g)
+    (Array.fold_left
+       (fun acc j -> if j.Taskgraph.Job.is_server then acc + 1 else acc)
+       0 (Taskgraph.Graph.jobs g));
+
+  (* one event strictly inside a window, one exactly on a boundary *)
+  let events = [ ms 130; ms 800 ] in
+  Printf.printf "real Config events at: %s ms\n"
+    (String.concat ", " (List.map Rat.to_string events));
+  let frames = 6 in
+  let assigned, unhandled =
+    Engine.sporadic_assignment net d ~frames [ ("Config", events) ]
+  in
+  Hashtbl.iter
+    (fun (job, frame) stamp ->
+      let j = Taskgraph.Graph.job g job in
+      Printf.printf
+        "  event @%s ms -> slot %s of frame %d (slot boundary b = %s ms)\n"
+        (Rat.to_string stamp)
+        (Taskgraph.Job.label j)
+        frame
+        (Rat.to_string
+           (Rat.add
+              (Rat.mul d.Derive.hyperperiod (Rat.of_int frame))
+              j.Taskgraph.Job.arrival)))
+    assigned;
+  List.iter
+    (fun (n, s) ->
+      Printf.printf "  event @%s ms of %s: beyond the simulated horizon\n"
+        (Rat.to_string s) n)
+    unhandled;
+
+  (* execute and show what the Worker observed *)
+  let sched =
+    match snd (Sched.List_scheduler.auto ~n_procs:1 g) with
+    | Some a -> a.Sched.List_scheduler.schedule
+    | None -> assert false
+  in
+  let rt =
+    Engine.run net d sched
+      { (Engine.default_config ~frames ~n_procs:1 ()) with
+        Engine.sporadic = [ ("Config", events) ] }
+  in
+  print_endline "Worker observations (job index, configuration seen):";
+  List.iter
+    (fun v ->
+      match v with
+      | V.Pair (V.Int k, cfg) -> Printf.printf "  Worker[%d] saw cfg = %s\n" k (V.to_string cfg)
+      | _ -> ())
+    (List.assoc "out" rt.Engine.output_history);
+  Format.printf "%a@." Runtime.Exec_trace.pp_stats rt.Engine.stats
+
+let () =
+  print_endline
+    "Sporadic processes are scheduled through periodic servers (Fig. 2):\n\
+     each server slot either carries a real event or is marked 'false'\n\
+     and skipped at run time.";
+  describe ~config_first:true;
+  describe ~config_first:false;
+  print_endline
+    "\nNote how the event at exactly 800 ms (a window boundary) is handled\n\
+     by the subset at 800 ms when Config has priority over Worker, but is\n\
+     postponed to the next subset when Worker has priority (Sec. IV)."

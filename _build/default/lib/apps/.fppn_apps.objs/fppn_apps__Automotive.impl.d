@@ -1,0 +1,1 @@
+lib/apps/automotive.ml: Fppn List Rt_util Taskgraph

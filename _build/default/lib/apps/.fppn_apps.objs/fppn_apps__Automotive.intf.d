@@ -1,0 +1,1 @@
+lib/apps/automotive.mli: Fppn Rt_util Taskgraph

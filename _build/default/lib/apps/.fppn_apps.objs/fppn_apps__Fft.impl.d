@@ -1,0 +1,1 @@
+lib/apps/fft.ml: Array Float Fppn List Printf Rt_util Taskgraph

@@ -1,0 +1,1 @@
+lib/apps/fft.mli: Fppn Rt_util Taskgraph

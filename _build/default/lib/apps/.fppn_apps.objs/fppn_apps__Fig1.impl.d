@@ -1,0 +1,1 @@
+lib/apps/fig1.ml: Float Fppn List Rt_util Taskgraph

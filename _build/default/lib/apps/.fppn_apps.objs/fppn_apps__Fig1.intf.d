@@ -1,0 +1,1 @@
+lib/apps/fig1.mli: Fppn Taskgraph

@@ -1,0 +1,1 @@
+lib/apps/fms.ml: Fppn Fun Int List Rt_util String Taskgraph

@@ -1,0 +1,1 @@
+lib/apps/fms.mli: Fppn Rt_util Taskgraph

@@ -1,0 +1,1 @@
+lib/apps/randgen.ml: Array Fppn Hashtbl List Printf Rt_util

@@ -1,0 +1,1 @@
+lib/apps/randgen.mli: Fppn Rt_util Taskgraph

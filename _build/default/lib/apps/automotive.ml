@@ -1,0 +1,161 @@
+module Rat = Rt_util.Rat
+module V = Fppn.Value
+module Event = Fppn.Event
+module Process = Fppn.Process
+module Network = Fppn.Network
+
+let ms = Rat.of_int
+
+let sporadic_processes = [ "KnockSensor"; "DriverRequest" ]
+
+(* --- behaviors -------------------------------------------------------- *)
+
+let crank_body (ctx : Process.job_ctx) =
+  let raw =
+    match ctx.Process.read "crank" with
+    | V.Absent -> 3000.0 +. (50.0 *. sin (0.1 *. float_of_int ctx.Process.job_index))
+    | v -> V.to_float v
+  in
+  ctx.Process.write "speed" (V.Float raw);
+  ctx.Process.write "speed_ign" (V.Float raw)
+
+let injection_body (ctx : Process.job_ctx) =
+  let speed =
+    match ctx.Process.read "speed" with V.Absent -> 0.0 | v -> V.to_float v
+  in
+  let mixture =
+    match ctx.Process.read "mixture" with V.Absent -> 1.0 | v -> V.to_float v
+  in
+  let pedal_map =
+    match ctx.Process.read "pedal_map" with V.Absent -> 1.0 | v -> V.to_float v
+  in
+  (* pulse width: base map scaled by enrichment and pedal demand *)
+  let pulse = speed /. 1000.0 *. mixture *. pedal_map in
+  ctx.Process.write "pulse" (V.Float pulse)
+
+let injector_out_body (ctx : Process.job_ctx) =
+  match ctx.Process.read "pulse" with
+  | V.Absent -> ()
+  | v -> ctx.Process.write "injector" v
+
+let ignition_body (ctx : Process.job_ctx) =
+  let speed =
+    match ctx.Process.read "speed_ign" with V.Absent -> 0.0 | v -> V.to_float v
+  in
+  let retard =
+    match ctx.Process.read "knock_cfg" with V.Absent -> 0.0 | v -> V.to_float v
+  in
+  (* spark advance pulled back by the latest knock severity *)
+  ctx.Process.write "ignition" (V.Float ((speed /. 100.0) -. retard))
+
+let temp_body (ctx : Process.job_ctx) =
+  let coolant =
+    match ctx.Process.read "coolant" with
+    | V.Absent -> 80.0 +. (0.5 *. float_of_int (ctx.Process.job_index mod 7))
+    | v -> V.to_float v
+  in
+  ctx.Process.write "temp" (V.Float coolant)
+
+let thermal_body (ctx : Process.job_ctx) =
+  let temp =
+    match ctx.Process.read "temp" with V.Absent -> 80.0 | v -> V.to_float v
+  in
+  (* cold engine -> richer mixture *)
+  let mixture = if temp < 70.0 then 1.2 else 1.0 +. ((90.0 -. temp) /. 200.0) in
+  ctx.Process.write "mixture" (V.Float mixture)
+
+let knock_body (ctx : Process.job_ctx) =
+  (* each event reports a knock severity; the controller keeps the last *)
+  ctx.Process.write "knock_cfg"
+    (V.Float (0.5 +. (0.25 *. float_of_int (ctx.Process.job_index mod 3))))
+
+let driver_body (ctx : Process.job_ctx) =
+  ctx.Process.write "pedal_map"
+    (V.Float (1.0 +. (0.1 *. float_of_int (ctx.Process.job_index mod 5))))
+
+(* --- network ----------------------------------------------------------- *)
+
+let network () =
+  let b = Network.Builder.create "engine-management" in
+  let periodic name period body =
+    Network.Builder.add_process b
+      (Process.make ~name
+         ~event:(Event.periodic ~period:(ms period) ~deadline:(ms period) ())
+         (Process.Native body))
+  in
+  periodic "CrankSensor" 10 crank_body;
+  periodic "InjectionCtrl" 10 injection_body;
+  periodic "InjectorOut" 10 injector_out_body;
+  periodic "IgnitionCtrl" 20 ignition_body;
+  periodic "TempSensor" 100 temp_body;
+  periodic "ThermalModel" 200 thermal_body;
+  Network.Builder.add_process b
+    (Process.make ~name:"KnockSensor"
+       ~event:(Event.sporadic ~burst:3 ~min_period:(ms 20) ~deadline:(ms 40) ())
+       (Process.Native knock_body));
+  Network.Builder.add_process b
+    (Process.make ~name:"DriverRequest"
+       ~event:(Event.sporadic ~min_period:(ms 50) ~deadline:(ms 100) ())
+       (Process.Native driver_body));
+  let bb = Fppn.Channel.Blackboard and fifo = Fppn.Channel.Fifo in
+  let chan kind ~writer ~reader name =
+    Network.Builder.add_channel b ~kind ~writer ~reader name
+  in
+  chan bb ~writer:"CrankSensor" ~reader:"InjectionCtrl" "speed";
+  chan bb ~writer:"CrankSensor" ~reader:"IgnitionCtrl" "speed_ign";
+  chan fifo ~writer:"InjectionCtrl" ~reader:"InjectorOut" "pulse";
+  chan bb ~writer:"TempSensor" ~reader:"ThermalModel" "temp";
+  chan bb ~writer:"ThermalModel" ~reader:"InjectionCtrl" "mixture";
+  chan bb ~writer:"KnockSensor" ~reader:"IgnitionCtrl" "knock_cfg";
+  chan bb ~writer:"DriverRequest" ~reader:"InjectionCtrl" "pedal_map";
+  let prio hi lo = Network.Builder.add_priority b hi lo in
+  prio "CrankSensor" "InjectionCtrl";
+  prio "CrankSensor" "IgnitionCtrl";
+  prio "InjectionCtrl" "InjectorOut";
+  prio "TempSensor" "ThermalModel";
+  (* the fast loop reads the previous mixture: reader above writer, as
+     the FMS orders Performance above LowFreqBCP *)
+  prio "InjectionCtrl" "ThermalModel";
+  (* sporadic sensors below their periodic users, as in the FMS *)
+  prio "IgnitionCtrl" "KnockSensor";
+  prio "InjectionCtrl" "DriverRequest";
+  Network.Builder.add_input b ~owner:"CrankSensor" "crank";
+  Network.Builder.add_input b ~owner:"TempSensor" "coolant";
+  Network.Builder.add_output b ~owner:"InjectorOut" "injector";
+  Network.Builder.add_output b ~owner:"IgnitionCtrl" "ignition";
+  Network.Builder.finish_exn b
+
+let wcet =
+  Taskgraph.Derive.wcet_of_list (Rat.make 1 2)
+    [
+      ("CrankSensor", ms 1);
+      ("InjectionCtrl", ms 2);
+      ("InjectorOut", ms 1);
+      ("IgnitionCtrl", ms 2);
+      ("TempSensor", ms 2);
+      ("ThermalModel", ms 3);
+    ]
+
+let knock_burst ~horizon =
+  let knock =
+    (* a 3-event burst at 55 ms and again every 60 ms after *)
+    let rec bursts t acc =
+      if Rat.(t >= horizon) then List.rev acc
+      else bursts (Rat.add t (ms 60)) (t :: t :: t :: acc)
+    in
+    bursts (ms 55) []
+  in
+  let driver =
+    let rec events t acc =
+      if Rat.(t >= horizon) then List.rev acc
+      else events (Rat.add t (ms 90)) (t :: acc)
+    in
+    events (ms 15) []
+  in
+  [ ("KnockSensor", knock); ("DriverRequest", driver) ]
+
+let input_feed channel k =
+  match channel with
+  | "crank" -> V.Float 3000.0
+  | "coolant" -> V.Float (60.0 +. (0.8 *. float_of_int (min k 40)))
+  | _ -> V.Absent

@@ -1,0 +1,38 @@
+(** Automotive engine-management workload.
+
+    The paper's industry motivation cites the introduction of multi-core
+    at automotive engine systems (ref. [3], Claraz et al., ERTSS'14) —
+    exactly the domain where functional determinism matters for control
+    stability and for testing.  This module provides a representative
+    engine-management FPPN:
+
+    - a fast fuel-injection loop: CrankSensor → InjectionCtrl →
+      InjectorOut at 10 ms;
+    - a knock-protection path: sporadic KnockSensor events (bursty: up
+      to 3 per 20 ms) retarding the ignition through IgnitionCtrl
+      (20 ms);
+    - slow thermal management: TempSensor (100 ms) → ThermalModel
+      (200 ms) adjusting a mixture-enrichment blackboard read by the
+      injection controller;
+    - a sporadic DriverRequest (pedal map switches, ≤ 1 per 50 ms)
+      configuring InjectionCtrl.
+
+    Periods share a 200 ms hyperperiod.  Functional priorities follow
+    the data flow and rate-monotonic order; sporadic processes sit below
+    their users, as in the FMS case study. *)
+
+val network : unit -> Fppn.Network.t
+
+val wcet : Taskgraph.Derive.wcet_map
+(** Budgets that land the task-graph load around 0.6 on one core —
+    tight enough that the 2-core mapping is the natural deployment. *)
+
+val sporadic_processes : string list
+(** [KnockSensor; DriverRequest]. *)
+
+val knock_burst : horizon:Rt_util.Rat.t -> (string * Rt_util.Rat.t list) list
+(** A deterministic stress trace: knock bursts around every 60 ms plus
+    sparse driver requests — valid for both generators. *)
+
+val input_feed : Fppn.Netstate.input_feed
+(** Deterministic crank/temperature signals. *)

@@ -1,0 +1,225 @@
+module Rat = Rt_util.Rat
+module V = Fppn.Value
+module Event = Fppn.Event
+module Process = Fppn.Process
+module Network = Fppn.Network
+
+type params = { n : int; period_ms : int; wcet : Rat.t }
+
+let default_params = { n = 8; period_ms = 200; wcet = Rat.make 133 10 }
+
+let log2_exact n =
+  let rec loop n acc =
+    if n = 1 then acc
+    else if n land 1 = 1 then invalid_arg "Fft: n must be a power of two"
+    else loop (n lsr 1) (acc + 1)
+  in
+  if n < 2 then invalid_arg "Fft: n must be >= 2" else loop n 0
+
+let n_processes p = 2 + (log2_exact p.n * p.n / 2)
+
+let bit_reverse ~bits i =
+  let rec loop i acc k =
+    if k = 0 then acc else loop (i lsr 1) ((acc lsl 1) lor (i land 1)) (k - 1)
+  in
+  loop i 0 bits
+
+(* channel carrying position [pos] of the intermediate vector after
+   [stage] (stage 0 = generator output, already bit-reversed) *)
+let ch stage pos = Printf.sprintf "s%d_p%d" stage pos
+
+let generator_name = "generator"
+let consumer_name = "consumer"
+let butterfly_name stage b = Printf.sprintf "FFT2_%d_%d" stage b
+
+(* Butterflies of stage s (1-based): pairs (p1, p2) and twiddle exponent. *)
+let butterflies_of_stage ~n s =
+  let span = 1 lsl s in
+  let half = span / 2 in
+  let result = ref [] in
+  let k = ref 0 in
+  while !k < n do
+    for j = 0 to half - 1 do
+      result := (!k + j, !k + j + half, j, span) :: !result
+    done;
+    k := !k + span
+  done;
+  List.rev !result
+
+let complex_of v = V.to_complex v
+
+let twiddle ~j ~span =
+  let angle = -2.0 *. Float.pi *. float_of_int j /. float_of_int span in
+  (cos angle, sin angle)
+
+let cmul (ar, ai) (br, bi) = ((ar *. br) -. (ai *. bi), (ar *. bi) +. (ai *. br))
+let cadd (ar, ai) (br, bi) = (ar +. br, ai +. bi)
+let csub (ar, ai) (br, bi) = (ar -. br, ai -. bi)
+
+let default_block ~n k =
+  (* deterministic multi-tone test signal, distinct per block *)
+  List.init n (fun i ->
+      let t = float_of_int i /. float_of_int n in
+      let f = float_of_int (1 + (k mod (n / 2))) in
+      V.complex
+        (cos (2.0 *. Float.pi *. f *. t) +. (0.25 *. float_of_int (k mod 3)))
+        (0.5 *. sin (2.0 *. Float.pi *. f *. t)))
+
+let generator_body ~n ~bits (ctx : Process.job_ctx) =
+  let block =
+    match ctx.Process.read "fft_in" with
+    | V.Absent -> V.List (default_block ~n ctx.Process.job_index)
+    | v -> v
+  in
+  let samples = Array.of_list (V.to_list block) in
+  if Array.length samples <> n then
+    invalid_arg "Fft.generator: input block has the wrong length";
+  (* distribute in bit-reversed order: position p receives x[bitrev p] *)
+  for p = 0 to n - 1 do
+    ctx.Process.write (ch 0 p) samples.(bit_reverse ~bits p)
+  done
+
+let butterfly_body ~stage ~p1 ~p2 ~j ~span (ctx : Process.job_ctx) =
+  let read pos =
+    match ctx.Process.read (ch (stage - 1) pos) with
+    | V.Absent -> (0.0, 0.0)
+    | v -> complex_of v
+  in
+  let u = read p1 and t = read p2 in
+  let wt = cmul (twiddle ~j ~span) t in
+  let a = cadd u wt and b = csub u wt in
+  ctx.Process.write (ch stage p1) (V.complex (fst a) (snd a));
+  ctx.Process.write (ch stage p2) (V.complex (fst b) (snd b))
+
+let consumer_body ~n ~stages (ctx : Process.job_ctx) =
+  let bins =
+    List.init n (fun p ->
+        match ctx.Process.read (ch stages p) with
+        | V.Absent -> V.complex 0.0 0.0
+        | v -> v)
+  in
+  ctx.Process.write "spectrum" (V.List bins)
+
+let network p =
+  let stages = log2_exact p.n in
+  let bits = stages in
+  let event =
+    Event.periodic
+      ~period:(Rat.of_int p.period_ms)
+      ~deadline:(Rat.of_int p.period_ms)
+      ()
+  in
+  let b = Network.Builder.create (Printf.sprintf "fft%d" p.n) in
+  let add name body =
+    Network.Builder.add_process b (Process.make ~name ~event (Process.Native body))
+  in
+  add generator_name (generator_body ~n:p.n ~bits);
+  for s = 1 to stages do
+    List.iteri
+      (fun bidx (p1, p2, j, span) ->
+        add
+          (butterfly_name (s - 1) bidx)
+          (butterfly_body ~stage:s ~p1 ~p2 ~j ~span))
+      (butterflies_of_stage ~n:p.n s)
+  done;
+  add consumer_name (consumer_body ~n:p.n ~stages);
+  (* channels + aligned functional priorities: data flow order *)
+  let owner_of_pos = Array.make p.n generator_name in
+  for s = 1 to stages do
+    List.iteri
+      (fun bidx (p1, p2, _, _) ->
+        let reader = butterfly_name (s - 1) bidx in
+        List.iter
+          (fun pos ->
+            let writer = owner_of_pos.(pos) in
+            Network.Builder.add_channel b ~kind:Fppn.Channel.Fifo ~writer
+              ~reader
+              (ch (s - 1) pos);
+            if not (writer = reader) then
+              Network.Builder.add_priority b writer reader)
+          [ p1; p2 ])
+      (butterflies_of_stage ~n:p.n s);
+    (* after scheduling stage s, its butterflies own their positions *)
+    List.iteri
+      (fun bidx (p1, p2, _, _) ->
+        owner_of_pos.(p1) <- butterfly_name (s - 1) bidx;
+        owner_of_pos.(p2) <- butterfly_name (s - 1) bidx)
+      (butterflies_of_stage ~n:p.n s)
+  done;
+  for pos = 0 to p.n - 1 do
+    let writer = owner_of_pos.(pos) in
+    Network.Builder.add_channel b ~kind:Fppn.Channel.Fifo ~writer
+      ~reader:consumer_name (ch stages pos);
+    Network.Builder.add_priority b writer consumer_name
+  done;
+  Network.Builder.add_input b ~owner:generator_name "fft_in";
+  Network.Builder.add_output b ~owner:consumer_name "spectrum";
+  Network.Builder.finish_exn b
+
+let wcet_map p = Taskgraph.Derive.const_wcet p.wcet
+
+let overhead_process = "runtime_overhead"
+
+let network_with_overhead_job p =
+  (* identical network plus a do-nothing highest-priority process whose
+     WCET stands for the frame-management overhead *)
+  let base = network p in
+  let b = Network.Builder.create (Printf.sprintf "fft%d+overhead" p.n) in
+  let event =
+    Event.periodic
+      ~period:(Rat.of_int p.period_ms)
+      ~deadline:(Rat.of_int p.period_ms)
+      ()
+  in
+  Network.Builder.add_process b
+    (Process.make ~name:overhead_process ~event (Process.Native (fun _ -> ())));
+  Array.iter (Network.Builder.add_process b) (Network.processes base);
+  List.iter
+    (fun (c : Network.channel_decl) ->
+      Network.Builder.add_channel b ?init:c.Network.init ~kind:c.Network.ch_kind
+        ~writer:c.Network.writer ~reader:c.Network.reader c.Network.ch_name)
+    (Network.channels base);
+  List.iter
+    (fun (hi, lo) ->
+      Network.Builder.add_priority b
+        (Process.name (Network.process base hi))
+        (Process.name (Network.process base lo)))
+    (Network.fp_edges base);
+  Network.Builder.add_priority b overhead_process generator_name;
+  List.iter
+    (fun (io : Network.io_decl) ->
+      match io.Network.dir with
+      | Network.In -> Network.Builder.add_input b ~owner:io.Network.owner io.Network.io_name
+      | Network.Out -> Network.Builder.add_output b ~owner:io.Network.owner io.Network.io_name)
+    (Network.inputs base @ Network.outputs base);
+  Network.Builder.finish_exn b
+
+let wcet_map_with_overhead p ~overhead name =
+  if name = overhead_process then overhead else p.wcet
+
+let input_feed p ~frames =
+  Fppn.Netstate.feed_of_list
+    [ ("fft_in", List.init frames (fun i -> V.List (default_block ~n:p.n (i + 1)))) ]
+
+let impulse_feed p =
+  let impulse =
+    V.List
+      (List.init p.n (fun i -> if i = 0 then V.complex 1.0 0.0 else V.complex 0.0 0.0))
+  in
+  fun channel k ->
+    if channel = "fft_in" && k = 1 then impulse
+    else if channel = "fft_in" then
+      V.List (List.init p.n (fun _ -> V.complex 0.0 0.0))
+    else V.Absent
+
+let reference_dft x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref (0.0, 0.0) in
+      for t = 0 to n - 1 do
+        let angle = -2.0 *. Float.pi *. float_of_int (k * t) /. float_of_int n in
+        acc := cadd !acc (cmul x.(t) (cos angle, sin angle))
+      done;
+      !acc)
+
+let spectrum_of_output v = Array.of_list (List.map complex_of (V.to_list v))

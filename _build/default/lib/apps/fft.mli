@@ -1,0 +1,58 @@
+(** The streaming use case of Sec. V-A: a radix-2 FFT implemented as an
+    FPPN, in the shape of Fig. 5 — a generator, [log2 n] stages of
+    [n/2] butterfly processes ([FFT2_s_b]), and a consumer.
+
+    With [n = 8] (four complex samples, i.e. "four floating-point
+    numbers" in the paper's complex-pair reading) the grid is 3 stages ×
+    4 butterflies: 14 processes = 14 jobs per frame, exactly the job
+    count whose arrival management cost 20 ms per frame on the MPPA.
+
+    All processes share the same period and deadline
+    ([T_p = d_p = 200] ms); FIFO data flow coincides with functional
+    priority, so the task graph maps one-to-one to the process network
+    graph. *)
+
+type params = {
+  n : int;  (** FFT size, a power of two, >= 2 *)
+  period_ms : int;  (** [T_p = d_p], 200 in the paper *)
+  wcet : Rt_util.Rat.t;  (** per-process WCET; the paper measured ~14 ms,
+      and reports load 0.93, i.e. ~13.3 ms *)
+}
+
+val default_params : params
+(** n = 8, 200 ms, WCET 13.3 ms (load 0.93 on the 14-job graph). *)
+
+val network : params -> Fppn.Network.t
+
+val wcet_map : params -> Taskgraph.Derive.wcet_map
+
+val overhead_process : string
+(** Name of the synthetic runtime-overhead process added by
+    {!network_with_overhead_job}. *)
+
+val network_with_overhead_job : params -> Fppn.Network.t
+(** Sec. V-A's accounting trick: the per-frame arrival-management
+    overhead is modelled as an extra highest-priority job with a
+    precedence edge directed to the generator.  Use
+    {!wcet_map_with_overhead} so the extra process carries the measured
+    overhead (41 ms for the MPPA first frame). *)
+
+val wcet_map_with_overhead :
+  params -> overhead:Rt_util.Rat.t -> Taskgraph.Derive.wcet_map
+
+val n_processes : params -> int
+(** [2 + log2 n · n/2]. *)
+
+val input_feed : params -> frames:int -> Fppn.Netstate.input_feed
+(** Feeds ["fft_in"] with a deterministic complex test signal; sample
+    [k] is the [k]-th input block ([List] of [n] complex pairs). *)
+
+val impulse_feed : params -> Fppn.Netstate.input_feed
+(** Block 1 is a unit impulse, later blocks are zero — the FFT of an
+    impulse is flat, which makes output checking trivial. *)
+
+val reference_dft : (float * float) array -> (float * float) array
+(** Naive O(n²) DFT used as ground truth in tests. *)
+
+val spectrum_of_output : Fppn.Value.t -> (float * float) array
+(** Decode one ["spectrum"] output sample back into complex bins. *)

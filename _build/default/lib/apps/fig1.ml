@@ -1,0 +1,152 @@
+module Rat = Rt_util.Rat
+module V = Fppn.Value
+module Event = Fppn.Event
+module Process = Fppn.Process
+module Network = Fppn.Network
+
+let ch_input_to_filter_a = "inA_to_fA"
+let ch_input_to_filter_b = "inA_to_fB"
+let ch_filter_a_to_norm = "fA_to_norm"
+let ch_norm_to_filter_a = "gain"
+let ch_filter_a_to_output = "fA_to_outA"
+let ch_filter_b_to_output = "fB_to_outB"
+let ch_coef_to_filter_b = "coef"
+
+let ms n = Rat.of_int n
+
+let periodic period = Event.periodic ~period:(ms period) ~deadline:(ms period) ()
+
+(* InputA: fetch the k-th external sample (or synthesize one) and fan it
+   out to both filters. *)
+let input_a_body (ctx : Process.job_ctx) =
+  let sample =
+    match ctx.Process.read "in_samples" with
+    | V.Absent -> V.Float (float_of_int ctx.Process.job_index)
+    | v -> v
+  in
+  ctx.Process.write ch_input_to_filter_a sample;
+  ctx.Process.write ch_input_to_filter_b sample
+
+(* FilterA runs at twice the input rate: when no fresh sample is
+   available it re-filters the last one (classic sample-and-hold). *)
+let filter_a_body (ctx : Process.job_ctx) =
+  let x =
+    match ctx.Process.read ch_input_to_filter_a with
+    | V.Absent -> ctx.Process.get "held"
+    | v ->
+      ctx.Process.set "held" v;
+      v
+  in
+  let gain =
+    match ctx.Process.read ch_norm_to_filter_a with
+    | V.Absent -> 1.0
+    | v -> V.to_float v
+  in
+  let y = V.Float (V.to_float x *. gain) in
+  ctx.Process.write ch_filter_a_to_norm y;
+  ctx.Process.write ch_filter_a_to_output y
+
+(* NormA: automatic gain control feeding back to FilterA.  FilterA runs
+   at twice NormA's rate, so the job drains the FIFO and uses the most
+   recent sample (keeping the queue bounded). *)
+let norm_a_body (ctx : Process.job_ctx) =
+  let rec drain last =
+    match ctx.Process.read ch_filter_a_to_norm with
+    | V.Absent -> last
+    | v -> drain v
+  in
+  match drain V.Absent with
+  | V.Absent -> ()
+  | v ->
+    let gain = 1.0 /. (1.0 +. Float.abs (V.to_float v)) in
+    ctx.Process.write ch_norm_to_filter_a (V.Float gain)
+
+let filter_b_body (ctx : Process.job_ctx) =
+  match ctx.Process.read ch_input_to_filter_b with
+  | V.Absent -> ()
+  | x ->
+    let coef =
+      match ctx.Process.read ch_coef_to_filter_b with
+      | V.Absent -> 1.0
+      | v -> V.to_float v
+    in
+    ctx.Process.write ch_filter_b_to_output (V.Float (V.to_float x *. coef))
+
+let coef_b_body (ctx : Process.job_ctx) =
+  let coef =
+    match ctx.Process.read "coef_commands" with
+    | V.Absent -> V.Float (0.5 +. (0.1 *. float_of_int ctx.Process.job_index))
+    | v -> v
+  in
+  ctx.Process.write ch_coef_to_filter_b coef
+
+(* OutputA: emits every sample FilterA produced since the last job (two
+   per period in steady state), keeping the FIFO bounded. *)
+let output_a_body (ctx : Process.job_ctx) =
+  let rec drain () =
+    match ctx.Process.read ch_filter_a_to_output with
+    | V.Absent -> ()
+    | v ->
+      ctx.Process.write "out_a" v;
+      drain ()
+  in
+  drain ()
+
+let output_b_body (ctx : Process.job_ctx) =
+  ctx.Process.write "out_b" (ctx.Process.read ch_filter_b_to_output)
+
+let network () =
+  let b = Network.Builder.create "fig1" in
+  let add name event body locals =
+    Network.Builder.add_process b
+      (Process.make ~locals ~name ~event (Process.Native body))
+  in
+  add "InputA" (periodic 200) input_a_body [];
+  add "FilterA" (periodic 100) filter_a_body [ ("held", V.Float 0.0) ];
+  add "FilterB" (periodic 200) filter_b_body [];
+  add "OutputA" (periodic 200) output_a_body [];
+  add "NormA" (periodic 200) norm_a_body [];
+  add "OutputB" (periodic 100) output_b_body [];
+  add "CoefB"
+    (Event.sporadic ~burst:2 ~min_period:(ms 700) ~deadline:(ms 700) ())
+    coef_b_body [];
+  let fifo = Fppn.Channel.Fifo and bb = Fppn.Channel.Blackboard in
+  Network.Builder.add_channel b ~kind:fifo ~writer:"InputA" ~reader:"FilterA"
+    ch_input_to_filter_a;
+  Network.Builder.add_channel b ~kind:fifo ~writer:"InputA" ~reader:"FilterB"
+    ch_input_to_filter_b;
+  Network.Builder.add_channel b ~kind:fifo ~writer:"FilterA" ~reader:"NormA"
+    ch_filter_a_to_norm;
+  Network.Builder.add_channel b ~kind:bb ~writer:"NormA" ~reader:"FilterA"
+    ch_norm_to_filter_a;
+  Network.Builder.add_channel b ~kind:fifo ~writer:"FilterA" ~reader:"OutputA"
+    ch_filter_a_to_output;
+  Network.Builder.add_channel b ~kind:fifo ~writer:"FilterB" ~reader:"OutputB"
+    ch_filter_b_to_output;
+  Network.Builder.add_channel b ~kind:bb ~writer:"CoefB" ~reader:"FilterB"
+    ch_coef_to_filter_b;
+  (* functional priorities; InputA → NormA is the deliberately redundant
+     edge discussed under Fig. 3 *)
+  Network.Builder.add_priority b "InputA" "FilterA";
+  Network.Builder.add_priority b "InputA" "FilterB";
+  Network.Builder.add_priority b "InputA" "NormA";
+  Network.Builder.add_priority b "FilterA" "NormA";
+  Network.Builder.add_priority b "FilterA" "OutputA";
+  Network.Builder.add_priority b "FilterB" "OutputB";
+  Network.Builder.add_priority b "CoefB" "FilterB";
+  Network.Builder.add_input b ~owner:"InputA" "in_samples";
+  Network.Builder.add_input b ~owner:"CoefB" "coef_commands";
+  Network.Builder.add_output b ~owner:"OutputA" "out_a";
+  Network.Builder.add_output b ~owner:"OutputB" "out_b";
+  Network.Builder.finish_exn b
+
+let wcet = Taskgraph.Derive.const_wcet (Rat.of_int 25)
+
+let input_feed ~samples =
+  let sample k = V.Float (sin (float_of_int k)) in
+  let coef k = V.Float (0.25 +. (0.05 *. float_of_int k)) in
+  Fppn.Netstate.feed_of_list
+    [
+      ("in_samples", List.init samples (fun i -> sample (i + 1)));
+      ("coef_commands", List.init samples (fun i -> coef (i + 1)));
+    ]

@@ -1,0 +1,32 @@
+(** The running example of the paper (Fig. 1): an imaginary signal
+    processing application with a 200 ms input sample period,
+    reconfigurable filter coefficients (the sporadic process CoefB) and
+    a feedback loop (NormA → FilterA).
+
+    Processes: InputA (200 ms), FilterA (100 ms), FilterB (200 ms),
+    OutputA (200 ms), NormA (200 ms), OutputB (100 ms) — periodic — and
+    CoefB, sporadic with burst 2 per 700 ms.
+
+    Its derived task graph is the paper's Fig. 3 (10 jobs over the
+    200 ms hyperperiod, with the InputA→NormA edge removed as redundant)
+    and its 2-processor schedule is Fig. 4. *)
+
+val network : unit -> Fppn.Network.t
+
+val wcet : Taskgraph.Derive.wcet_map
+(** 25 ms for every process, as assumed in Fig. 3. *)
+
+val input_feed : samples:int -> Fppn.Netstate.input_feed
+(** Deterministic external stimulus: sample [k] of ["in_samples"] is
+    [Float (sin k)]-ish test data; ["coef_commands"] yields filter
+    coefficients.  [samples] bounds the feed length. *)
+
+(** Channel names, for assertions in tests. *)
+
+val ch_input_to_filter_a : string
+val ch_input_to_filter_b : string
+val ch_filter_a_to_norm : string
+val ch_norm_to_filter_a : string
+val ch_filter_a_to_output : string
+val ch_filter_b_to_output : string
+val ch_coef_to_filter_b : string

@@ -1,0 +1,217 @@
+module Rat = Rt_util.Rat
+module Prng = Rt_util.Prng
+module V = Fppn.Value
+module Event = Fppn.Event
+module Process = Fppn.Process
+module Network = Fppn.Network
+
+type params = {
+  seed : int;
+  n_periodic : int;
+  n_sporadic : int;
+  periods : int list;
+  channel_density : float;
+  max_burst : int;
+}
+
+let default_params =
+  {
+    seed = 42;
+    n_periodic = 8;
+    n_sporadic = 3;
+    periods = [ 100; 200; 400; 800 ];
+    channel_density = 0.3;
+    max_burst = 2;
+  }
+
+(* Generic body: fold all inputs with the job index, write everywhere. *)
+let generic_body ~ins ~outs (ctx : Process.job_ctx) =
+  let combine acc c =
+    match ctx.Process.read c with
+    | V.Absent -> acc
+    | V.Int n -> acc + n
+    | V.Float f -> acc + int_of_float f
+    | _ -> acc + 1
+  in
+  let acc = List.fold_left combine ctx.Process.job_index ins in
+  List.iter (fun c -> ctx.Process.write c (V.Int acc)) outs
+
+(* The same behavior as a Def. 2.2 automaton, so random workloads also
+   exercise the formal-automaton execution path. *)
+let generic_automaton ~ins ~outs =
+  let module A = Fppn.Automaton in
+  let read_locs = List.mapi (fun i c -> (Printf.sprintf "r%d" i, c)) ins in
+  let sum_expr =
+    List.fold_left
+      (fun acc (v, _) ->
+        (* absent reads contribute 0 via a guarded helper variable *)
+        A.Add (acc, A.Var (v ^ "_n")))
+      (A.Add (A.Var "k", A.Const (V.Int 0)))
+      read_locs
+  in
+  let transitions =
+    (* entry: bump the job counter *)
+    [ {
+        A.src = "start";
+        guard = A.Const (V.Bool true);
+        actions = [ A.Assign ("k", A.Add (A.Var "k", A.Const (V.Int 1))) ];
+        dst = (match read_locs with [] -> "emit" | (l, _) :: _ -> l);
+      } ]
+    @ List.concat
+        (List.mapi
+           (fun i (l, c) ->
+             let next =
+               match List.nth_opt read_locs (i + 1) with
+               | Some (l', _) -> l'
+               | None -> "emit"
+             in
+             [
+               {
+                 A.src = l;
+                 guard = A.Const (V.Bool true);
+                 actions = [ A.Read (l ^ "_raw", c) ];
+                 dst = l ^ "_norm";
+               };
+               {
+                 A.src = l ^ "_norm";
+                 guard = A.Avail (l ^ "_raw");
+                 actions = [ A.Assign (l ^ "_n", A.Var (l ^ "_raw")) ];
+                 dst = next;
+               };
+               {
+                 A.src = l ^ "_norm";
+                 guard = A.Not (A.Avail (l ^ "_raw"));
+                 actions = [ A.Assign (l ^ "_n", A.Const (V.Int 0)) ];
+                 dst = next;
+               };
+             ])
+           read_locs)
+    @ [ {
+          A.src = "emit";
+          guard = A.Const (V.Bool true);
+          actions = List.map (fun c -> A.Write (c, sum_expr)) outs;
+          dst = "start";
+        } ]
+  in
+  let vars =
+    ("k", V.Int 0)
+    :: List.concat_map
+         (fun (l, _) -> [ (l ^ "_raw", V.Absent); (l ^ "_n", V.Int 0) ])
+         read_locs
+  in
+  Process.Automaton (A.make ~initial:"start" ~vars ~transitions)
+
+let periodic_name i = Printf.sprintf "P%d" i
+let sporadic_name i = Printf.sprintf "S%d" i
+let channel_name w r = Printf.sprintf "ch_%s_%s" w r
+
+let network p =
+  if p.n_periodic < 1 then invalid_arg "Randgen.network: need >= 1 periodic";
+  if p.periods = [] then invalid_arg "Randgen.network: empty period menu";
+  let prng = Prng.create p.seed in
+  let periods =
+    Array.init p.n_periodic (fun _ -> Prng.pick prng p.periods)
+  in
+  (* channels between forward-ordered periodic pairs *)
+  let channels = ref [] in
+  for i = 0 to p.n_periodic - 1 do
+    for j = i + 1 to p.n_periodic - 1 do
+      if Prng.float prng 1.0 < p.channel_density then
+        channels :=
+          (periodic_name i, periodic_name j, Prng.bool prng) :: !channels
+    done
+  done;
+  let channels = List.rev !channels in
+  (* sporadic processes: user, burst, min period (multiple of the user's) *)
+  let sporadics =
+    List.init p.n_sporadic (fun s ->
+        let user = Prng.int prng p.n_periodic in
+        let burst = Prng.int_in prng 1 p.max_burst in
+        let factor = Prng.int_in prng 1 3 in
+        let higher_than_user = Prng.bool prng in
+        (sporadic_name s, user, burst, periods.(user) * factor, higher_than_user))
+  in
+  let b = Network.Builder.create (Printf.sprintf "random%d" p.seed) in
+  (* in/out channel names per process, to instantiate the generic body *)
+  let ins = Hashtbl.create 16 and outs = Hashtbl.create 16 in
+  let push tbl key v =
+    let prev = try Hashtbl.find tbl key with Not_found -> [] in
+    Hashtbl.replace tbl key (prev @ [ v ])
+  in
+  List.iter
+    (fun (w, r, _) ->
+      push outs w (channel_name w r);
+      push ins r (channel_name w r))
+    channels;
+  List.iter
+    (fun (s, user, _, _, _) ->
+      push outs s (channel_name s (periodic_name user));
+      push ins (periodic_name user) (channel_name s (periodic_name user)))
+    sporadics;
+  (* every third process gets the automaton encoding of the behavior,
+     so random workloads also cover the Def. 2.2 execution path *)
+  let behavior_of idx name =
+    let ins = try Hashtbl.find ins name with Not_found -> [] in
+    let outs = try Hashtbl.find outs name with Not_found -> [] in
+    if idx mod 3 = 2 then generic_automaton ~ins ~outs
+    else Process.Native (generic_body ~ins ~outs)
+  in
+  for i = 0 to p.n_periodic - 1 do
+    let name = periodic_name i in
+    Network.Builder.add_process b
+      (Process.make ~name
+         ~event:
+           (Event.periodic
+              ~period:(Rat.of_int periods.(i))
+              ~deadline:(Rat.of_int periods.(i))
+              ())
+         (behavior_of i name))
+  done;
+  List.iteri
+    (fun i (name, _, burst, min_period, _) ->
+      Network.Builder.add_process b
+        (Process.make ~name
+           ~event:
+             (Event.sporadic ~burst
+                ~min_period:(Rat.of_int min_period)
+                ~deadline:(Rat.of_int (2 * min_period))
+                ())
+           (behavior_of (i + 1) name)))
+    sporadics;
+  List.iter
+    (fun (w, r, fifo) ->
+      Network.Builder.add_channel b
+        ~kind:(if fifo then Fppn.Channel.Fifo else Fppn.Channel.Blackboard)
+        ~writer:w ~reader:r (channel_name w r);
+      Network.Builder.add_priority b w r)
+    channels;
+  List.iter
+    (fun (s, user, _, _, higher) ->
+      let u = periodic_name user in
+      Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:s
+        ~reader:u (channel_name s u);
+      if higher then Network.Builder.add_priority b s u
+      else Network.Builder.add_priority b u s)
+    sporadics;
+  Network.Builder.finish_exn b
+
+let wcet ~scale fallback net name =
+  match
+    (try Some (Network.find net name) with Not_found -> None)
+  with
+  | Some p -> Rat.mul scale (Process.period (Network.process net p))
+  | None -> fallback name
+
+let sporadic_names net =
+  Array.to_list (Network.processes net)
+  |> List.filter Process.is_sporadic
+  |> List.map Process.name
+
+let random_traces ~seed ~horizon ~density net =
+  let prng = Prng.create seed in
+  List.map
+    (fun name ->
+      let p = Network.find net name in
+      let ev = Process.event (Network.process net p) in
+      (name, Event.random_sporadic_trace ev (Prng.split prng) ~horizon ~density))
+    (sporadic_names net)

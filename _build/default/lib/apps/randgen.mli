@@ -1,0 +1,38 @@
+(** Random FPPN workload generator for stress tests and benchmark
+    sweeps.
+
+    Generated networks always satisfy Def. 2.1 (FP DAG covering every
+    channel pair) and the Sec. III-A scheduling subclass (every sporadic
+    process has a single periodic user of no larger period, and a
+    deadline exceeding the user period).  Process bodies are generic:
+    read every input channel, combine with the invocation index, write
+    every output channel — enough to exercise determinism checks. *)
+
+type params = {
+  seed : int;
+  n_periodic : int;  (** >= 1 *)
+  n_sporadic : int;
+  periods : int list;  (** candidate periods (ms); keep their lcm small *)
+  channel_density : float;
+      (** probability that an ordered periodic pair gets a channel *)
+  max_burst : int;  (** sporadic burst drawn from [1..max_burst] *)
+}
+
+val default_params : params
+
+val network : params -> Fppn.Network.t
+(** Deterministic in [params.seed]. *)
+
+val wcet : scale:Rt_util.Rat.t -> Taskgraph.Derive.wcet_map -> Fppn.Network.t -> Taskgraph.Derive.wcet_map
+(** [wcet ~scale fallback net] assigns each process
+    [scale · T_p], falling back to [fallback] for unknown names. *)
+
+val sporadic_names : Fppn.Network.t -> string list
+
+val random_traces :
+  seed:int ->
+  horizon:Rt_util.Rat.t ->
+  density:float ->
+  Fppn.Network.t ->
+  (string * Rt_util.Rat.t list) list
+(** Valid random event traces for all sporadic processes. *)

@@ -1,0 +1,1 @@
+lib/fppn/automaton.ml: Hashtbl List Printf Value

@@ -1,0 +1,1 @@
+lib/fppn/automaton.mli: Value

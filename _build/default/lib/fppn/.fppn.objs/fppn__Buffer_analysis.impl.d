@@ -1,0 +1,1 @@
+lib/fppn/buffer_analysis.ml: Channel Event Format Fun Hashtbl List Netstate Network Option Process Rt_util Semantics String Trace Value

@@ -1,0 +1,1 @@
+lib/fppn/buffer_analysis.mli: Channel Format Netstate Network Rt_util

@@ -1,0 +1,1 @@
+lib/fppn/channel.ml: Format List Queue Value

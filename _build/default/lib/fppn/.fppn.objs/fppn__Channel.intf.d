@@ -1,0 +1,1 @@
+lib/fppn/channel.mli: Format Value

@@ -1,0 +1,1 @@
+lib/fppn/event.ml: Array Format List Rt_util

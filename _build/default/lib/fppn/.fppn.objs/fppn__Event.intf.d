@@ -1,0 +1,1 @@
+lib/fppn/event.mli: Format Rt_util

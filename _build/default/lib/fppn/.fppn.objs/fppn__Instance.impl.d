@@ -1,0 +1,1 @@
+lib/fppn/instance.ml: Automaton Hashtbl List Printf Process Value

@@ -1,0 +1,1 @@
+lib/fppn/instance.mli: Process Rt_util Value

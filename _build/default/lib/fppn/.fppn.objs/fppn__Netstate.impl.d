@@ -1,0 +1,1 @@
+lib/fppn/netstate.ml: Array Channel Hashtbl Instance List Network Printf Process String Trace Value

@@ -1,0 +1,1 @@
+lib/fppn/netstate.mli: Channel Instance Network Rt_util Trace Value

@@ -1,0 +1,1 @@
+lib/fppn/network.ml: Array Channel Event Format Hashtbl Int List Printf Process Rt_util String Value

@@ -1,0 +1,1 @@
+lib/fppn/network.mli: Channel Format Process Rt_util Value

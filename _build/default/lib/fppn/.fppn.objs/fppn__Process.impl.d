@@ -1,0 +1,1 @@
+lib/fppn/process.ml: Automaton Event Format Rt_util String Value

@@ -1,0 +1,1 @@
+lib/fppn/process.mli: Automaton Event Format Rt_util Value

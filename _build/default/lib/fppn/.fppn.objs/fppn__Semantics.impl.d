@@ -1,0 +1,1 @@
+lib/fppn/semantics.ml: Array Event Instance Int List Netstate Network Printf Process Rt_util String Trace Value

@@ -1,0 +1,1 @@
+lib/fppn/semantics.mli: Network Rt_util Trace Value

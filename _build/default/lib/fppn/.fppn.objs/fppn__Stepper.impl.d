@@ -1,0 +1,1 @@
+lib/fppn/stepper.ml: Instance Int List Netstate Network Process Rt_util Semantics

@@ -1,0 +1,1 @@
+lib/fppn/stepper.mli: Netstate Network Rt_util

@@ -1,0 +1,1 @@
+lib/fppn/trace.ml: Format List Rt_util Value

@@ -1,0 +1,1 @@
+lib/fppn/trace.mli: Format Rt_util Value

@@ -1,0 +1,1 @@
+lib/fppn/value.ml: Bool Float Format Int List Printf String

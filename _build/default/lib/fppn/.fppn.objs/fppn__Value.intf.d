@@ -1,0 +1,1 @@
+lib/fppn/value.mli: Format

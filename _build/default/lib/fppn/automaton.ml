@@ -1,0 +1,181 @@
+type loc = string
+
+type expr =
+  | Const of Value.t
+  | Var of string
+  | Avail of string
+  | Neg of expr
+  | Not of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Mod of expr * expr
+  | Eq of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+
+type action =
+  | Assign of string * expr
+  | Read of string * string
+  | Write of string * expr
+
+type transition = { src : loc; guard : expr; actions : action list; dst : loc }
+
+type t = {
+  initial : loc;
+  vars : (string * Value.t) list;
+  transitions : transition list;
+  by_src : (loc, transition list) Hashtbl.t;
+}
+
+let rec expr_vars acc = function
+  | Const _ -> acc
+  | Var x | Avail x -> x :: acc
+  | Neg e | Not e -> expr_vars acc e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+  | Eq (a, b) | Lt (a, b) | Le (a, b) | And (a, b) | Or (a, b) ->
+    expr_vars (expr_vars acc a) b
+
+let action_vars acc = function
+  | Assign (x, e) -> x :: expr_vars acc e
+  | Read (x, _) -> x :: acc
+  | Write (_, e) -> expr_vars acc e
+
+let make ~initial ~vars ~transitions =
+  let declared = List.map fst vars in
+  let check_var x =
+    if not (List.mem x declared) then
+      invalid_arg (Printf.sprintf "Automaton: undeclared variable %S" x)
+  in
+  List.iter
+    (fun tr ->
+      List.iter check_var (expr_vars [] tr.guard);
+      List.iter (fun a -> List.iter check_var (action_vars [] a)) tr.actions)
+    transitions;
+  if not (List.exists (fun tr -> tr.src = initial) transitions) then
+    invalid_arg "Automaton: no transition leaves the initial location";
+  let by_src = Hashtbl.create 16 in
+  (* preserve declaration order within each source location *)
+  List.iter
+    (fun tr ->
+      let prev = try Hashtbl.find by_src tr.src with Not_found -> [] in
+      Hashtbl.replace by_src tr.src (prev @ [ tr ]))
+    transitions;
+  { initial; vars; transitions; by_src }
+
+let initial t = t.initial
+let variables t = t.vars
+let transitions t = t.transitions
+
+let locations t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let visit l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.add seen l ();
+      out := l :: !out
+    end
+  in
+  visit t.initial;
+  List.iter
+    (fun tr ->
+      visit tr.src;
+      visit tr.dst)
+    t.transitions;
+  List.rev !out
+
+let dedup l =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] l)
+
+let channels_read t =
+  dedup
+    (List.concat_map
+       (fun tr ->
+         List.filter_map (function Read (_, c) -> Some c | _ -> None) tr.actions)
+       t.transitions)
+
+let channels_written t =
+  dedup
+    (List.concat_map
+       (fun tr ->
+         List.filter_map (function Write (c, _) -> Some c | _ -> None) tr.actions)
+       t.transitions)
+
+type env = {
+  lookup : string -> Value.t;
+  assign : string -> Value.t -> unit;
+  read_channel : string -> Value.t;
+  write_channel : string -> Value.t -> unit;
+}
+
+let type_error op a b =
+  invalid_arg
+    (Printf.sprintf "Automaton.eval: %s applied to %s and %s" op
+       (Value.to_string a) (Value.to_string b))
+
+let arith op_name int_op float_op a b =
+  match (a, b) with
+  | Value.Int x, Value.Int y -> Value.Int (int_op x y)
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+    Value.Float (float_op (Value.to_float a) (Value.to_float b))
+  | _ -> type_error op_name a b
+
+let rec eval lookup = function
+  | Const v -> v
+  | Var x -> lookup x
+  | Avail x -> Value.Bool (not (Value.is_absent (lookup x)))
+  | Neg e -> (
+    match eval lookup e with
+    | Value.Int n -> Value.Int (-n)
+    | Value.Float f -> Value.Float (-.f)
+    | v -> type_error "neg" v v)
+  | Not e -> Value.Bool (not (Value.to_bool (eval lookup e)))
+  | Add (a, b) -> arith "+" ( + ) ( +. ) (eval lookup a) (eval lookup b)
+  | Sub (a, b) -> arith "-" ( - ) ( -. ) (eval lookup a) (eval lookup b)
+  | Mul (a, b) -> arith "*" ( * ) ( *. ) (eval lookup a) (eval lookup b)
+  | Div (a, b) -> arith "/" ( / ) ( /. ) (eval lookup a) (eval lookup b)
+  | Mod (a, b) -> (
+    match (eval lookup a, eval lookup b) with
+    | Value.Int x, Value.Int y -> Value.Int (x mod y)
+    | a, b -> type_error "mod" a b)
+  | Eq (a, b) -> Value.Bool (Value.equal (eval lookup a) (eval lookup b))
+  | Lt (a, b) -> Value.Bool (Value.compare (eval lookup a) (eval lookup b) < 0)
+  | Le (a, b) -> Value.Bool (Value.compare (eval lookup a) (eval lookup b) <= 0)
+  | And (a, b) ->
+    Value.Bool (Value.to_bool (eval lookup a) && Value.to_bool (eval lookup b))
+  | Or (a, b) ->
+    Value.Bool (Value.to_bool (eval lookup a) || Value.to_bool (eval lookup b))
+
+exception Stuck of loc
+
+let perform env = function
+  | Assign (x, e) -> env.assign x (eval env.lookup e)
+  | Read (x, c) -> env.assign x (env.read_channel c)
+  | Write (c, e) -> env.write_channel c (eval env.lookup e)
+
+let run_job ?(max_steps = 10_000) t env =
+  let step loc =
+    let candidates = try Hashtbl.find t.by_src loc with Not_found -> [] in
+    match
+      List.find_opt
+        (fun tr -> Value.to_bool (eval env.lookup tr.guard))
+        candidates
+    with
+    | None -> raise (Stuck loc)
+    | Some tr ->
+      List.iter (perform env) tr.actions;
+      tr.dst
+  in
+  let rec loop loc steps =
+    if steps >= max_steps then
+      invalid_arg "Automaton.run_job: step bound exceeded (non-terminating job?)"
+    else
+      let next = step loc in
+      let steps = steps + 1 in
+      if next = t.initial then steps else loop next steps
+  in
+  loop t.initial 0

@@ -1,0 +1,97 @@
+(** Deterministic process automata (Def. 2.2).
+
+    A process is a tuple [(l0, L, X, X0, I, O, A, T)]: locations
+    (source-code line numbers), internal variables with initial values,
+    input/output channels, and guarded transitions whose actions are
+    variable assignments, channel reads and channel writes.
+
+    A {e job execution run} is a non-empty sequence of transition steps
+    that brings the automaton back to its initial location; variables
+    persist across runs (that is how state such as filter coefficients
+    survives), while the location is guaranteed to be [l0] at both ends
+    of every run.
+
+    Determinism: at each step the first transition (in declaration
+    order) out of the current location whose guard evaluates to [true]
+    is taken.  Well-formed automata should have mutually exclusive
+    guards; the declaration order makes execution deterministic even
+    when they are not. *)
+
+type loc = string
+
+(** Expressions over internal variables.  [Avail x] tests that variable
+    [x] does not hold {!Value.Absent} — the idiom for "did the last read
+    return data?". *)
+type expr =
+  | Const of Value.t
+  | Var of string
+  | Avail of string
+  | Neg of expr
+  | Not of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Mod of expr * expr
+  | Eq of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+
+type action =
+  | Assign of string * expr  (** [x := e] *)
+  | Read of string * string  (** [x ? c]: read channel [c] into variable [x] *)
+  | Write of string * expr   (** [e ! c]: write the value of [e] to channel [c] *)
+
+type transition = {
+  src : loc;
+  guard : expr;      (** must evaluate to [Bool] *)
+  actions : action list;
+  dst : loc;
+}
+
+type t
+
+val make :
+  initial:loc ->
+  vars:(string * Value.t) list ->
+  transitions:transition list ->
+  t
+(** @raise Invalid_argument if a transition refers to an undeclared
+    source location's variable set … (static checks: all guard/action
+    variables are declared; at least one transition leaves [initial]). *)
+
+val initial : t -> loc
+val variables : t -> (string * Value.t) list
+val transitions : t -> transition list
+
+val locations : t -> loc list
+(** All locations mentioned, initial first, without duplicates. *)
+
+val channels_read : t -> string list
+val channels_written : t -> string list
+
+(** Runtime interface used by the semantics interpreters. *)
+
+type env = {
+  lookup : string -> Value.t;
+  assign : string -> Value.t -> unit;
+  read_channel : string -> Value.t;
+  write_channel : string -> Value.t -> unit;
+}
+
+val eval : (string -> Value.t) -> expr -> Value.t
+(** Evaluates an expression under a variable valuation.
+    @raise Invalid_argument on type errors (e.g. adding booleans). *)
+
+exception Stuck of loc
+(** Raised by {!run_job} when no transition out of a non-initial
+    location is enabled. *)
+
+val run_job : ?max_steps:int -> t -> env -> int
+(** Executes one job run: steps from the initial location until it is
+    reached again.  Returns the number of transitions taken.
+    @raise Stuck if execution cannot continue.
+    @raise Invalid_argument if [max_steps] (default 10_000) is exceeded
+    — the guard against non-terminating job runs. *)

@@ -1,0 +1,143 @@
+module Rat = Rt_util.Rat
+
+type channel_report = {
+  channel : string;
+  kind : Channel.kind;
+  max_occupancy : int;
+  final_occupancy : int;
+  writes_per_hyperperiod : float;
+  reads_per_hyperperiod : float;
+  drift : float;
+}
+
+type t = {
+  horizon : Rat.t;
+  hyperperiods : int;
+  channels : channel_report list;
+}
+
+(* Maximal-rate synthetic trace: a burst of m events at every multiple
+   of the minimal period — the densest pattern the (m,T) constraint
+   allows with aligned bursts, hence a conservative default for sizing. *)
+let max_rate_trace ev ~horizon =
+  let stamps = ref [] in
+  let t = ref Rat.zero in
+  while Rat.(!t < horizon) do
+    for _ = 1 to ev.Event.burst do
+      stamps := !t :: !stamps
+    done;
+    t := Rat.add !t ev.Event.period
+  done;
+  List.rev !stamps
+
+let analyse ?(hyperperiods = 4) ?sporadic ?(inputs = Netstate.no_inputs) net =
+  if hyperperiods < 1 then
+    invalid_arg "Buffer_analysis.analyse: hyperperiods must be >= 1";
+  let h = Network.hyperperiod net in
+  let horizon = Rat.mul h (Rat.of_int hyperperiods) in
+  let sporadic =
+    match sporadic with
+    | Some traces -> traces
+    | None ->
+      List.filter_map
+        (fun p ->
+          let proc = Network.process net p in
+          if Process.is_sporadic proc then
+            Some
+              ( Process.name proc,
+                max_rate_trace (Process.event proc) ~horizon )
+          else None)
+        (List.init (Network.n_processes net) Fun.id)
+  in
+  let res = Semantics.run ~inputs net (Semantics.invocations ~sporadic ~horizon net) in
+  (* replay the trace, tracking occupancy per internal channel; a
+     snapshot at the first hyperperiod boundary separates the startup
+     transient (FIFO priming) from steady-state growth *)
+  let decls = Network.channels net in
+  let state = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Network.channel_decl) ->
+      let init_occ = match c.Network.init with Some _ -> 1 | None -> 0 in
+      Hashtbl.replace state c.Network.ch_name
+        (c.Network.ch_kind, ref init_occ, ref init_occ, ref 0, ref 0, ref None))
+    decls;
+  let snapshot_taken = ref false in
+  List.iter
+    (fun action ->
+      match action with
+      | Trace.Write { channel; _ } -> (
+        match Hashtbl.find_opt state channel with
+        | Some (kind, occ, peak, writes, _, _) ->
+          incr writes;
+          (match kind with
+          | Channel.Fifo -> incr occ
+          | Channel.Blackboard -> occ := 1);
+          if !occ > !peak then peak := !occ
+        | None -> () (* external output *))
+      | Trace.Read { channel; value; _ } -> (
+        match Hashtbl.find_opt state channel with
+        | Some (kind, occ, _, _, reads, _) ->
+          if kind = Channel.Fifo && not (Value.is_absent value) then begin
+            incr reads;
+            decr occ
+          end
+        | None -> () (* external input *))
+      | Trace.Wait t when (not !snapshot_taken) && Rat.(t >= h) ->
+        snapshot_taken := true;
+        Hashtbl.iter
+          (fun _ (_, occ, _, _, _, warm) -> warm := Some !occ)
+          state
+      | Trace.Wait _ | Trace.Job_start _ | Trace.Job_end _ -> ())
+    res.Semantics.trace;
+  let per_h n = float_of_int n /. float_of_int hyperperiods in
+  let channels =
+    List.sort
+      (fun a b -> String.compare a.channel b.channel)
+      (List.map
+         (fun (c : Network.channel_decl) ->
+           let kind, occ, peak, writes, reads, warm =
+             Hashtbl.find state c.Network.ch_name
+           in
+           let drift =
+             (* steady-state growth per hyperperiod, past the transient *)
+             match (kind, !warm) with
+             | Channel.Blackboard, _ -> 0.0
+             | Channel.Fifo, Some w when hyperperiods > 1 ->
+               float_of_int (!occ - w) /. float_of_int (hyperperiods - 1)
+             | Channel.Fifo, _ -> per_h !writes -. per_h !reads
+           in
+           {
+             channel = c.Network.ch_name;
+             kind;
+             max_occupancy = !peak;
+             final_occupancy = !occ;
+             writes_per_hyperperiod = per_h !writes;
+             reads_per_hyperperiod = per_h !reads;
+             drift;
+           })
+         decls)
+  in
+  { horizon; hyperperiods; channels }
+
+let unbounded_channels t =
+  List.filter (fun r -> r.kind = Channel.Fifo && r.drift > 0.0) t.channels
+
+let bound_of t name =
+  Option.map (fun r -> r.max_occupancy)
+    (List.find_opt (fun r -> r.channel = name) t.channels)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "buffer analysis over %d hyperperiod(s) (horizon %a ms):@." t.hyperperiods
+    Rat.pp t.horizon;
+  Format.fprintf ppf "  %-20s %-10s %6s %6s %8s %8s %7s@." "channel" "kind"
+    "max" "final" "wr/H" "rd/H" "drift";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-20s %-10s %6d %6d %8.2f %8.2f %7.2f%s@."
+        r.channel
+        (Channel.kind_to_string r.kind)
+        r.max_occupancy r.final_occupancy r.writes_per_hyperperiod
+        r.reads_per_hyperperiod r.drift
+        (if r.kind = Channel.Fifo && r.drift > 0.0 then "  << UNBOUNDED" else ""))
+    t.channels

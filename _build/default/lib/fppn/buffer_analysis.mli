@@ -1,0 +1,56 @@
+(** FIFO buffer sizing and balance analysis.
+
+    The paper's future work includes "support [for] buffering"; real
+    deployments must bound every FIFO.  Because FPPN execution is
+    deterministic (Prop. 2.1), the zero-delay reference run gives exact
+    occupancy envelopes: any semantics-respecting execution performs the
+    same channel operations in an order consistent with it, so the
+    per-channel maximum observed under zero-delay semantics, measured at
+    job boundaries, is the buffer bound the static schedule needs.
+
+    The analysis also classifies each FIFO's long-run balance by
+    comparing per-hyperperiod write and read counts: a positive drift
+    means the channel grows without bound (a rate mismatch bug in the
+    application). *)
+
+type channel_report = {
+  channel : string;
+  kind : Channel.kind;
+  max_occupancy : int;
+      (** peak item count observed over the analysed horizon *)
+  final_occupancy : int;
+  writes_per_hyperperiod : float;
+      (** averaged over the analysed hyperperiods *)
+  reads_per_hyperperiod : float;
+      (** consuming reads only (blackboard reads never consume) *)
+  drift : float;
+      (** [writes − reads] per hyperperiod; [> 0] on FIFOs ⇒ unbounded *)
+}
+
+type t = {
+  horizon : Rt_util.Rat.t;
+  hyperperiods : int;
+  channels : channel_report list;  (** sorted by channel name *)
+}
+
+val analyse :
+  ?hyperperiods:int ->
+  ?sporadic:(string * Rt_util.Rat.t list) list ->
+  ?inputs:Netstate.input_feed ->
+  Network.t ->
+  t
+(** Runs the zero-delay semantics over [hyperperiods] (default 4)
+    hyperperiods and reports every internal channel.  Sporadic traces
+    default to maximal-rate synthetic traces (events at every window
+    boundary) so the bounds are conservative for sporadic writers.
+    @raise Invalid_argument like [Semantics.invocations]. *)
+
+val unbounded_channels : t -> channel_report list
+(** FIFOs whose drift is positive: their occupancy grows every
+    hyperperiod. *)
+
+val bound_of : t -> string -> int option
+(** Max occupancy of a channel by name. *)
+
+val pp : Format.formatter -> t -> unit
+(** Tabular report. *)

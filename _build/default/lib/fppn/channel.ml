@@ -1,0 +1,60 @@
+type kind = Fifo | Blackboard
+
+let kind_to_string = function Fifo -> "fifo" | Blackboard -> "blackboard"
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+type state =
+  | Queue of Value.t Queue.t
+  | Board of Value.t option ref
+
+type t = {
+  ch_kind : kind;
+  init : Value.t option;
+  state : state;
+  mutable writes : Value.t list; (* reversed *)
+}
+
+let fill state init =
+  match (state, init) with
+  | _, None -> ()
+  | Queue q, Some v -> Queue.push v q
+  | Board b, Some v -> b := Some v
+
+let create ?init ch_kind =
+  let state =
+    match ch_kind with Fifo -> Queue (Queue.create ()) | Blackboard -> Board (ref None)
+  in
+  fill state init;
+  { ch_kind; init; state; writes = [] }
+
+let kind t = t.ch_kind
+
+let write t v =
+  t.writes <- v :: t.writes;
+  match t.state with
+  | Queue q -> Queue.push v q
+  | Board b -> b := Some v
+
+let read t =
+  match t.state with
+  | Queue q -> (match Queue.take_opt q with Some v -> v | None -> Value.Absent)
+  | Board b -> (match !b with Some v -> v | None -> Value.Absent)
+
+let peek t =
+  match t.state with
+  | Queue q -> (match Queue.peek_opt q with Some v -> v | None -> Value.Absent)
+  | Board b -> (match !b with Some v -> v | None -> Value.Absent)
+
+let occupancy t =
+  match t.state with
+  | Queue q -> Queue.length q
+  | Board b -> (match !b with Some _ -> 1 | None -> 0)
+
+let history t = List.rev t.writes
+
+let reset t =
+  (match t.state with
+  | Queue q -> Queue.clear q
+  | Board b -> b := None);
+  fill t.state t.init;
+  t.writes <- []

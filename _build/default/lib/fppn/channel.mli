@@ -1,0 +1,45 @@
+(** Channel state: the two default channel types of Sec. II-A.
+
+    A [Fifo] behaves as a queue; a [Blackboard] remembers the last
+    written value and can be read many times.  Reading an empty FIFO or
+    an uninitialized blackboard yields {!Value.Absent}.
+
+    Every write is also appended to an immutable history — the "sequence
+    of values written at the channel" that Prop. 2.1 (deterministic
+    execution) quantifies over.  Determinism tests compare histories
+    across runs. *)
+
+type kind = Fifo | Blackboard
+
+val pp_kind : Format.formatter -> kind -> unit
+val kind_to_string : kind -> string
+
+type t
+
+val create : ?init:Value.t -> kind -> t
+(** [init], if given, pre-loads the channel (initialized blackboard or
+    one-element FIFO) without appearing in the write history. *)
+
+val kind : t -> kind
+
+val write : t -> Value.t -> unit
+(** Appends to a FIFO / overwrites a blackboard, and records the value
+    in the history.  Writing [Absent] is allowed and behaves as any
+    other value. *)
+
+val read : t -> Value.t
+(** Consumes the FIFO head; a blackboard is left unchanged.  Returns
+    {!Value.Absent} when no data is available. *)
+
+val peek : t -> Value.t
+(** Like {!read} but never consumes. *)
+
+val occupancy : t -> int
+(** Readable items: FIFO length, or 0/1 for a blackboard. *)
+
+val history : t -> Value.t list
+(** All values ever written, oldest first. *)
+
+val reset : t -> unit
+(** Restores the freshly-created state (including [init]) and clears
+    the history. *)

@@ -1,0 +1,57 @@
+type t = {
+  proc : Process.t;
+  locals : (string, Value.t) Hashtbl.t;
+  mutable count : int;
+}
+
+let load_locals locals proc =
+  Hashtbl.reset locals;
+  List.iter (fun (x, v) -> Hashtbl.replace locals x v) proc.Process.locals
+
+let create proc =
+  let locals = Hashtbl.create 8 in
+  load_locals locals proc;
+  { proc; locals; count = 0 }
+
+let process t = t.proc
+let job_count t = t.count
+
+let get t x =
+  match Hashtbl.find_opt t.locals x with
+  | Some v -> v
+  | None -> raise Not_found
+
+let run_job t ~now ~read ~write =
+  let k = t.count + 1 in
+  let lookup x =
+    match Hashtbl.find_opt t.locals x with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "process %s: undeclared variable %S"
+           (Process.name t.proc) x)
+  in
+  let assign x v = Hashtbl.replace t.locals x v in
+  (match t.proc.Process.behavior with
+  | Process.Native body ->
+    body
+      {
+        Process.job_index = k;
+        now;
+        read;
+        write;
+        get = lookup;
+        set = assign;
+      }
+  | Process.Automaton a ->
+    let env =
+      { Automaton.lookup; assign; read_channel = read; write_channel = write }
+    in
+    ignore (Automaton.run_job a env));
+  t.count <- k
+
+let skip_job t = t.count <- t.count + 1
+
+let reset t =
+  load_locals t.locals t.proc;
+  t.count <- 0

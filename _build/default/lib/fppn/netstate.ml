@@ -1,0 +1,149 @@
+type input_feed = string -> int -> Value.t
+
+let no_inputs _ _ = Value.Absent
+
+let feed_of_list feeds channel k =
+  match List.assoc_opt channel feeds with
+  | None -> Value.Absent
+  | Some samples -> (
+    match List.nth_opt samples (k - 1) with
+    | Some v -> v
+    | None -> Value.Absent)
+
+type route =
+  | Internal of Channel.t
+  | Ext_input
+  | Ext_output of Channel.t
+
+type t = {
+  net : Network.t;
+  instances : Instance.t array;
+  chan_states : (string * Channel.t) list; (* internal, sorted by name *)
+  out_states : (string * Channel.t) list; (* external outputs, sorted *)
+  (* (proc, channel) -> route, for read and write directions *)
+  read_routes : (int * string, route) Hashtbl.t;
+  write_routes : (int * string, route) Hashtbl.t;
+}
+
+let create net =
+  let instances =
+    Array.map Instance.create (Network.processes net)
+  in
+  let chan_states =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.map
+         (fun c ->
+           ( c.Network.ch_name,
+             Channel.create ?init:c.Network.init c.Network.ch_kind ))
+         (Network.channels net))
+  in
+  let out_states =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.map
+         (fun io -> (io.Network.io_name, Channel.create Channel.Fifo))
+         (Network.outputs net))
+  in
+  let read_routes = Hashtbl.create 32 and write_routes = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      let state = List.assoc c.Network.ch_name chan_states in
+      let r = Network.find net c.Network.reader
+      and w = Network.find net c.Network.writer in
+      Hashtbl.replace read_routes (r, c.Network.ch_name) (Internal state);
+      Hashtbl.replace write_routes (w, c.Network.ch_name) (Internal state))
+    (Network.channels net);
+  List.iter
+    (fun io ->
+      let owner = Network.find net io.Network.owner in
+      match io.Network.dir with
+      | Network.In -> Hashtbl.replace read_routes (owner, io.Network.io_name) Ext_input
+      | Network.Out ->
+        let state = List.assoc io.Network.io_name out_states in
+        Hashtbl.replace write_routes (owner, io.Network.io_name) (Ext_output state))
+    (Network.inputs net @ Network.outputs net);
+  { net; instances; chan_states; out_states; read_routes; write_routes }
+
+let network t = t.net
+let instance t i = t.instances.(i)
+
+let run_job ?(recorder = fun _ -> ()) ?(inputs = no_inputs) t ~proc ~now =
+  let inst = t.instances.(proc) in
+  let pname = Process.name (Instance.process inst) in
+  let k = Instance.job_count inst + 1 in
+  let unknown dir c =
+    invalid_arg
+      (Printf.sprintf "process %s: %s to unattached channel %S" pname dir c)
+  in
+  let read c =
+    let v =
+      match Hashtbl.find_opt t.read_routes (proc, c) with
+      | Some (Internal state) -> Channel.read state
+      | Some Ext_input -> inputs c k
+      | Some (Ext_output _) | None -> unknown "read" c
+    in
+    recorder (Trace.Read { process = pname; k; channel = c; value = v });
+    v
+  in
+  let write c v =
+    (match Hashtbl.find_opt t.write_routes (proc, c) with
+    | Some (Internal state) | Some (Ext_output state) -> Channel.write state v
+    | Some Ext_input | None -> unknown "write" c);
+    recorder (Trace.Write { process = pname; k; channel = c; value = v })
+  in
+  recorder (Trace.Job_start { process = pname; k });
+  Instance.run_job inst ~now ~read ~write;
+  recorder (Trace.Job_end { process = pname; k })
+
+let skip_job t ~proc = Instance.skip_job t.instances.(proc)
+
+let run_job_deferred ?(recorder = fun _ -> ()) ?(inputs = no_inputs) t ~proc ~now =
+  let inst = t.instances.(proc) in
+  let pname = Process.name (Instance.process inst) in
+  let k = Instance.job_count inst + 1 in
+  let unknown dir c =
+    invalid_arg
+      (Printf.sprintf "process %s: %s to unattached channel %S" pname dir c)
+  in
+  let read c =
+    let v =
+      match Hashtbl.find_opt t.read_routes (proc, c) with
+      | Some (Internal state) -> Channel.read state
+      | Some Ext_input -> inputs c k
+      | Some (Ext_output _) | None -> unknown "read" c
+    in
+    recorder (Trace.Read { process = pname; k; channel = c; value = v });
+    v
+  in
+  let buffered = ref [] in
+  let write c v =
+    (match Hashtbl.find_opt t.write_routes (proc, c) with
+    | Some (Internal state) | Some (Ext_output state) ->
+      buffered := (state, c, v) :: !buffered
+    | Some Ext_input | None -> unknown "write" c);
+    recorder (Trace.Write { process = pname; k; channel = c; value = v })
+  in
+  recorder (Trace.Job_start { process = pname; k });
+  Instance.run_job inst ~now ~read ~write;
+  let to_flush = List.rev !buffered in
+  fun () ->
+    List.iter (fun (state, _, v) -> Channel.write state v) to_flush;
+    recorder (Trace.Job_end { process = pname; k })
+
+let histories states = List.map (fun (n, st) -> (n, Channel.history st)) states
+let channel_history t = histories t.chan_states
+let output_history t = histories t.out_states
+
+let channel_state t name =
+  match List.assoc_opt name t.chan_states with
+  | Some st -> st
+  | None -> (
+    match List.assoc_opt name t.out_states with
+    | Some st -> st
+    | None -> raise Not_found)
+
+let reset t =
+  Array.iter Instance.reset t.instances;
+  List.iter (fun (_, st) -> Channel.reset st) t.chan_states;
+  List.iter (fun (_, st) -> Channel.reset st) t.out_states

@@ -1,0 +1,61 @@
+(** Mutable execution state of a network: channel contents, external
+    output recorders and per-process instances.
+
+    All interpreters (zero-delay, multiprocessor runtime, uniprocessor
+    baseline, timed-automata) drive their jobs through {!run_job}, which
+    routes channel names to internal channel state, external input
+    feeds, or external output recorders, and optionally records the
+    accesses in a {!Trace.t}. *)
+
+type input_feed = string -> int -> Value.t
+(** [feed channel k] is sample [k] (1-based) of an external input. *)
+
+val no_inputs : input_feed
+val feed_of_list : (string * Value.t list) list -> input_feed
+
+type t
+
+val create : Network.t -> t
+val network : t -> Network.t
+val instance : t -> int -> Instance.t
+
+val run_job :
+  ?recorder:(Trace.action -> unit) ->
+  ?inputs:input_feed ->
+  t ->
+  proc:int ->
+  now:Rt_util.Rat.t ->
+  unit
+(** Runs the next job of process [proc].  Reads and writes are recorded
+    through [recorder] (wrapped in [Job_start]/[Job_end]).
+    @raise Invalid_argument if the process accesses a channel that is
+    not attached to it. *)
+
+val skip_job : t -> proc:int -> unit
+(** Consume an invocation without executing (a ['false'] job). *)
+
+val run_job_deferred :
+  ?recorder:(Trace.action -> unit) ->
+  ?inputs:input_feed ->
+  t ->
+  proc:int ->
+  now:Rt_util.Rat.t ->
+  unit ->
+  unit
+(** Like {!run_job}, but channel writes are buffered: the body runs
+    immediately (reads observe the pre-job state), and the returned
+    thunk publishes the writes in program order.  This is the
+    read-at-start / write-at-completion access model of preemptive
+    fixed-priority implementations ([Runtime.Uniproc_fp]). *)
+
+val channel_history : t -> (string * Value.t list) list
+(** Internal channels, sorted by name. *)
+
+val output_history : t -> (string * Value.t list) list
+(** External outputs, sorted by name. *)
+
+val channel_state : t -> string -> Channel.t
+(** Internal channel or external output recorder by name.
+    @raise Not_found *)
+
+val reset : t -> unit

@@ -1,0 +1,39 @@
+type job_ctx = {
+  job_index : int;
+  now : Rt_util.Rat.t;
+  read : string -> Value.t;
+  write : string -> Value.t -> unit;
+  get : string -> Value.t;
+  set : string -> Value.t -> unit;
+}
+
+type behavior =
+  | Native of (job_ctx -> unit)
+  | Automaton of Automaton.t
+
+type t = {
+  name : string;
+  event : Event.t;
+  behavior : behavior;
+  locals : (string * Value.t) list;
+}
+
+let make ?(locals = []) ~name ~event behavior =
+  if String.length name = 0 then invalid_arg "Process.make: empty name";
+  let locals =
+    match behavior with
+    | Native _ -> locals
+    | Automaton a ->
+      if locals <> [] then
+        invalid_arg "Process.make: automaton behaviors declare their own locals";
+      Automaton.variables a
+  in
+  { name; event; behavior; locals }
+
+let name t = t.name
+let event t = t.event
+let period t = t.event.Event.period
+let deadline t = t.event.Event.deadline
+let burst t = t.event.Event.burst
+let is_sporadic t = Event.is_sporadic t.event
+let pp ppf t = Format.fprintf ppf "%s (%a)" t.name Event.pp t.event

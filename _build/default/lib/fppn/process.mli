@@ -1,0 +1,46 @@
+(** FPPN processes.
+
+    A process couples an event generator with a behavior.  The paper
+    defines behaviors as deterministic automata (Def. 2.2); for writing
+    realistic applications this library additionally accepts plain OCaml
+    closures ([Native]) operating through a {!job_ctx} — the two forms
+    are interchangeable from the semantics' point of view, both perform
+    one {e job execution run} per invocation. *)
+
+(** Capabilities handed to a native job body at invocation [k].
+    Channel names are resolved against the process' attached inputs and
+    outputs by the enclosing network. *)
+type job_ctx = {
+  job_index : int;  (** 1-based invocation count [k] of this process *)
+  now : Rt_util.Rat.t;  (** invocation time stamp *)
+  read : string -> Value.t;  (** [read c] — {!Value.Absent} if no data *)
+  write : string -> Value.t -> unit;
+  get : string -> Value.t;  (** local variable (persists across jobs) *)
+  set : string -> Value.t -> unit;
+}
+
+type behavior =
+  | Native of (job_ctx -> unit)
+  | Automaton of Automaton.t
+
+type t = private {
+  name : string;
+  event : Event.t;
+  behavior : behavior;
+  locals : (string * Value.t) list;
+      (** initial variable valuation [X_p0]; for [Automaton] behaviors
+          this is the automaton's own variable list *)
+}
+
+val make :
+  ?locals:(string * Value.t) list -> name:string -> event:Event.t -> behavior -> t
+(** @raise Invalid_argument on an empty name, or if [locals] is given
+    alongside an [Automaton] behavior (the automaton declares its own). *)
+
+val name : t -> string
+val event : t -> Event.t
+val period : t -> Rt_util.Rat.t
+val deadline : t -> Rt_util.Rat.t
+val burst : t -> int
+val is_sporadic : t -> bool
+val pp : Format.formatter -> t -> unit

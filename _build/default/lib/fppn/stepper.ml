@@ -1,0 +1,59 @@
+module Rat = Rt_util.Rat
+
+type step = { time : Rat.t; executed : (string * int) list }
+
+type t = {
+  net : Network.t;
+  inputs : Netstate.input_feed;
+  st : Netstate.t;
+  mutable pending : (Rat.t * int list) list;
+      (** grouped instants, ascending; processes already in FP order *)
+}
+
+let create ?sporadic ?(inputs = Netstate.no_inputs) ~horizon net =
+  let invs = Semantics.invocations ?sporadic ~horizon net in
+  (* group by time, order each group by functional priority *)
+  let rec group acc current = function
+    | [] -> List.rev (match current with None -> acc | Some g -> g :: acc)
+    | inv :: rest -> (
+      let t = inv.Semantics.time and p = inv.Semantics.process in
+      match current with
+      | Some (t0, ps) when Rat.equal t0 t -> group acc (Some (t0, p :: ps)) rest
+      | Some g -> group (g :: acc) (Some (t, [ p ])) rest
+      | None -> group acc (Some (t, [ p ])) rest)
+  in
+  let pending =
+    List.map
+      (fun (t, ps) ->
+        ( t,
+          List.stable_sort
+            (fun a b -> Int.compare (Network.fp_rank net a) (Network.fp_rank net b))
+            (List.rev ps) ))
+      (group [] None invs)
+  in
+  { net; inputs; st = Netstate.create net; pending }
+
+let now t = match t.pending with [] -> None | (time, _) :: _ -> Some time
+let remaining t = List.length t.pending
+let state t = t.st
+
+let step t =
+  match t.pending with
+  | [] -> None
+  | (time, procs) :: rest ->
+    t.pending <- rest;
+    let executed =
+      List.map
+        (fun p ->
+          Netstate.run_job ~inputs:t.inputs t.st ~proc:p ~now:time;
+          ( Process.name (Network.process t.net p),
+            Instance.job_count (Netstate.instance t.st p) ))
+        procs
+    in
+    Some { time; executed }
+
+let run_to_end t =
+  let rec loop acc =
+    match step t with None -> List.rev acc | Some s -> loop (s :: acc)
+  in
+  loop []

@@ -1,0 +1,40 @@
+(** Instant-by-instant execution of the zero-delay semantics.
+
+    [Semantics.run] executes a whole event trace at once; this module
+    exposes the same interpretation one {e invocation instant} at a
+    time, so callers (debuggers, REPLs, tests) can inspect channel
+    contents and process variables between steps. The final state and
+    histories coincide with [Semantics.run] on the same inputs. *)
+
+type t
+
+val create :
+  ?sporadic:(string * Rt_util.Rat.t list) list ->
+  ?inputs:Netstate.input_feed ->
+  horizon:Rt_util.Rat.t ->
+  Network.t ->
+  t
+(** Same validation as [Semantics.invocations]. *)
+
+type step = {
+  time : Rt_util.Rat.t;
+  executed : (string * int) list;
+      (** jobs run at this instant, in execution (functional-priority)
+          order: (process, invocation index) *)
+}
+
+val step : t -> step option
+(** Executes the next instant; [None] when the horizon is exhausted. *)
+
+val now : t -> Rt_util.Rat.t option
+(** Time stamp of the next pending instant. *)
+
+val remaining : t -> int
+(** Number of instants still to execute. *)
+
+val state : t -> Netstate.t
+(** Live network state — channels and instances are inspectable (and
+    shared with the stepper; mutating them mid-run changes the run). *)
+
+val run_to_end : t -> step list
+(** All remaining steps, in order. *)

@@ -1,0 +1,41 @@
+module Rat = Rt_util.Rat
+
+type action =
+  | Wait of Rat.t
+  | Job_start of { process : string; k : int }
+  | Job_end of { process : string; k : int }
+  | Read of { process : string; k : int; channel : string; value : Value.t }
+  | Write of { process : string; k : int; channel : string; value : Value.t }
+
+type t = action list
+
+let pp_action ppf = function
+  | Wait t -> Format.fprintf ppf "w(%a)" Rat.pp t
+  | Job_start { process; k } -> Format.fprintf ppf "start %s[%d]" process k
+  | Job_end { process; k } -> Format.fprintf ppf "end %s[%d]" process k
+  | Read { process; k; channel; value } ->
+    Format.fprintf ppf "%s[%d]: ?%s = %a" process k channel Value.pp value
+  | Write { process; k; channel; value } ->
+    Format.fprintf ppf "%s[%d]: !%s <- %a" process k channel Value.pp value
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    pp_action ppf t
+
+let to_string t = Format.asprintf "%a" pp t
+
+let jobs t =
+  List.filter_map
+    (function Job_end { process; k } -> Some (process, k) | _ -> None)
+    t
+
+let writes_to t channel =
+  List.filter_map
+    (function
+      | Write w when w.channel = channel -> Some w.value
+      | _ -> None)
+    t
+
+let job_count t process =
+  List.length (List.filter (fun (p, _) -> p = process) (jobs t))

@@ -1,0 +1,31 @@
+(** Execution traces (Sec. II-A).
+
+    The zero-delay semantics produces a trace of the form
+    [w(t1) ∘ α1 ∘ w(t2) ∘ α2 …] where each [α_i] concatenates the job
+    execution runs of the processes invoked at [t_i], ordered by
+    functional priority.  Individual channel accesses are recorded so
+    tests can assert fine-grained ordering properties. *)
+
+type action =
+  | Wait of Rt_util.Rat.t  (** [w(τ)]: time advances to [τ] *)
+  | Job_start of { process : string; k : int }
+  | Job_end of { process : string; k : int }
+  | Read of { process : string; k : int; channel : string; value : Value.t }
+      (** [x?c] — the value obtained (possibly {!Value.Absent}) *)
+  | Write of { process : string; k : int; channel : string; value : Value.t }
+      (** [x!c] *)
+
+type t = action list
+
+val pp_action : Format.formatter -> action -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val jobs : t -> (string * int) list
+(** Completed jobs in execution order. *)
+
+val writes_to : t -> string -> Value.t list
+(** Sequence of values written to one channel, in trace order. *)
+
+val job_count : t -> string -> int
+(** Number of completed jobs of a process. *)

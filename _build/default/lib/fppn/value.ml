@@ -1,0 +1,74 @@
+type t =
+  | Absent
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+let rec equal a b =
+  match (a, b) with
+  | Absent, Absent | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Pair (x1, y1), Pair (x2, y2) -> equal x1 x2 && equal y1 y2
+  | List l1, List l2 -> List.equal equal l1 l2
+  | (Absent | Unit | Bool _ | Int _ | Float _ | Str _ | Pair _ | List _), _ ->
+    false
+
+let rec compare a b =
+  match (a, b) with
+  | Absent, Absent | Unit, Unit -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Pair (x1, y1), Pair (x2, y2) ->
+    let c = compare x1 x2 in
+    if c <> 0 then c else compare y1 y2
+  | List l1, List l2 -> List.compare compare l1 l2
+  | a, b -> Int.compare (tag a) (tag b)
+
+and tag = function
+  | Absent -> 0
+  | Unit -> 1
+  | Bool _ -> 2
+  | Int _ -> 3
+  | Float _ -> 4
+  | Str _ -> 5
+  | Pair _ -> 6
+  | List _ -> 7
+
+let rec pp ppf = function
+  | Absent -> Format.pp_print_string ppf "<absent>"
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Pair (a, b) -> Format.fprintf ppf "(%a, %a)" pp a pp b
+  | List l ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp)
+      l
+
+let to_string v = Format.asprintf "%a" pp v
+let is_absent = function Absent -> true | _ -> false
+
+let coercion_error expected v =
+  invalid_arg (Printf.sprintf "Value: expected %s, got %s" expected (to_string v))
+
+let to_int = function Int n -> n | v -> coercion_error "Int" v
+let to_float = function Float f -> f | Int n -> float_of_int n | v -> coercion_error "Float" v
+let to_bool = function Bool b -> b | v -> coercion_error "Bool" v
+let to_pair = function Pair (a, b) -> (a, b) | v -> coercion_error "Pair" v
+let to_list = function List l -> l | v -> coercion_error "List" v
+let complex re im = Pair (Float re, Float im)
+
+let to_complex = function
+  | Pair (a, b) -> (to_float a, to_float b)
+  | v -> coercion_error "complex Pair" v

@@ -1,0 +1,40 @@
+(** Data values carried by FPPN channels.
+
+    [Absent] is the paper's "indicator of non-availability of data"
+    returned when reading an empty FIFO or an uninitialized blackboard
+    (Sec. II-A); it is a first-class value so process code can branch on
+    it. *)
+
+type t =
+  | Absent
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val is_absent : t -> bool
+
+(** Coercions used by process bodies; each raises [Invalid_argument]
+    with the value printed when the constructor does not match. *)
+
+val to_int : t -> int
+val to_float : t -> float
+(** Accepts [Int] too (widening). *)
+
+val to_bool : t -> bool
+val to_pair : t -> t * t
+val to_list : t -> t list
+
+val complex : float -> float -> t
+(** [complex re im] is [Pair (Float re, Float im)] — the FFT sample
+    encoding. *)
+
+val to_complex : t -> float * float

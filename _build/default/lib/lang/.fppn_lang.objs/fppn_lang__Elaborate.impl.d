@@ -1,0 +1,1 @@
+lib/lang/elaborate.ml: Ast Format Fppn List Option Printf

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Ast Buffer Format List Printf String

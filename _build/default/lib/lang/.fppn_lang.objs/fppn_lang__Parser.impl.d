@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Ast Format Fppn Lexer List Printf Rt_util

@@ -1,0 +1,1 @@
+lib/lang/printer.ml: Ast Float Format Fppn List Printf Rt_util String

@@ -1,0 +1,83 @@
+type pos = { line : int; col : int }
+
+type literal =
+  | L_int of int
+  | L_float of float
+  | L_bool of bool
+  | L_string of string
+
+type expr =
+  | Lit of literal
+  | Var of string
+  | Avail of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+and unop = Neg | Not
+
+and binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type action =
+  | Assign of string * expr
+  | Read of string * string
+  | Write of expr * string
+
+type transition = {
+  guard : expr;
+  actions : action list;
+  goto : string;
+  t_pos : pos;
+}
+
+type location = { loc_name : string; transitions : transition list }
+
+type machine = {
+  vars : (string * literal) list;
+  locations : location list;
+}
+
+type behavior = Extern | Machine of machine
+
+type event =
+  | Periodic of { burst : int; period : Rt_util.Rat.t; deadline : Rt_util.Rat.t }
+  | Sporadic of { burst : int; period : Rt_util.Rat.t; deadline : Rt_util.Rat.t }
+
+type process_decl = {
+  p_name : string;
+  event : event;
+  wcet : Rt_util.Rat.t option;
+  behavior : behavior;
+  p_pos : pos;
+}
+
+type channel_decl = {
+  c_name : string;
+  kind : Fppn.Channel.kind;
+  writer : string;
+  reader : string;
+  init : literal option;
+  c_pos : pos;
+}
+
+type io_dir = In | Out
+
+type io_decl = { io_name : string; io_owner : string; dir : io_dir; io_pos : pos }
+
+type network = {
+  n_name : string;
+  processes : process_decl list;
+  channels : channel_decl list;
+  priorities : (string * string * pos) list;
+  ios : io_decl list;
+}
+
+let value_of_literal = function
+  | L_int n -> Fppn.Value.Int n
+  | L_float f -> Fppn.Value.Float f
+  | L_bool b -> Fppn.Value.Bool b
+  | L_string s -> Fppn.Value.Str s
+
+let pp_pos ppf p = Format.fprintf ppf "line %d, column %d" p.line p.col

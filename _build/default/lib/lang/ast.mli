@@ -1,0 +1,103 @@
+(** Abstract syntax of the FPPN description language.
+
+    Sec. V of the paper mentions "an FPPN-related programming language"
+    defined in the CERTAINTY project, from which the scheduling and
+    code-generation tools start.  This library is our equivalent: a
+    small concrete syntax for networks whose process behaviors are
+    either Def. 2.2 automata written inline or [extern] bodies supplied
+    by the host program.
+
+    Concrete syntax sketch (see [examples/fig1.fppn]):
+    {v
+    network demo {
+      process Counter : periodic 100 deadline 100 wcet 10 {
+        var x = 0;
+        loc l0 {
+          when true do x := x + 1, x ! samples goto l0;
+        }
+      }
+      process Sink : periodic 200 deadline 200 wcet 30 extern;
+      channel fifo samples : Counter -> Sink;
+      priority Counter -> Sink;
+      output Sink -> out;
+    }
+    v} *)
+
+type pos = { line : int; col : int }
+
+type literal =
+  | L_int of int
+  | L_float of float
+  | L_bool of bool
+  | L_string of string
+
+type expr =
+  | Lit of literal
+  | Var of string
+  | Avail of string  (** [avail(x)] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+and unop = Neg | Not
+
+and binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type action =
+  | Assign of string * expr  (** [x := e] *)
+  | Read of string * string  (** [x ? c] *)
+  | Write of expr * string   (** [e ! c] *)
+
+type transition = {
+  guard : expr;
+  actions : action list;
+  goto : string;
+  t_pos : pos;
+}
+
+type location = { loc_name : string; transitions : transition list }
+
+type machine = {
+  vars : (string * literal) list;
+  locations : location list;  (** the first location is initial *)
+}
+
+type behavior = Extern | Machine of machine
+
+type event =
+  | Periodic of { burst : int; period : Rt_util.Rat.t; deadline : Rt_util.Rat.t }
+  | Sporadic of { burst : int; period : Rt_util.Rat.t; deadline : Rt_util.Rat.t }
+
+type process_decl = {
+  p_name : string;
+  event : event;
+  wcet : Rt_util.Rat.t option;
+  behavior : behavior;
+  p_pos : pos;
+}
+
+type channel_decl = {
+  c_name : string;
+  kind : Fppn.Channel.kind;
+  writer : string;
+  reader : string;
+  init : literal option;
+  c_pos : pos;
+}
+
+type io_dir = In | Out
+
+type io_decl = { io_name : string; io_owner : string; dir : io_dir; io_pos : pos }
+
+type network = {
+  n_name : string;
+  processes : process_decl list;
+  channels : channel_decl list;
+  priorities : (string * string * pos) list;
+  ios : io_decl list;
+}
+
+val value_of_literal : literal -> Fppn.Value.t
+val pp_pos : Format.formatter -> pos -> unit

@@ -1,0 +1,232 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of string
+  | STRING of string
+  | KW of string
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | SEMI | COLON | COMMA
+  | ARROW
+  | ASSIGN
+  | QUESTION | BANG
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LE | LT | GE | GT
+  | ANDAND | OROR | NOT
+  | EOF
+
+let keywords =
+  [
+    "network"; "process"; "periodic"; "sporadic"; "per"; "deadline"; "wcet";
+    "extern"; "channel"; "fifo"; "blackboard"; "init"; "priority"; "input";
+    "output"; "var"; "loc"; "when"; "do"; "goto"; "avail"; "true"; "false";
+  ]
+
+type t = { token : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %S" s
+  | INT n -> Format.fprintf ppf "integer %d" n
+  | FLOAT s -> Format.fprintf ppf "number %s" s
+  | STRING s -> Format.fprintf ppf "string %S" s
+  | KW s -> Format.fprintf ppf "keyword '%s'" s
+  | LBRACE -> Format.pp_print_string ppf "'{'"
+  | RBRACE -> Format.pp_print_string ppf "'}'"
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | SEMI -> Format.pp_print_string ppf "';'"
+  | COLON -> Format.pp_print_string ppf "':'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | ARROW -> Format.pp_print_string ppf "'->'"
+  | ASSIGN -> Format.pp_print_string ppf "':='"
+  | QUESTION -> Format.pp_print_string ppf "'?'"
+  | BANG -> Format.pp_print_string ppf "'!'"
+  | PLUS -> Format.pp_print_string ppf "'+'"
+  | MINUS -> Format.pp_print_string ppf "'-'"
+  | STAR -> Format.pp_print_string ppf "'*'"
+  | SLASH -> Format.pp_print_string ppf "'/'"
+  | PERCENT -> Format.pp_print_string ppf "'%'"
+  | EQ -> Format.pp_print_string ppf "'=='"
+  | NE -> Format.pp_print_string ppf "'!='"
+  | LE -> Format.pp_print_string ppf "'<='"
+  | LT -> Format.pp_print_string ppf "'<'"
+  | GE -> Format.pp_print_string ppf "'>='"
+  | GT -> Format.pp_print_string ppf "'>'"
+  | ANDAND -> Format.pp_print_string ppf "'&&'"
+  | OROR -> Format.pp_print_string ppf "'||'"
+  | NOT -> Format.pp_print_string ppf "'not'"
+  | EOF -> Format.pp_print_string ppf "end of input"
+
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let pos st = { Ast.line = st.line; col = st.col }
+let at_end st = st.offset >= String.length st.src
+let peek st = if at_end st then '\000' else st.src.[st.offset]
+
+let peek2 st =
+  if st.offset + 1 >= String.length st.src then '\000'
+  else st.src.[st.offset + 1]
+
+let advance st =
+  if not (at_end st) then begin
+    if st.src.[st.offset] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.offset <- st.offset + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let rec skip_block_comment st depth start =
+  if at_end st then raise (Error ("unterminated comment", start))
+  else if peek st = '(' && peek2 st = '*' then begin
+    advance st;
+    advance st;
+    skip_block_comment st (depth + 1) start
+  end
+  else if peek st = '*' && peek2 st = ')' then begin
+    advance st;
+    advance st;
+    if depth > 1 then skip_block_comment st (depth - 1) start
+  end
+  else begin
+    advance st;
+    skip_block_comment st depth start
+  end
+
+let rec skip_trivia st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+    advance st;
+    skip_trivia st
+  | '/' when peek2 st = '/' ->
+    while (not (at_end st)) && peek st <> '\n' do
+      advance st
+    done;
+    skip_trivia st
+  | '(' when peek2 st = '*' ->
+    let start = pos st in
+    advance st;
+    advance st;
+    skip_block_comment st 1 start;
+    skip_trivia st
+  | _ -> ()
+
+let lex_string st =
+  let start = pos st in
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if at_end st then raise (Error ("unterminated string", start))
+    else
+      match peek st with
+      | '"' -> advance st
+      | '\\' ->
+        advance st;
+        (match peek st with
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | c -> Buffer.add_char buf c);
+        advance st;
+        loop ()
+      | c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ();
+  STRING (Buffer.contents buf)
+
+let lex_number st =
+  let start_off = st.offset in
+  while is_digit (peek st) do
+    advance st
+  done;
+  if peek st = '.' && is_digit (peek2 st) then begin
+    advance st;
+    while is_digit (peek st) do
+      advance st
+    done;
+    FLOAT (String.sub st.src start_off (st.offset - start_off))
+  end
+  else INT (int_of_string (String.sub st.src start_off (st.offset - start_off)))
+
+let lex_ident st =
+  let start_off = st.offset in
+  while is_ident (peek st) do
+    advance st
+  done;
+  let word = String.sub st.src start_off (st.offset - start_off) in
+  if word = "not" then NOT
+  else if List.mem word keywords then KW word
+  else IDENT word
+
+let next_token st =
+  skip_trivia st;
+  let p = pos st in
+  let tok =
+    if at_end st then EOF
+    else
+      match peek st with
+      | '"' -> lex_string st
+      | c when is_digit c -> lex_number st
+      | c when is_ident_start c -> lex_ident st
+      | '{' -> advance st; LBRACE
+      | '}' -> advance st; RBRACE
+      | '(' -> advance st; LPAREN
+      | ')' -> advance st; RPAREN
+      | ';' -> advance st; SEMI
+      | ',' -> advance st; COMMA
+      | ':' ->
+        advance st;
+        if peek st = '=' then begin advance st; ASSIGN end else COLON
+      | '-' ->
+        advance st;
+        if peek st = '>' then begin advance st; ARROW end else MINUS
+      | '?' -> advance st; QUESTION
+      | '!' ->
+        advance st;
+        if peek st = '=' then begin advance st; NE end else BANG
+      | '+' -> advance st; PLUS
+      | '*' -> advance st; STAR
+      | '/' -> advance st; SLASH
+      | '%' -> advance st; PERCENT
+      | '=' ->
+        advance st;
+        if peek st = '=' then begin advance st; EQ end
+        else raise (Error ("'=' must be '==' or ':='", p))
+      | '<' ->
+        advance st;
+        if peek st = '=' then begin advance st; LE end else LT
+      | '>' ->
+        advance st;
+        if peek st = '=' then begin advance st; GE end else GT
+      | '&' ->
+        advance st;
+        if peek st = '&' then begin advance st; ANDAND end
+        else raise (Error ("'&' must be '&&'", p))
+      | '|' ->
+        advance st;
+        if peek st = '|' then begin advance st; OROR end
+        else raise (Error ("'|' must be '||'", p))
+      | c -> raise (Error (Printf.sprintf "illegal character %C" c, p))
+  in
+  { token = tok; pos = p }
+
+let tokenize src =
+  let st = { src; offset = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let t = next_token st in
+    if t.token = EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []

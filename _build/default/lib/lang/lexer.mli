@@ -1,0 +1,36 @@
+(** Hand-written lexer for the FPPN description language.
+
+    Comments: [// line] and [(* block *)] (nested).  Numbers lex as
+    integers or decimals; the parser converts timing literals to exact
+    rationals. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of string  (** the raw spelling, e.g. ["13.3"], kept exact *)
+  | STRING of string
+  | KW of string  (** one of {!keywords} *)
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | SEMI | COLON | COMMA
+  | ARROW  (** [->] *)
+  | ASSIGN  (** [:=] *)
+  | QUESTION | BANG
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LE | LT | GE | GT
+  | ANDAND | OROR | NOT
+  | EOF
+
+val keywords : string list
+(** [network process periodic sporadic per deadline wcet extern channel
+    fifo blackboard init priority input output var loc when do goto
+    avail true false] *)
+
+type t = { token : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+val tokenize : string -> t list
+(** The whole input as a token list ending with [EOF].
+    @raise Error on an illegal character or unterminated string/comment. *)
+
+val pp_token : Format.formatter -> token -> unit

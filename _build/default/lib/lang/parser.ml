@@ -1,0 +1,391 @@
+module Rat = Rt_util.Rat
+
+exception Error of string * Ast.pos
+
+type state = { tokens : Lexer.t array; mutable idx : int }
+
+let current st = st.tokens.(st.idx)
+let peek_token st = (current st).Lexer.token
+let peek_pos st = (current st).Lexer.pos
+let advance st = if st.idx < Array.length st.tokens - 1 then st.idx <- st.idx + 1
+
+let fail st msg =
+  raise (Error (Format.asprintf "%s (found %a)" msg Lexer.pp_token (peek_token st), peek_pos st))
+
+let expect st tok msg =
+  if peek_token st = tok then advance st else fail st msg
+
+let expect_kw st kw =
+  match peek_token st with
+  | Lexer.KW k when k = kw -> advance st
+  | _ -> fail st (Printf.sprintf "expected keyword '%s'" kw)
+
+let accept_kw st kw =
+  match peek_token st with
+  | Lexer.KW k when k = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let ident st =
+  match peek_token st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | _ -> fail st "expected an identifier"
+
+(* timing literal: INT or FLOAT, converted to an exact rational *)
+let number st =
+  match peek_token st with
+  | Lexer.INT n ->
+    advance st;
+    Rat.of_int n
+  | Lexer.FLOAT s ->
+    advance st;
+    Rat.of_string s
+  | _ -> fail st "expected a number"
+
+let literal st =
+  match peek_token st with
+  | Lexer.INT n ->
+    advance st;
+    Ast.L_int n
+  | Lexer.FLOAT s ->
+    advance st;
+    Ast.L_float (float_of_string s)
+  | Lexer.STRING s ->
+    advance st;
+    Ast.L_string s
+  | Lexer.KW "true" ->
+    advance st;
+    Ast.L_bool true
+  | Lexer.KW "false" ->
+    advance st;
+    Ast.L_bool false
+  | Lexer.MINUS -> (
+    advance st;
+    match peek_token st with
+    | Lexer.INT n ->
+      advance st;
+      Ast.L_int (-n)
+    | Lexer.FLOAT s ->
+      advance st;
+      Ast.L_float (-.float_of_string s)
+    | _ -> fail st "expected a number after '-'")
+  | _ -> fail st "expected a literal"
+
+(* --- expressions --------------------------------------------------------- *)
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let lhs = and_expr st in
+  if peek_token st = Lexer.OROR then begin
+    advance st;
+    Ast.Binop (Ast.Or, lhs, or_expr st)
+  end
+  else lhs
+
+and and_expr st =
+  let lhs = cmp_expr st in
+  if peek_token st = Lexer.ANDAND then begin
+    advance st;
+    Ast.Binop (Ast.And, lhs, and_expr st)
+  end
+  else lhs
+
+and cmp_expr st =
+  let lhs = add_expr st in
+  let op =
+    match peek_token st with
+    | Lexer.EQ -> Some Ast.Eq
+    | Lexer.NE -> Some Ast.Ne
+    | Lexer.LE -> Some Ast.Le
+    | Lexer.LT -> Some Ast.Lt
+    | Lexer.GE -> Some Ast.Ge
+    | Lexer.GT -> Some Ast.Gt
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Ast.Binop (op, lhs, add_expr st)
+
+and add_expr st =
+  let rec loop lhs =
+    match peek_token st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, lhs, mul_expr st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, lhs, mul_expr st))
+    | _ -> lhs
+  in
+  loop (mul_expr st)
+
+and mul_expr st =
+  let rec loop lhs =
+    match peek_token st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, lhs, unary_expr st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (Ast.Binop (Ast.Div, lhs, unary_expr st))
+    | Lexer.PERCENT ->
+      advance st;
+      loop (Ast.Binop (Ast.Mod, lhs, unary_expr st))
+    | _ -> lhs
+  in
+  loop (unary_expr st)
+
+and unary_expr st =
+  match peek_token st with
+  | Lexer.MINUS ->
+    advance st;
+    Ast.Unop (Ast.Neg, unary_expr st)
+  | Lexer.NOT ->
+    advance st;
+    Ast.Unop (Ast.Not, unary_expr st)
+  | _ -> primary_expr st
+
+and primary_expr st =
+  match peek_token st with
+  | Lexer.INT _ | Lexer.FLOAT _ | Lexer.STRING _ | Lexer.KW "true"
+  | Lexer.KW "false" ->
+    Ast.Lit (literal st)
+  | Lexer.KW "avail" ->
+    advance st;
+    expect st Lexer.LPAREN "expected '(' after avail";
+    let x = ident st in
+    expect st Lexer.RPAREN "expected ')'";
+    Ast.Avail x
+  | Lexer.IDENT name ->
+    advance st;
+    Ast.Var name
+  | Lexer.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.RPAREN "expected ')'";
+    e
+  | _ -> fail st "expected an expression"
+
+(* --- actions and machines ------------------------------------------------- *)
+
+let action st =
+  (* lookahead: IDENT ':=' / IDENT '?' are the two name-led forms;
+     anything else is [expr ! channel] *)
+  match peek_token st with
+  | Lexer.IDENT name -> (
+    let save = st.idx in
+    advance st;
+    match peek_token st with
+    | Lexer.ASSIGN ->
+      advance st;
+      Ast.Assign (name, expr st)
+    | Lexer.QUESTION ->
+      advance st;
+      Ast.Read (name, ident st)
+    | _ ->
+      st.idx <- save;
+      let e = expr st in
+      expect st Lexer.BANG "expected '!' in a write action";
+      Ast.Write (e, ident st))
+  | _ ->
+    let e = expr st in
+    expect st Lexer.BANG "expected '!' in a write action";
+    Ast.Write (e, ident st)
+
+let transition st =
+  let t_pos = peek_pos st in
+  expect_kw st "when";
+  let guard = expr st in
+  let actions =
+    if accept_kw st "do" then begin
+      let rec loop acc =
+        let a = action st in
+        if peek_token st = Lexer.COMMA then begin
+          advance st;
+          loop (a :: acc)
+        end
+        else List.rev (a :: acc)
+      in
+      loop []
+    end
+    else []
+  in
+  expect_kw st "goto";
+  let goto = ident st in
+  expect st Lexer.SEMI "expected ';' after a transition";
+  { Ast.guard; actions; goto; t_pos }
+
+let location st =
+  expect_kw st "loc";
+  let loc_name = ident st in
+  expect st Lexer.LBRACE "expected '{' after the location name";
+  let rec loop acc =
+    match peek_token st with
+    | Lexer.KW "when" -> loop (transition st :: acc)
+    | Lexer.RBRACE ->
+      advance st;
+      List.rev acc
+    | _ -> fail st "expected 'when' or '}' in a location"
+  in
+  { Ast.loc_name; transitions = loop [] }
+
+let machine st =
+  expect st Lexer.LBRACE "expected '{' to open a machine body";
+  let rec vars acc =
+    if accept_kw st "var" then begin
+      let name = ident st in
+      expect st Lexer.ASSIGN "expected ':=' in a variable declaration";
+      let l = literal st in
+      expect st Lexer.SEMI "expected ';' after a variable declaration";
+      vars ((name, l) :: acc)
+    end
+    else List.rev acc
+  in
+  let vars = vars [] in
+  let rec locs acc =
+    match peek_token st with
+    | Lexer.KW "loc" -> locs (location st :: acc)
+    | Lexer.RBRACE ->
+      advance st;
+      List.rev acc
+    | _ -> fail st "expected 'loc' or '}' in a machine body"
+  in
+  let locations = locs [] in
+  { Ast.vars; locations }
+
+(* --- declarations ----------------------------------------------------------- *)
+
+let event st =
+  let sporadic =
+    if accept_kw st "periodic" then false
+    else if accept_kw st "sporadic" then true
+    else fail st "expected 'periodic' or 'sporadic'"
+  in
+  (* [INT "per"] number *)
+  let burst, period =
+    match peek_token st with
+    | Lexer.INT n when st.tokens.(st.idx + 1).Lexer.token = Lexer.KW "per" ->
+      advance st;
+      advance st;
+      (n, number st)
+    | _ -> (1, number st)
+  in
+  expect_kw st "deadline";
+  let deadline = number st in
+  if sporadic then Ast.Sporadic { burst; period; deadline }
+  else Ast.Periodic { burst; period; deadline }
+
+let process_decl st =
+  let p_pos = peek_pos st in
+  expect_kw st "process";
+  let p_name = ident st in
+  expect st Lexer.COLON "expected ':' after the process name";
+  let ev = event st in
+  let wcet = if accept_kw st "wcet" then Some (number st) else None in
+  let behavior =
+    if accept_kw st "extern" then begin
+      expect st Lexer.SEMI "expected ';' after extern";
+      Ast.Extern
+    end
+    else Ast.Machine (machine st)
+  in
+  { Ast.p_name; event = ev; wcet; behavior; p_pos }
+
+let channel_decl st =
+  let c_pos = peek_pos st in
+  expect_kw st "channel";
+  let kind =
+    if accept_kw st "fifo" then Fppn.Channel.Fifo
+    else if accept_kw st "blackboard" then Fppn.Channel.Blackboard
+    else fail st "expected 'fifo' or 'blackboard'"
+  in
+  let c_name = ident st in
+  expect st Lexer.COLON "expected ':' after the channel name";
+  let writer = ident st in
+  expect st Lexer.ARROW "expected '->' between writer and reader";
+  let reader = ident st in
+  let init = if accept_kw st "init" then Some (literal st) else None in
+  expect st Lexer.SEMI "expected ';' after a channel declaration";
+  { Ast.c_name; kind; writer; reader; init; c_pos }
+
+let priority_decl st =
+  let p = peek_pos st in
+  expect_kw st "priority";
+  let hi = ident st in
+  expect st Lexer.ARROW "expected '->' in a priority declaration";
+  let lo = ident st in
+  expect st Lexer.SEMI "expected ';' after a priority declaration";
+  (hi, lo, p)
+
+let io_decl st dir =
+  let io_pos = peek_pos st in
+  advance st (* the keyword *);
+  match dir with
+  | Ast.In ->
+    let io_name = ident st in
+    expect st Lexer.ARROW "expected '->' in an input declaration";
+    let io_owner = ident st in
+    expect st Lexer.SEMI "expected ';' after an input declaration";
+    { Ast.io_name; io_owner; dir; io_pos }
+  | Ast.Out ->
+    let io_owner = ident st in
+    expect st Lexer.ARROW "expected '->' in an output declaration";
+    let io_name = ident st in
+    expect st Lexer.SEMI "expected ';' after an output declaration";
+    { Ast.io_name; io_owner; dir; io_pos }
+
+let network st =
+  expect_kw st "network";
+  let n_name = ident st in
+  expect st Lexer.LBRACE "expected '{' after the network name";
+  let processes = ref []
+  and channels = ref []
+  and priorities = ref []
+  and ios = ref [] in
+  let rec items () =
+    match peek_token st with
+    | Lexer.KW "process" ->
+      processes := process_decl st :: !processes;
+      items ()
+    | Lexer.KW "channel" ->
+      channels := channel_decl st :: !channels;
+      items ()
+    | Lexer.KW "priority" ->
+      priorities := priority_decl st :: !priorities;
+      items ()
+    | Lexer.KW "input" ->
+      ios := io_decl st Ast.In :: !ios;
+      items ()
+    | Lexer.KW "output" ->
+      ios := io_decl st Ast.Out :: !ios;
+      items ()
+    | Lexer.RBRACE -> advance st
+    | _ -> fail st "expected a declaration or '}'"
+  in
+  items ();
+  if peek_token st <> Lexer.EOF then fail st "trailing input after the network";
+  {
+    Ast.n_name;
+    processes = List.rev !processes;
+    channels = List.rev !channels;
+    priorities = List.rev !priorities;
+    ios = List.rev !ios;
+  }
+
+let of_string src =
+  let tokens = Array.of_list (Lexer.tokenize src) in
+  { tokens; idx = 0 }
+
+let parse src = network (of_string src)
+
+let parse_expr src =
+  let st = of_string src in
+  let e = expr st in
+  if peek_token st <> Lexer.EOF then fail st "trailing input after the expression";
+  e

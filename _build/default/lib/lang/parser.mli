@@ -1,0 +1,34 @@
+(** Recursive-descent parser for the FPPN description language.
+
+    Grammar (EBNF; [{x}] repetition, [\[x\]] option):
+    {v
+    network   ::= "network" IDENT "{" {item} "}"
+    item      ::= process | channel | priority | io
+    process   ::= "process" IDENT ":" event ["wcet" number]
+                  ("extern" ";" | machine)
+    event     ::= ("periodic" | "sporadic") [INT "per"] number
+                  "deadline" number
+    machine   ::= "{" {var} {location} "}"
+    var       ::= "var" IDENT ":=" literal ";"
+    location  ::= "loc" IDENT "{" {transition} "}"
+    transition::= "when" expr ["do" action {"," action}] "goto" IDENT ";"
+    action    ::= IDENT ":=" expr | IDENT "?" IDENT | expr "!" IDENT
+    channel   ::= "channel" ("fifo"|"blackboard") IDENT ":"
+                  IDENT "->" IDENT ["init" literal] ";"
+    priority  ::= "priority" IDENT "->" IDENT ";"
+    io        ::= "input" IDENT "->" IDENT ";"
+                | "output" IDENT "->" IDENT ";"
+    v}
+
+    Expressions use conventional precedence
+    ([||] < [&&] < comparisons < [+ -] < [* / %] < unary) and support
+    [avail(x)] for data-availability tests. *)
+
+exception Error of string * Ast.pos
+
+val parse : string -> Ast.network
+(** @raise Error with a position on any syntax error.
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (for tests). *)

@@ -1,0 +1,120 @@
+module Rat = Rt_util.Rat
+
+(* floats must re-lex as FLOAT tokens: print with a decimal point *)
+let pp_literal ppf = function
+  | Ast.L_int n -> Format.pp_print_int ppf n
+  | Ast.L_float f ->
+    let s = Printf.sprintf "%.12g" (Float.abs f) in
+    let s = if String.contains s '.' || String.contains s 'e' then s else s ^ ".0" in
+    if f < 0.0 then Format.fprintf ppf "-%s" s else Format.pp_print_string ppf s
+  | Ast.L_bool b -> Format.pp_print_bool ppf b
+  | Ast.L_string s -> Format.fprintf ppf "%S" s
+
+let binop_string = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+
+(* parenthesize everything nested: correct and trivially re-parseable *)
+let rec pp_expr ppf = function
+  | Ast.Lit l -> pp_literal ppf l
+  | Ast.Var x -> Format.pp_print_string ppf x
+  | Ast.Avail x -> Format.fprintf ppf "avail(%s)" x
+  | Ast.Unop (Ast.Neg, e) -> Format.fprintf ppf "(-%a)" pp_expr e
+  | Ast.Unop (Ast.Not, e) -> Format.fprintf ppf "(not %a)" pp_expr e
+  | Ast.Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_string op) pp_expr b
+
+let pp_action ppf = function
+  | Ast.Assign (x, e) -> Format.fprintf ppf "%s := %a" x pp_expr e
+  | Ast.Read (x, c) -> Format.fprintf ppf "%s ? %s" x c
+  | Ast.Write (e, c) -> Format.fprintf ppf "%a ! %s" pp_expr e c
+
+let pp_rat ppf r =
+  if Rat.is_integer r then Format.fprintf ppf "%d" (Rat.to_int_exn r)
+  else Format.fprintf ppf "%.6g" (Rat.to_float r)
+
+let pp_event ppf = function
+  | Ast.Periodic { burst; period; deadline } ->
+    if burst = 1 then
+      Format.fprintf ppf "periodic %a deadline %a" pp_rat period pp_rat deadline
+    else
+      Format.fprintf ppf "periodic %d per %a deadline %a" burst pp_rat period
+        pp_rat deadline
+  | Ast.Sporadic { burst; period; deadline } ->
+    if burst = 1 then
+      Format.fprintf ppf "sporadic %a deadline %a" pp_rat period pp_rat deadline
+    else
+      Format.fprintf ppf "sporadic %d per %a deadline %a" burst pp_rat period
+        pp_rat deadline
+
+let pp_transition ppf (t : Ast.transition) =
+  Format.fprintf ppf "      when %a" pp_expr t.Ast.guard;
+  (match t.Ast.actions with
+  | [] -> ()
+  | actions ->
+    Format.fprintf ppf " do %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_action)
+      actions);
+  Format.fprintf ppf " goto %s;@." t.Ast.goto
+
+let pp_machine ppf (m : Ast.machine) =
+  Format.fprintf ppf " {@.";
+  List.iter
+    (fun (x, l) -> Format.fprintf ppf "    var %s := %a;@." x pp_literal l)
+    m.Ast.vars;
+  List.iter
+    (fun (l : Ast.location) ->
+      Format.fprintf ppf "    loc %s {@." l.Ast.loc_name;
+      List.iter (pp_transition ppf) l.Ast.transitions;
+      Format.fprintf ppf "    }@.")
+    m.Ast.locations;
+  Format.fprintf ppf "  }@."
+
+let pp_process ppf (p : Ast.process_decl) =
+  Format.fprintf ppf "  process %s : %a" p.Ast.p_name pp_event p.Ast.event;
+  (match p.Ast.wcet with
+  | Some w -> Format.fprintf ppf " wcet %a" pp_rat w
+  | None -> ());
+  match p.Ast.behavior with
+  | Ast.Extern -> Format.fprintf ppf " extern;@."
+  | Ast.Machine m -> pp_machine ppf m
+
+let pp_network ppf (n : Ast.network) =
+  Format.fprintf ppf "network %s {@." n.Ast.n_name;
+  List.iter (pp_process ppf) n.Ast.processes;
+  List.iter
+    (fun (c : Ast.channel_decl) ->
+      Format.fprintf ppf "  channel %s %s : %s -> %s"
+        (Fppn.Channel.kind_to_string c.Ast.kind)
+        c.Ast.c_name c.Ast.writer c.Ast.reader;
+      (match c.Ast.init with
+      | Some l -> Format.fprintf ppf " init %a" pp_literal l
+      | None -> ());
+      Format.fprintf ppf ";@.")
+    n.Ast.channels;
+  List.iter
+    (fun (hi, lo, _) -> Format.fprintf ppf "  priority %s -> %s;@." hi lo)
+    n.Ast.priorities;
+  List.iter
+    (fun (io : Ast.io_decl) ->
+      match io.Ast.dir with
+      | Ast.In -> Format.fprintf ppf "  input %s -> %s;@." io.Ast.io_name io.Ast.io_owner
+      | Ast.Out ->
+        Format.fprintf ppf "  output %s -> %s;@." io.Ast.io_owner io.Ast.io_name)
+    n.Ast.ios;
+  Format.fprintf ppf "}@."
+
+let to_string n = Format.asprintf "%a" pp_network n

@@ -1,0 +1,9 @@
+(** Pretty-printer for the FPPN description language.
+
+    [parse (print ast)] yields a structurally equal AST (round-trip
+    property tested in [test/test_lang.ml]). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_action : Format.formatter -> Ast.action -> unit
+val pp_network : Format.formatter -> Ast.network -> unit
+val to_string : Ast.network -> string

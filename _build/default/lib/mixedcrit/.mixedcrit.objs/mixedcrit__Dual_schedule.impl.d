@@ -1,0 +1,1 @@
+lib/mixedcrit/dual_schedule.ml: Array Format List Sched Spec Taskgraph

@@ -1,0 +1,1 @@
+lib/mixedcrit/dual_schedule.mli: Format Fppn Sched Spec Taskgraph

@@ -1,0 +1,1 @@
+lib/mixedcrit/mc_engine.ml: Array Dual_schedule Fppn Hashtbl Int List Option Rt_util Runtime Sched Spec String Taskgraph

@@ -1,0 +1,1 @@
+lib/mixedcrit/mc_engine.mli: Dual_schedule Fppn Rt_util Runtime Spec

@@ -1,0 +1,1 @@
+lib/mixedcrit/spec.ml: Format List Printf Rt_util Taskgraph

@@ -1,0 +1,1 @@
+lib/mixedcrit/spec.mli: Format Rt_util Taskgraph

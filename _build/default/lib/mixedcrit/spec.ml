@@ -1,0 +1,43 @@
+module Rat = Rt_util.Rat
+
+type criticality = Lo | Hi
+
+let pp_criticality ppf = function
+  | Lo -> Format.pp_print_string ppf "LO"
+  | Hi -> Format.pp_print_string ppf "HI"
+
+type t = {
+  crit : string -> criticality;
+  lo : Taskgraph.Derive.wcet_map;
+  hi : Taskgraph.Derive.wcet_map;
+}
+
+let make ~criticality ~wcet_lo ~wcet_hi =
+  { crit = criticality; lo = wcet_lo; hi = wcet_hi }
+
+let of_list ~default_criticality ~wcet_lo ~hi =
+  {
+    crit =
+      (fun name ->
+        if List.mem_assoc name hi then Hi else default_criticality);
+    lo = wcet_lo;
+    hi =
+      (fun name ->
+        match List.assoc_opt name hi with Some c -> c | None -> wcet_lo name);
+  }
+
+let criticality t name = t.crit name
+let wcet_lo t = t.lo
+
+let wcet_hi t name =
+  match t.crit name with
+  | Lo -> t.lo name
+  | Hi ->
+    let c_hi = t.hi name and c_lo = t.lo name in
+    if Rat.(c_hi < c_lo) then
+      invalid_arg
+        (Printf.sprintf "Mixedcrit.Spec: C_HI < C_LO for HI process %S" name)
+    else c_hi
+
+let budget_lo t (j : Taskgraph.Job.t) = t.lo j.Taskgraph.Job.proc_name
+let is_hi t (j : Taskgraph.Job.t) = t.crit j.Taskgraph.Job.proc_name = Hi

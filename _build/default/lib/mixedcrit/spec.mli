@@ -1,0 +1,45 @@
+(** Mixed-criticality specifications (the paper's last future-work
+    item: "mixed-critical scheduling").
+
+    Following the dual-criticality Vestal model used by the authors'
+    follow-up work: every process is [Lo] or [Hi]; [Hi] processes carry
+    two execution-time budgets — an optimistic [C_LO] (e.g. from
+    profiling, as in Sec. V) and a conservative [C_HI >= C_LO].  The
+    system starts each frame in LO mode; if a [Hi] job exceeds its
+    [C_LO] budget, the frame degrades to HI mode: not-yet-started [Lo]
+    jobs are dropped and the remaining [Hi] jobs keep running under
+    their conservative budgets. *)
+
+type criticality = Lo | Hi
+
+val pp_criticality : Format.formatter -> criticality -> unit
+
+type t
+
+val make :
+  criticality:(string -> criticality) ->
+  wcet_lo:Taskgraph.Derive.wcet_map ->
+  wcet_hi:Taskgraph.Derive.wcet_map ->
+  t
+(** [wcet_hi] is only consulted for [Hi] processes; it must dominate
+    [wcet_lo] there (checked lazily per process;
+    @raise Invalid_argument on violation when queried). *)
+
+val of_list :
+  default_criticality:criticality ->
+  wcet_lo:Taskgraph.Derive.wcet_map ->
+  hi:(string * Rt_util.Rat.t) list ->
+  t
+(** Convenience: processes listed in [hi] are [Hi] with the given
+    conservative budget; everyone else is [Lo]. *)
+
+val criticality : t -> string -> criticality
+val wcet_lo : t -> Taskgraph.Derive.wcet_map
+
+val wcet_hi : t -> Taskgraph.Derive.wcet_map
+(** For [Lo] processes this equals [wcet_lo]. *)
+
+val budget_lo : t -> Taskgraph.Job.t -> Rt_util.Rat.t
+(** The LO-mode budget of a job (by its process name). *)
+
+val is_hi : t -> Taskgraph.Job.t -> bool

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Exec_time Exec_trace Fppn Fun Hashtbl Int List Option Platform Printf Rt_util Sched String Taskgraph

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Exec_time Exec_trace Fppn Hashtbl Platform Rt_util Sched Taskgraph

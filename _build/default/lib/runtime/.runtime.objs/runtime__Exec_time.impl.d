@@ -1,0 +1,1 @@
+lib/runtime/exec_time.ml: Float Rt_util Taskgraph

@@ -1,0 +1,1 @@
+lib/runtime/exec_time.mli: Rt_util Taskgraph

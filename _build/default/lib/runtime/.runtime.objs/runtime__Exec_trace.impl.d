@@ -1,0 +1,1 @@
+lib/runtime/exec_trace.ml: Array Format Hashtbl List Printf Rt_util String Taskgraph

@@ -1,0 +1,1 @@
+lib/runtime/exec_trace.mli: Format Rt_util Taskgraph

@@ -1,0 +1,1 @@
+lib/runtime/export.ml: Buffer Char Exec_trace Fun List Printf Rt_util String

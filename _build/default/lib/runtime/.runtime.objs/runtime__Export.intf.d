@@ -1,0 +1,1 @@
+lib/runtime/export.mli: Exec_trace

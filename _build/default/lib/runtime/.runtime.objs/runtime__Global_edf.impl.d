@@ -1,0 +1,1 @@
+lib/runtime/global_edf.ml: Exec_time Fppn Int List Option Rt_util String Taskgraph

@@ -1,0 +1,1 @@
+lib/runtime/global_edf.mli: Exec_time Fppn Rt_util Taskgraph

@@ -1,0 +1,1 @@
+lib/runtime/latency.ml: Array Exec_trace Format Fun Hashtbl List Printf Rt_util Taskgraph

@@ -1,0 +1,1 @@
+lib/runtime/latency.mli: Exec_trace Format Rt_util Taskgraph

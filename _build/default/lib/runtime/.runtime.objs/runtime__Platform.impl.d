@@ -1,0 +1,1 @@
+lib/runtime/platform.ml: Rt_util

@@ -1,0 +1,1 @@
+lib/runtime/platform.mli: Rt_util

@@ -1,0 +1,1 @@
+lib/runtime/uniproc_fp.ml: Array Exec_time Fppn Fun Int List Rt_util String Taskgraph

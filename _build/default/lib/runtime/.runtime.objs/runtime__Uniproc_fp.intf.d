@@ -1,0 +1,1 @@
+lib/runtime/uniproc_fp.mli: Exec_time Fppn Rt_util Taskgraph

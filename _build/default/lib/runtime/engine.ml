@@ -1,0 +1,309 @@
+module Rat = Rt_util.Rat
+module Pqueue = Rt_util.Pqueue
+module Network = Fppn.Network
+module Process = Fppn.Process
+module Event = Fppn.Event
+module Netstate = Fppn.Netstate
+module Graph = Taskgraph.Graph
+module Job = Taskgraph.Job
+module Derive = Taskgraph.Derive
+module Static_schedule = Sched.Static_schedule
+
+type config = {
+  platform : Platform.t;
+  exec : Exec_time.t;
+  frames : int;
+  sporadic : (string * Rat.t list) list;
+  inputs : Netstate.input_feed;
+}
+
+let default_config ?(frames = 1) ~n_procs () =
+  {
+    platform = Platform.create ~n_procs ();
+    exec = Exec_time.constant;
+    frames;
+    sporadic = [];
+    inputs = Netstate.no_inputs;
+  }
+
+type result = {
+  trace : Exec_trace.t;
+  channel_history : (string * Fppn.Value.t list) list;
+  output_history : (string * Fppn.Value.t list) list;
+  stats : Exec_trace.stats;
+  unhandled_events : (string * Rat.t) list;
+  overhead_segments : (int * Rat.t * Rat.t) list;
+}
+
+(* Map every (server job id, frame) to the real sporadic event it
+   handles, applying the Fig. 2 boundary rule.  Returns the map plus the
+   events that fall beyond the last simulated window. *)
+let assign_sporadic_events net (derived : Derive.t) ~frames ~hyperperiod traces =
+  let g = derived.Derive.graph in
+  let assigned : (int * int, Rat.t) Hashtbl.t = Hashtbl.create 64 in
+  let unhandled = ref [] in
+  List.iter
+    (fun (s : Derive.server_info) ->
+      let p = s.Derive.sporadic in
+      let name = Process.name (Network.process net p) in
+      let stamps =
+        match List.assoc_opt name traces with Some l -> l | None -> []
+      in
+      let ev = Process.event (Network.process net p) in
+      if not (Event.is_valid_sporadic_trace ev stamps) then
+        invalid_arg
+          (Printf.sprintf "Engine.run: sporadic trace of %S violates (m,T)" name);
+      let ts = s.Derive.server_period in
+      let burst = Process.burst (Network.process net p) in
+      let slots_per_frame = Rat.to_int_exn (Rat.div hyperperiod ts) in
+      let in_window ~b stamp =
+        let lo = Rat.sub b ts in
+        if s.Derive.boundary_closed_right then Rat.(stamp > lo) && Rat.(stamp <= b)
+        else Rat.(stamp >= lo) && Rat.(stamp < b)
+      in
+      let consumed = Hashtbl.create 16 in
+      for frame = 0 to frames - 1 do
+        for slot = 1 to slots_per_frame do
+          let rel = Rat.mul ts (Rat.of_int (slot - 1)) in
+          let b = Rat.add (Rat.mul hyperperiod (Rat.of_int frame)) rel in
+          (* positions within the subset, in stamp order *)
+          let idx = ref 0 in
+          List.iteri
+            (fun i stamp ->
+              if (not (Hashtbl.mem consumed i)) && in_window ~b stamp then begin
+                incr idx;
+                if !idx <= burst then begin
+                  Hashtbl.replace consumed i ();
+                  let k = ((slot - 1) * burst) + !idx in
+                  let job_id = Graph.find_job g ~proc:p ~k in
+                  Hashtbl.replace assigned (job_id, frame) stamp
+                end
+              end)
+            stamps
+        done
+      done;
+      List.iteri
+        (fun i stamp ->
+          if not (Hashtbl.mem consumed i) then
+            unhandled := (name, stamp) :: !unhandled)
+        stamps)
+    derived.Derive.servers;
+  (assigned, List.rev !unhandled)
+
+let sporadic_assignment net derived ~frames traces =
+  assign_sporadic_events net derived ~frames
+    ~hyperperiod:derived.Derive.hyperperiod traces
+
+type proc_state = {
+  order : int array;
+  mutable frame : int;
+  mutable pos : int;
+  mutable busy_until : Rat.t option;
+  mutable running : (int * Exec_trace.record) option;
+      (** job id + its record-in-progress while busy *)
+}
+
+let run net derived sched config =
+  let g = derived.Derive.graph in
+  let h = derived.Derive.hyperperiod in
+  let n = Graph.n_jobs g in
+  if config.frames <= 0 then invalid_arg "Engine.run: frames must be positive";
+  if Static_schedule.n_jobs sched <> n then
+    invalid_arg "Engine.run: schedule does not cover the task graph";
+  if Static_schedule.n_procs sched <> config.platform.Platform.n_procs then
+    invalid_arg "Engine.run: schedule and platform processor counts differ";
+  List.iter
+    (fun (name, _) ->
+      let p =
+        try Network.find net name
+        with Not_found ->
+          invalid_arg (Printf.sprintf "Engine.run: unknown process %S" name)
+      in
+      if not (Process.is_sporadic (Network.process net p)) then
+        invalid_arg
+          (Printf.sprintf "Engine.run: %S is periodic, not sporadic" name))
+    config.sporadic;
+  let assigned, unhandled_events =
+    assign_sporadic_events net derived ~frames:config.frames ~hyperperiod:h
+      config.sporadic
+  in
+  let state = Netstate.create net in
+  let n_procs = config.platform.Platform.n_procs in
+  let procs =
+    Array.init n_procs (fun p ->
+        {
+          order = Array.of_list (Static_schedule.jobs_on sched p);
+          frame = 0;
+          pos = 0;
+          busy_until = None;
+          running = None;
+        })
+  in
+  (* completions.(job) = number of frames in which the job has completed
+     (executed or skipped); job j of frame f is done iff > f *)
+  let completions = Array.make n 0 in
+  let records = ref [] in
+  let events = Pqueue.create ~cmp:Rat.compare in
+  let now = ref Rat.zero in
+  let frame_base frame = Rat.mul h (Rat.of_int frame) in
+  let overhead_end frame =
+    Rat.add (frame_base frame)
+      (Platform.frame_overhead config.platform ~frame)
+  in
+  let preds_done frame job =
+    List.for_all (fun p -> completions.(p) > frame) (Graph.preds g job)
+  in
+  let relative_deadline job =
+    Process.deadline (Network.process net (Graph.job g job).Job.proc)
+  in
+  (* one attempt to make progress on processor [p]; true if state changed *)
+  let advance ps =
+    match ps.busy_until with
+    | Some t when Rat.(t <= !now) ->
+      (* job completes *)
+      let job, record = Option.get ps.running in
+      completions.(job) <- completions.(job) + 1;
+      records := { record with Exec_trace.finish = t } :: !records;
+      ps.busy_until <- None;
+      ps.running <- None;
+      ps.pos <- ps.pos + 1;
+      if ps.pos >= Array.length ps.order then begin
+        ps.pos <- 0;
+        ps.frame <- ps.frame + 1
+      end;
+      true
+    | Some _ -> false
+    | None ->
+      if ps.frame >= config.frames || Array.length ps.order = 0 then false
+      else begin
+        let job = ps.order.(ps.pos) in
+        let j = Graph.job g job in
+        let base = frame_base ps.frame in
+        (* For periodic jobs the invocation occurs at A_i.  For server
+           slots the real event may arrive earlier, but only at the
+           boundary b = A_i can a slot be declared 'false' (Sec. IV), so
+           the round synchronizes on A_i in both cases — conservative
+           and sufficient for Prop. 4.1. *)
+        let invocation = Rat.add base j.Job.arrival in
+        let earliest = Rat.max invocation (overhead_end ps.frame) in
+        if Rat.(earliest > !now) then begin
+          Pqueue.push events earliest;
+          false
+        end
+        else if not (preds_done ps.frame job) then false
+        else begin
+          let stamp =
+            if j.Job.is_server then Hashtbl.find_opt assigned (job, ps.frame)
+            else Some (Rat.add base j.Job.arrival)
+          in
+          match stamp with
+          | None ->
+            (* 'false' job: skip without executing *)
+            let b = Rat.add base j.Job.arrival in
+            records :=
+              {
+                Exec_trace.job;
+                label = Job.label j;
+                frame = ps.frame;
+                proc = Static_schedule.proc sched job;
+                invoked = b;
+                start = !now;
+                finish = !now;
+                deadline = Rat.add b (relative_deadline job);
+                skipped = true;
+              }
+              :: !records;
+            completions.(job) <- completions.(job) + 1;
+            ps.pos <- ps.pos + 1;
+            if ps.pos >= Array.length ps.order then begin
+              ps.pos <- 0;
+              ps.frame <- ps.frame + 1
+            end;
+            true
+          | Some invoked ->
+            (* execute the job body now; duration covers the WCET model
+               plus per-access synchronisation overhead *)
+            let accesses = ref 0 in
+            let recorder = function
+              | Fppn.Trace.Read _ | Fppn.Trace.Write _ -> incr accesses
+              | _ -> ()
+            in
+            Netstate.run_job ~recorder ~inputs:config.inputs state
+              ~proc:j.Job.proc ~now:invoked;
+            let duration =
+              Rat.add
+                (Exec_time.sample config.exec j)
+                (Rat.mul
+                   config.platform.Platform.overhead.Platform.per_access
+                   (Rat.of_int !accesses))
+            in
+            let finish = Rat.add !now duration in
+            ps.busy_until <- Some finish;
+            ps.running <-
+              Some
+                ( job,
+                  {
+                    Exec_trace.job;
+                    label = Job.label j;
+                    frame = ps.frame;
+                    proc = Static_schedule.proc sched job;
+                    invoked;
+                    start = !now;
+                    finish;
+                    deadline = Rat.add invoked (relative_deadline job);
+                    skipped = false;
+                  } );
+            Pqueue.push events finish;
+            true
+        end
+      end
+  in
+  Pqueue.push events Rat.zero;
+  let rec fixpoint () =
+    let changed = Array.fold_left (fun acc ps -> advance ps || acc) false procs in
+    if changed then fixpoint ()
+  in
+  let rec loop () =
+    match Pqueue.pop events with
+    | None -> ()
+    | Some t ->
+      if Rat.(t >= !now) then begin
+        now := t;
+        fixpoint ()
+      end;
+      loop ()
+  in
+  loop ();
+  let trace =
+    List.sort
+      (fun (a : Exec_trace.record) b ->
+        let c = Rat.compare a.start b.start in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.proc b.proc in
+          if c <> 0 then c
+          else
+            let c = Int.compare a.frame b.frame in
+            if c <> 0 then c else Int.compare a.job b.job)
+      !records
+  in
+  let overhead_segments =
+    List.filter_map
+      (fun frame ->
+        let from = frame_base frame and till = overhead_end frame in
+        if Rat.(till > from) then Some (frame, from, till) else None)
+      (List.init config.frames Fun.id)
+  in
+  {
+    trace;
+    channel_history = Netstate.channel_history state;
+    output_history = Netstate.output_history state;
+    stats = Exec_trace.stats trace;
+    unhandled_events;
+    overhead_segments;
+  }
+
+let signature r =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (r.channel_history @ r.output_history)

@@ -1,0 +1,72 @@
+(** Discrete-event multiprocessor runtime implementing the online
+    static-order scheduling policy (Sec. IV).
+
+    The static schedule's frame is repeated with period [H].  On each
+    processor, independently, the runtime picks its jobs in static-order
+    and executes a {e round} per job:
+
+    - {e Synchronize invocation}: wait for the event invocation of the
+      current job.  Periodic jobs are invoked at [frame·H + A_i].  A
+      sporadic (server) job slot is matched against the real sporadic
+      events that arrived in its window; if fewer real events arrived
+      than the slot's position, the job is marked ['false'] and skipped.
+      The window is right-closed, [(b−T', b]], when the sporadic process
+      has functional priority over its user ([p → u(p)]), and
+      left-closed otherwise (Fig. 2).
+    - {e Synchronize precedence}: wait until all task-graph predecessors
+      (running on any processor) have completed in this frame.
+    - {e Execute} the job, unless marked ['false'].
+
+    Job bodies run against the shared network state, so the simulation
+    produces real output data; comparing its channel histories with the
+    zero-delay interpreter's is the determinism check of Prop. 2.1 /
+    Prop. 4.1.
+
+    The frame-management overhead measured in Sec. V-A is modelled by
+    delaying every job of frame [f] by [Platform.frame_overhead] and by
+    inflating execution times per channel access. *)
+
+type config = {
+  platform : Platform.t;
+  exec : Exec_time.t;
+  frames : int;  (** number of hyperperiod frames to simulate *)
+  sporadic : (string * Rt_util.Rat.t list) list;
+      (** absolute real event stamps per sporadic process, over the
+          whole simulation [\[0, frames·H)] *)
+  inputs : Fppn.Netstate.input_feed;
+}
+
+val default_config : ?frames:int -> n_procs:int -> unit -> config
+
+type result = {
+  trace : Exec_trace.t;
+  channel_history : (string * Fppn.Value.t list) list;
+      (** [Value] is [Fppn.Value] *)
+  output_history : (string * Fppn.Value.t list) list;
+  stats : Exec_trace.stats;
+  unhandled_events : (string * Rt_util.Rat.t) list;
+      (** sporadic events falling in the final, unsimulated window *)
+  overhead_segments : (int * Rt_util.Rat.t * Rt_util.Rat.t) list;
+      (** per-frame runtime-overhead activity, for Fig. 6-style charts *)
+}
+
+val run :
+  Fppn.Network.t -> Taskgraph.Derive.t -> Sched.Static_schedule.t -> config -> result
+(** @raise Invalid_argument if the schedule does not cover the derived
+    graph, if [frames <= 0], or if a sporadic trace violates its
+    generator's [(m,T)] constraint. *)
+
+val sporadic_assignment :
+  Fppn.Network.t ->
+  Taskgraph.Derive.t ->
+  frames:int ->
+  (string * Rt_util.Rat.t list) list ->
+  ((int * int, Rt_util.Rat.t) Hashtbl.t * (string * Rt_util.Rat.t) list)
+(** The window mapping of Sec. IV / Fig. 2, exposed for the
+    timed-automata backend and for tests: maps [(server job id, frame)]
+    to the real event stamp that slot handles; the second component
+    lists the events left for the window after the simulated horizon. *)
+
+val signature : result -> (string * Fppn.Value.t list) list
+(** Channel write sequences (internal + external outputs), sorted by
+    name — directly comparable with [Fppn.Semantics.signature]. *)

@@ -1,0 +1,35 @@
+module Rat = Rt_util.Rat
+module Prng = Rt_util.Prng
+
+type t =
+  | Constant
+  | Uniform of { prng : Prng.t; min_fraction : float }
+  | Scaled of float
+  | Profile of (string -> Rat.t)
+
+let constant = Constant
+
+let uniform ~seed ~min_fraction =
+  if min_fraction < 0.0 || min_fraction > 1.0 then
+    invalid_arg "Exec_time.uniform: min_fraction must be in [0,1]";
+  Uniform { prng = Prng.create seed; min_fraction }
+
+let scaled fraction =
+  if fraction < 0.0 then invalid_arg "Exec_time.scaled: negative fraction";
+  Scaled fraction
+
+let profile f = Profile f
+
+let quantized_fraction wcet fraction =
+  (* wcet * round(fraction * 1000) / 1000, keeping denominators small *)
+  let milli = int_of_float (Float.round (fraction *. 1000.0)) in
+  Rat.mul wcet (Rat.make milli 1000)
+
+let sample t (job : Taskgraph.Job.t) =
+  match t with
+  | Constant -> job.Taskgraph.Job.wcet
+  | Uniform { prng; min_fraction } ->
+    let f = Prng.float_in prng min_fraction 1.0 in
+    quantized_fraction job.Taskgraph.Job.wcet f
+  | Scaled f -> quantized_fraction job.Taskgraph.Job.wcet f
+  | Profile p -> p job.Taskgraph.Job.proc_name

@@ -1,0 +1,29 @@
+(** Execution-time models.
+
+    The static schedule is computed from WCETs; at run time jobs may
+    finish earlier.  Prop. 4.1 states the static-order policy stays
+    correct for {e any} execution times up to the WCET — the jittered
+    model exercises exactly that robustness claim. *)
+
+type t
+
+val constant : t
+(** Every job takes exactly its WCET. *)
+
+val uniform : seed:int -> min_fraction:float -> t
+(** Each job's duration is uniform in
+    [\[min_fraction·C_i, C_i\]], drawn from a deterministic PRNG
+    (quantized to 1/1000 of the WCET so durations remain small
+    rationals).
+    @raise Invalid_argument unless [0 <= min_fraction <= 1]. *)
+
+val scaled : float -> t
+(** Every job takes [fraction·C_i] (quantized to 1/1000); useful for
+    granularity sweeps.  [fraction] may exceed 1 to model WCET
+    under-estimation (measurement-based WCETs, Sec. V). *)
+
+val profile : (string -> Rt_util.Rat.t) -> t
+(** Fixed duration per process name. *)
+
+val sample : t -> Taskgraph.Job.t -> Rt_util.Rat.t
+(** Duration of one job instance.  Stateful for {!uniform}. *)

@@ -1,0 +1,63 @@
+module Rat = Rt_util.Rat
+
+let escape_json s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let record_to_json (r : Exec_trace.record) =
+  Printf.sprintf
+    "{\"job\":%d,\"label\":\"%s\",\"frame\":%d,\"proc\":%d,\"invoked\":\"%s\",\
+     \"start\":\"%s\",\"finish\":\"%s\",\"deadline\":\"%s\",\
+     \"invoked_ms\":%g,\"start_ms\":%g,\"finish_ms\":%g,\"deadline_ms\":%g,\
+     \"skipped\":%b,\"missed\":%b}"
+    r.Exec_trace.job
+    (escape_json r.Exec_trace.label)
+    r.Exec_trace.frame r.Exec_trace.proc
+    (Rat.to_string r.Exec_trace.invoked)
+    (Rat.to_string r.Exec_trace.start)
+    (Rat.to_string r.Exec_trace.finish)
+    (Rat.to_string r.Exec_trace.deadline)
+    (Rat.to_float r.Exec_trace.invoked)
+    (Rat.to_float r.Exec_trace.start)
+    (Rat.to_float r.Exec_trace.finish)
+    (Rat.to_float r.Exec_trace.deadline)
+    r.Exec_trace.skipped (Exec_trace.missed r)
+
+let to_json trace =
+  "[\n  " ^ String.concat ",\n  " (List.map record_to_json trace) ^ "\n]\n"
+
+let csv_header = "job,label,frame,proc,invoked_ms,start_ms,finish_ms,deadline_ms,skipped,missed"
+
+let escape_csv s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let record_to_csv (r : Exec_trace.record) =
+  Printf.sprintf "%d,%s,%d,%d,%g,%g,%g,%g,%b,%b" r.Exec_trace.job
+    (escape_csv r.Exec_trace.label)
+    r.Exec_trace.frame r.Exec_trace.proc
+    (Rat.to_float r.Exec_trace.invoked)
+    (Rat.to_float r.Exec_trace.start)
+    (Rat.to_float r.Exec_trace.finish)
+    (Rat.to_float r.Exec_trace.deadline)
+    r.Exec_trace.skipped (Exec_trace.missed r)
+
+let to_csv trace =
+  String.concat "\n" (csv_header :: List.map record_to_csv trace) ^ "\n"
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,19 @@
+(** Machine-readable export of execution traces (JSON and CSV) for
+    external Gantt viewers and post-processing. *)
+
+val record_to_json : Exec_trace.record -> string
+(** One JSON object; times as exact strings (e.g. ["133/10"]) plus
+    float fields ([*_ms]) for plotting. *)
+
+val to_json : Exec_trace.t -> string
+(** A JSON array of records. *)
+
+val csv_header : string
+
+val record_to_csv : Exec_trace.record -> string
+
+val to_csv : Exec_trace.t -> string
+(** Header line + one line per record. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

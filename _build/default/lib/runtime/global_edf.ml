@@ -1,0 +1,207 @@
+module Rat = Rt_util.Rat
+module Network = Fppn.Network
+module Process = Fppn.Process
+module Netstate = Fppn.Netstate
+
+type config = {
+  exec : Exec_time.t;
+  wcet : Taskgraph.Derive.wcet_map;
+  horizon : Rat.t;
+  n_procs : int;
+  sporadic : (string * Rat.t list) list;
+  inputs : Netstate.input_feed;
+}
+
+let default_config ~wcet ~horizon ~n_procs =
+  {
+    exec = Exec_time.constant;
+    wcet;
+    horizon;
+    n_procs;
+    sporadic = [];
+    inputs = Netstate.no_inputs;
+  }
+
+type record = {
+  process : string;
+  k : int;
+  released : Rat.t;
+  started : Rat.t;
+  finished : Rat.t;
+  deadline : Rat.t;
+  migrations : int;
+}
+
+type result = {
+  records : record list;
+  channel_history : (string * Fppn.Value.t list) list;
+  output_history : (string * Fppn.Value.t list) list;
+  misses : int;
+}
+
+type live = {
+  proc : int;
+  seq : int;
+  released_at : Rat.t;
+  abs_deadline : Rat.t;
+  mutable remaining : Rat.t;
+  mutable started_at : Rat.t option;
+  mutable flush : (unit -> unit) option;
+  mutable body_k : int;
+  mutable last_cpu : int;
+  mutable migrations : int;
+}
+
+let cmp_edf a b =
+  let c = Rat.compare a.abs_deadline b.abs_deadline in
+  if c <> 0 then c
+  else
+    let c = Rat.compare a.released_at b.released_at in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+let run net config =
+  if config.n_procs < 1 then invalid_arg "Global_edf.run: n_procs must be >= 1";
+  let releases =
+    ref
+      (Fppn.Semantics.invocations ~sporadic:config.sporadic
+         ~horizon:config.horizon net)
+  in
+  let state = Netstate.create net in
+  let live : live list ref = ref [] in
+  let seq = ref 0 in
+  let now = ref Rat.zero in
+  let records = ref [] in
+  let misses = ref 0 in
+  let duration_of lj =
+    let proc = Network.process net lj.proc in
+    let name = Process.name proc in
+    Exec_time.sample config.exec
+      {
+        Taskgraph.Job.id = 0;
+        proc = lj.proc;
+        proc_name = name;
+        k = lj.body_k;
+        arrival = lj.released_at;
+        deadline = lj.abs_deadline;
+        wcet = config.wcet name;
+        is_server = Process.is_sporadic proc;
+      }
+  in
+  let release_at t =
+    let rec loop () =
+      match !releases with
+      | inv :: rest when Rat.equal inv.Fppn.Semantics.time t ->
+        releases := rest;
+        incr seq;
+        let p = inv.Fppn.Semantics.process in
+        let d = Process.deadline (Network.process net p) in
+        live :=
+          {
+            proc = p;
+            seq = !seq;
+            released_at = t;
+            abs_deadline = Rat.add t d;
+            remaining = Rat.zero;
+            started_at = None;
+            flush = None;
+            body_k = 0;
+            last_cpu = -1;
+            migrations = 0;
+          }
+          :: !live;
+        loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
+  let next_release () =
+    match !releases with [] -> None | inv :: _ -> Some inv.Fppn.Semantics.time
+  in
+  let start lj =
+    lj.started_at <- Some !now;
+    let inst = Netstate.instance state lj.proc in
+    lj.body_k <- Fppn.Instance.job_count inst + 1;
+    lj.flush <-
+      Some
+        (Netstate.run_job_deferred ~inputs:config.inputs state ~proc:lj.proc
+           ~now:lj.released_at);
+    lj.remaining <- duration_of lj
+  in
+  let complete lj =
+    (match lj.flush with Some f -> f () | None -> ());
+    let r =
+      {
+        process = Process.name (Network.process net lj.proc);
+        k = lj.body_k;
+        released = lj.released_at;
+        started = (match lj.started_at with Some s -> s | None -> !now);
+        finished = !now;
+        deadline = lj.abs_deadline;
+        migrations = lj.migrations;
+      }
+    in
+    if Rat.(r.finished > r.deadline) then incr misses;
+    records := r :: !records;
+    live := List.filter (fun j -> j != lj) !live
+  in
+  let rec loop () =
+    let running =
+      (* the M earliest-deadline jobs run; start their bodies on first
+         dispatch, count migrations on processor changes *)
+      let sorted = List.stable_sort cmp_edf !live in
+      let rec take n cpu = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | lj :: rest ->
+          if lj.started_at = None then start lj;
+          if lj.last_cpu >= 0 && lj.last_cpu <> cpu then
+            lj.migrations <- lj.migrations + 1;
+          lj.last_cpu <- cpu;
+          lj :: take (n - 1) (cpu + 1) rest
+      in
+      take config.n_procs 0 sorted
+    in
+    match (running, next_release ()) with
+    | [], None -> ()
+    | [], Some t ->
+      now := Rat.max !now t;
+      release_at t;
+      loop ()
+    | _ :: _, next ->
+      (* advance to the earliest completion among running, or the next
+         release, whichever comes first *)
+      let earliest_completion =
+        List.fold_left
+          (fun acc lj ->
+            let f = Rat.add !now lj.remaining in
+            match acc with None -> Some f | Some b -> Some (Rat.min b f))
+          None running
+      in
+      let completion = Option.get earliest_completion in
+      let target =
+        match next with
+        | Some t when Rat.(t < completion) -> `Release t
+        | _ -> `Completion completion
+      in
+      let upto = match target with `Release t -> t | `Completion t -> t in
+      let elapsed = Rat.sub upto !now in
+      List.iter (fun lj -> lj.remaining <- Rat.sub lj.remaining elapsed) running;
+      now := upto;
+      (match target with
+      | `Release t -> release_at t
+      | `Completion _ ->
+        List.iter (fun lj -> if Rat.sign lj.remaining <= 0 then complete lj) running);
+      loop ()
+  in
+  loop ();
+  {
+    records = List.rev !records;
+    channel_history = Netstate.channel_history state;
+    output_history = Netstate.output_history state;
+    misses = !misses;
+  }
+
+let signature r =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (r.channel_history @ r.output_history)

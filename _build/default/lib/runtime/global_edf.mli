@@ -1,0 +1,51 @@
+(** Global preemptive EDF — the determinism counter-example.
+
+    This baseline schedules the same job releases as the FPPN runtime on
+    [M] identical processors with global earliest-deadline-first
+    dispatching, but {e without} the functional-priority/precedence
+    machinery: jobs read their inputs when first dispatched and publish
+    their outputs at completion, in whatever order EDF happens to
+    produce.
+
+    On one processor with aligned priorities this coincides with the
+    classical deterministic setting; on multiple processors the
+    interleaving — and therefore the data — depends on execution times.
+    Experiment E8 in [bench/main.ml] shows its channel histories
+    changing across jitter seeds while the FPPN runtime's stay fixed,
+    which is the paper's core motivation (Sec. I). *)
+
+type config = {
+  exec : Exec_time.t;
+  wcet : Taskgraph.Derive.wcet_map;
+  horizon : Rt_util.Rat.t;
+  n_procs : int;
+  sporadic : (string * Rt_util.Rat.t list) list;
+  inputs : Fppn.Netstate.input_feed;
+}
+
+val default_config :
+  wcet:Taskgraph.Derive.wcet_map ->
+  horizon:Rt_util.Rat.t ->
+  n_procs:int ->
+  config
+
+type record = {
+  process : string;
+  k : int;
+  released : Rt_util.Rat.t;
+  started : Rt_util.Rat.t;
+  finished : Rt_util.Rat.t;
+  deadline : Rt_util.Rat.t;
+  migrations : int;  (** processor changes after first dispatch *)
+}
+
+type result = {
+  records : record list;
+  channel_history : (string * Fppn.Value.t list) list;
+  output_history : (string * Fppn.Value.t list) list;
+  misses : int;
+}
+
+val run : Fppn.Network.t -> config -> result
+
+val signature : result -> (string * Fppn.Value.t list) list

@@ -1,0 +1,47 @@
+(** End-to-end latency analysis.
+
+    The paper's introduction motivates FPPN with end-to-end timing:
+    "Without deterministic communication it is impossible to define and
+    guarantee end-to-end timing constraints."  Because the task graph
+    fixes which source job each sink job observes, end-to-end latencies
+    are well defined per job — this module extracts them from an
+    execution trace.
+
+    For a {e source} process [src] and a {e sink} process [snk], every
+    executed sink job [snk\[k\]] is matched with its source-ancestor jobs
+    in the task graph (same frame; jobs with a precedence path to the
+    sink job):
+
+    - {e reaction time}: [finish(snk job) − invocation(latest source
+      ancestor)] — how stale the freshest contributing input is when the
+      output appears;
+    - {e data age}: [finish(snk job) − invocation(earliest source
+      ancestor)] — the age of the oldest input still influencing the
+      output.
+
+    Sink jobs with no source ancestor in their frame (e.g. the sink runs
+    before the source's first job) are skipped. *)
+
+type sample = {
+  sink_label : string;
+  frame : int;
+  reaction : Rt_util.Rat.t;
+  age : Rt_util.Rat.t;
+}
+
+type t = {
+  source : string;
+  sink : string;
+  samples : sample list;  (** in sink-completion order *)
+  max_reaction : Rt_util.Rat.t;
+  mean_reaction_ms : float;
+  max_age : Rt_util.Rat.t;
+}
+
+val analyse :
+  Taskgraph.Graph.t -> source:string -> sink:string -> Exec_trace.t -> t
+(** @raise Invalid_argument if no precedence path connects the two
+    processes in the task graph (the pair has no defined end-to-end
+    constraint), or if either name has no jobs. *)
+
+val pp : Format.formatter -> t -> unit

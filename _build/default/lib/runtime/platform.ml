@@ -1,0 +1,31 @@
+module Rat = Rt_util.Rat
+
+type overhead = {
+  first_frame : Rat.t;
+  steady_frame : Rat.t;
+  per_access : Rat.t;
+}
+
+let no_overhead =
+  { first_frame = Rat.zero; steady_frame = Rat.zero; per_access = Rat.zero }
+
+let mppa_like =
+  {
+    first_frame = Rat.of_int 41;
+    steady_frame = Rat.of_int 20;
+    per_access = Rat.zero;
+  }
+
+type t = { n_procs : int; overhead : overhead }
+
+let create ?(overhead = no_overhead) ~n_procs () =
+  if n_procs <= 0 then invalid_arg "Platform.create: n_procs must be positive";
+  if
+    Rat.sign overhead.first_frame < 0
+    || Rat.sign overhead.steady_frame < 0
+    || Rat.sign overhead.per_access < 0
+  then invalid_arg "Platform.create: negative overhead";
+  { n_procs; overhead }
+
+let frame_overhead t ~frame =
+  if frame = 0 then t.overhead.first_frame else t.overhead.steady_frame

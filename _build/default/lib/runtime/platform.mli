@@ -1,0 +1,31 @@
+(** Execution platform model: processor count and runtime overheads.
+
+    The paper's measurements on the Kalray MPPA (Sec. V-A) show the
+    runtime environment costs a fixed overhead at the beginning of each
+    frame (41 ms for the first frame — cold caches — and 20 ms for the
+    subsequent ones, spent managing the arrival of the frame's jobs)
+    plus a per-request cost for read/write synchronisation.  We model
+    exactly those three parameters. *)
+
+type overhead = {
+  first_frame : Rt_util.Rat.t;
+      (** delay before any job of frame 0 may start *)
+  steady_frame : Rt_util.Rat.t;
+      (** same for every subsequent frame *)
+  per_access : Rt_util.Rat.t;
+      (** added to a job's execution time per channel read/write *)
+}
+
+val no_overhead : overhead
+
+val mppa_like : overhead
+(** The Sec. V-A measurements: 41 ms / 20 ms / 0. *)
+
+type t = { n_procs : int; overhead : overhead }
+
+val create : ?overhead:overhead -> n_procs:int -> unit -> t
+(** Defaults to {!no_overhead}.
+    @raise Invalid_argument if [n_procs <= 0] or any overhead is
+    negative. *)
+
+val frame_overhead : t -> frame:int -> Rt_util.Rat.t

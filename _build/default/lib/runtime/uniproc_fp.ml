@@ -1,0 +1,236 @@
+module Rat = Rt_util.Rat
+module Pqueue = Rt_util.Pqueue
+module Network = Fppn.Network
+module Process = Fppn.Process
+module Netstate = Fppn.Netstate
+
+type priority_assignment =
+  | Rate_monotonic
+  | Explicit of (string * int) list
+
+type config = {
+  exec : Exec_time.t;
+  wcet : Taskgraph.Derive.wcet_map;
+  horizon : Rat.t;
+  sporadic : (string * Rat.t list) list;
+  inputs : Netstate.input_feed;
+  priorities : priority_assignment;
+}
+
+let default_config ~wcet ~horizon =
+  {
+    exec = Exec_time.constant;
+    wcet;
+    horizon;
+    sporadic = [];
+    inputs = Netstate.no_inputs;
+    priorities = Rate_monotonic;
+  }
+
+type record = {
+  process : string;
+  k : int;
+  released : Rat.t;
+  started : Rat.t;
+  finished : Rat.t;
+  deadline : Rat.t;
+  preemptions : int;
+}
+
+type result = {
+  records : record list;
+  channel_history : (string * Fppn.Value.t list) list;
+  output_history : (string * Fppn.Value.t list) list;
+  misses : int;
+  max_response : Rat.t;
+}
+
+type live_job = {
+  proc : int;
+  prio : int;
+  released_at : Rat.t;
+  seq : int;
+  mutable remaining : Rat.t;
+  mutable started_at : Rat.t option;
+  mutable flush : (unit -> unit) option; (* deferred writes, set at start *)
+  mutable body_k : int;
+  mutable preempted : int;
+}
+
+let priorities_of net = function
+  | Explicit assoc ->
+    fun p ->
+      let name = Process.name (Network.process net p) in
+      (match List.assoc_opt name assoc with Some n -> n | None -> max_int)
+  | Rate_monotonic ->
+    let n = Network.n_processes net in
+    let ids = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        let pa = Network.process net a and pb = Network.process net b in
+        let c = Rat.compare (Process.period pa) (Process.period pb) in
+        if c <> 0 then c
+        else
+          let c = Int.compare (Network.fp_rank net a) (Network.fp_rank net b) in
+          if c <> 0 then c
+          else String.compare (Process.name pa) (Process.name pb))
+      ids;
+    let prio = Array.make n 0 in
+    Array.iteri (fun rank p -> prio.(p) <- rank) ids;
+    fun p -> prio.(p)
+
+let run net config =
+  if Rat.sign config.horizon <= 0 then
+    invalid_arg "Uniproc_fp.run: horizon must be positive";
+  let prio_of = priorities_of net config.priorities in
+  (* releases over the horizon, produced by the same generator semantics
+     as the zero-delay interpreter *)
+  let releases =
+    ref
+      (Fppn.Semantics.invocations ~sporadic:config.sporadic
+         ~horizon:config.horizon net)
+  in
+  let state = Netstate.create net in
+  let cmp_ready (a : live_job) (b : live_job) =
+    let c = Int.compare a.prio b.prio in
+    if c <> 0 then c
+    else
+      let c = Rat.compare a.released_at b.released_at in
+      if c <> 0 then c else Int.compare a.seq b.seq
+  in
+  let ready = Pqueue.create ~cmp:cmp_ready in
+  let seq = ref 0 in
+  let records = ref [] in
+  let duration_of lj =
+    (* a synthetic job descriptor carries the process WCET to the model *)
+    let proc = Network.process net lj.proc in
+    let name = Process.name proc in
+    let job =
+      {
+        Taskgraph.Job.id = 0;
+        proc = lj.proc;
+        proc_name = name;
+        k = lj.body_k;
+        arrival = lj.released_at;
+        deadline = Rat.add lj.released_at (Process.deadline proc);
+        wcet = config.wcet name;
+        is_server = Process.is_sporadic proc;
+      }
+    in
+    Exec_time.sample config.exec job
+  in
+  let now = ref Rat.zero in
+  let current : live_job option ref = ref None in
+  let misses = ref 0 in
+  let max_response = ref Rat.zero in
+  let release_at t =
+    (* move all releases with stamp = t into the ready queue *)
+    let rec loop () =
+      match !releases with
+      | inv :: rest when Rat.equal inv.Fppn.Semantics.time t ->
+        releases := rest;
+        incr seq;
+        Pqueue.push ready
+          {
+            proc = inv.Fppn.Semantics.process;
+            prio = prio_of inv.Fppn.Semantics.process;
+            released_at = t;
+            seq = !seq;
+            remaining = Rat.zero;
+            started_at = None;
+            flush = None;
+            body_k = 0;
+            preempted = 0;
+          };
+        loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
+  let next_release_time () =
+    match !releases with [] -> None | inv :: _ -> Some inv.Fppn.Semantics.time
+  in
+  let complete lj =
+    (match lj.flush with Some f -> f () | None -> ());
+    let proc = Network.process net lj.proc in
+    let deadline = Rat.add lj.released_at (Process.deadline proc) in
+    let r =
+      {
+        process = Process.name proc;
+        k = lj.body_k;
+        released = lj.released_at;
+        started = (match lj.started_at with Some s -> s | None -> !now);
+        finished = !now;
+        deadline;
+        preemptions = lj.preempted;
+      }
+    in
+    records := r :: !records;
+    if Rat.(r.finished > deadline) then incr misses;
+    max_response := Rat.max !max_response (Rat.sub r.finished r.released)
+  in
+  let start lj =
+    lj.started_at <- Some !now;
+    (* body runs now: reads observe current state, writes are deferred
+       to completion *)
+    let inst = Netstate.instance state lj.proc in
+    lj.body_k <- Fppn.Instance.job_count inst + 1;
+    lj.flush <-
+      Some
+        (Netstate.run_job_deferred ~inputs:config.inputs state ~proc:lj.proc
+           ~now:lj.released_at)
+  in
+  (* main preemptive loop *)
+  let rec loop () =
+    match (!current, Pqueue.peek ready, next_release_time ()) with
+    | None, None, None -> ()
+    | None, None, Some t ->
+      now := Rat.max !now t;
+      release_at t;
+      loop ()
+    | None, Some _, _ ->
+      let lj = Pqueue.pop_exn ready in
+      if lj.started_at = None then begin
+        start lj;
+        lj.remaining <- duration_of lj
+      end;
+      current := Some lj;
+      loop ()
+    | Some lj, _, next ->
+      let finish_at = Rat.add !now lj.remaining in
+      let preempt_at =
+        match next with
+        | Some t when Rat.(t < finish_at) -> Some t
+        | _ -> None
+      in
+      (match preempt_at with
+      | Some t ->
+        lj.remaining <- Rat.sub lj.remaining (Rat.sub t !now);
+        now := t;
+        release_at t;
+        (* preempt if a higher-priority job is now ready *)
+        (match Pqueue.peek ready with
+        | Some top when cmp_ready top lj < 0 ->
+          lj.preempted <- lj.preempted + 1;
+          Pqueue.push ready lj;
+          current := None
+        | _ -> ())
+      | None ->
+        now := finish_at;
+        complete lj;
+        current := None);
+      loop ()
+  in
+  loop ();
+  {
+    records = List.rev !records;
+    channel_history = Netstate.channel_history state;
+    output_history = Netstate.output_history state;
+    misses = !misses;
+    max_response = !max_response;
+  }
+
+let signature r =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (r.channel_history @ r.output_history)

@@ -1,0 +1,59 @@
+(** Preemptive fixed-priority uniprocessor scheduling — the classical
+    setting whose determinism FPPN generalizes (Sec. I, Sec. V-B).
+
+    The FMS case study's "original uniprocessor prototype" scheduled
+    processes rate-monotonically; because the network's functional
+    priorities were aligned with the scheduling priorities, the FPPN
+    implementation is functionally equivalent to it, "which we verified
+    by testing".  This module is that baseline: jobs are released by the
+    same event generators, dispatched preemptively by fixed priority,
+    and their bodies run against the same network state.
+
+    Data-access model: a job reads its inputs when it first gets the
+    processor and its output writes are published at completion (writes
+    are buffered in between) — the standard implicit-communication model
+    of the cited scheduling work. *)
+
+type priority_assignment =
+  | Rate_monotonic
+      (** ascending period; ties broken by functional-priority rank,
+          then by name — deterministic *)
+  | Explicit of (string * int) list
+      (** smaller number = higher priority; unlisted processes get the
+          lowest priority *)
+
+type config = {
+  exec : Exec_time.t;
+  wcet : Taskgraph.Derive.wcet_map;
+      (** per-process execution budget handed to the [exec] model *)
+  horizon : Rt_util.Rat.t;
+  sporadic : (string * Rt_util.Rat.t list) list;
+  inputs : Fppn.Netstate.input_feed;
+  priorities : priority_assignment;
+}
+
+val default_config :
+  wcet:Taskgraph.Derive.wcet_map -> horizon:Rt_util.Rat.t -> config
+
+type record = {
+  process : string;
+  k : int;
+  released : Rt_util.Rat.t;
+  started : Rt_util.Rat.t;
+  finished : Rt_util.Rat.t;
+  deadline : Rt_util.Rat.t;  (** released + d_p *)
+  preemptions : int;
+}
+
+type result = {
+  records : record list;  (** completion order *)
+  channel_history : (string * Fppn.Value.t list) list;
+  output_history : (string * Fppn.Value.t list) list;
+  misses : int;
+  max_response : Rt_util.Rat.t;
+}
+
+val run : Fppn.Network.t -> config -> result
+
+val signature : result -> (string * Fppn.Value.t list) list
+(** Comparable with [Fppn.Semantics.signature] and [Engine.signature]. *)

@@ -1,0 +1,1 @@
+lib/sched/dimension.ml: Format List List_scheduler Priority Rt_util Taskgraph

@@ -1,0 +1,1 @@
+lib/sched/dimension.mli: Format List_scheduler Priority Taskgraph

@@ -1,0 +1,1 @@
+lib/sched/exact.ml: Array List Option Rt_util Static_schedule Taskgraph

@@ -1,0 +1,1 @@
+lib/sched/exact.mli: Rt_util Static_schedule Taskgraph

@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.ml: Array Int List Priority Rt_util Static_schedule Taskgraph

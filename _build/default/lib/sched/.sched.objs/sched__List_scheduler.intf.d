@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.mli: Priority Rt_util Static_schedule Taskgraph

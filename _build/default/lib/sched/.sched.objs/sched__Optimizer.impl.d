@@ -1,0 +1,1 @@
+lib/sched/optimizer.ml: Array List List_scheduler Priority Rt_util Static_schedule Taskgraph

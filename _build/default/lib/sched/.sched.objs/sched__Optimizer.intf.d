@@ -1,0 +1,1 @@
+lib/sched/optimizer.mli: Priority Rt_util Static_schedule Taskgraph

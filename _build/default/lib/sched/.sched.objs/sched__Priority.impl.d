@@ -1,0 +1,1 @@
+lib/sched/priority.ml: Array Format Fun Int List Rt_util String Taskgraph

@@ -1,0 +1,1 @@
+lib/sched/rta.ml: Array Format Fppn Fun Int List Rt_util String

@@ -1,0 +1,1 @@
+lib/sched/rta.mli: Format Fppn Rt_util Taskgraph

@@ -1,0 +1,1 @@
+lib/sched/schedule_io.ml: Array Buffer Fun List Printf Rt_util Static_schedule String Taskgraph

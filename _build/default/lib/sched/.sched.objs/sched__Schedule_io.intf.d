@@ -1,0 +1,1 @@
+lib/sched/schedule_io.mli: Static_schedule Taskgraph

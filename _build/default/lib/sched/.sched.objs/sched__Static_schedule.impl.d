@@ -1,0 +1,1 @@
+lib/sched/static_schedule.ml: Array Format Fun Int List Printf Rt_util Taskgraph

@@ -1,0 +1,1 @@
+lib/sched/static_schedule.mli: Format Rt_util Taskgraph

@@ -1,0 +1,119 @@
+module Rat = Rt_util.Rat
+module Graph = Taskgraph.Graph
+module Job = Taskgraph.Job
+
+type result = {
+  schedule : Static_schedule.t option;
+  makespan : Rat.t option;
+  optimal : bool;
+  nodes : int;
+}
+
+let solve ?(node_budget = 2_000_000) ~n_procs g =
+  let n = Graph.n_jobs g in
+  if n_procs <= 0 then invalid_arg "Exact.solve: no processors";
+  let jobs = Graph.jobs g in
+  (* remaining critical-path length from each job (b-level): lower bound *)
+  let b_level = Taskgraph.Analysis.b_level g in
+  let total_work = Graph.total_wcet g in
+  let best_makespan = ref None in
+  let best_entries = ref None in
+  let nodes = ref 0 in
+  let exhausted = ref true in
+  (* search state (mutated along the DFS, restored on backtrack) *)
+  let entries = Array.make n { Static_schedule.proc = 0; start = Rat.zero } in
+  let finish = Array.make n Rat.zero in
+  let scheduled = Array.make n false in
+  let missing = Array.init n (fun i -> List.length (Graph.preds g i)) in
+  let proc_free = Array.make n_procs Rat.zero in
+  let beats_best candidate =
+    match !best_makespan with None -> true | Some b -> Rat.(candidate < b)
+  in
+  let rec dfs n_done current_makespan remaining_work =
+    if !nodes >= node_budget then exhausted := false
+    else begin
+    incr nodes;
+    if n_done = n then begin
+      if beats_best current_makespan then begin
+        best_makespan := Some current_makespan;
+        best_entries := Some (Array.copy entries)
+      end
+    end
+    else begin
+      (* lower bounds: remaining work spread over all machines, and the
+         deepest remaining chain from any ready-or-future job *)
+      let earliest_free =
+        Array.fold_left Rat.min proc_free.(0) proc_free
+      in
+      let work_bound =
+        Rat.add earliest_free (Rat.div remaining_work (Rat.of_int n_procs))
+      in
+      let path_bound =
+        let bound = ref Rat.zero in
+        for i = 0 to n - 1 do
+          if not scheduled.(i) then
+            bound := Rat.max !bound (Rat.add jobs.(i).Job.arrival b_level.(i))
+        done;
+        !bound
+      in
+      let lower = Rat.max current_makespan (Rat.max work_bound path_bound) in
+      if beats_best lower then begin
+        (* branch over every ready job × distinct processor free times *)
+        for i = 0 to n - 1 do
+          if (not scheduled.(i)) && missing.(i) = 0 then begin
+            let ready_data =
+              List.fold_left
+                (fun acc p -> Rat.max acc finish.(p))
+                jobs.(i).Job.arrival (Graph.preds g i)
+            in
+            (* symmetry breaking: among identical machines only distinct
+               free times matter; pick the first processor per time *)
+            let seen_times = ref [] in
+            for p = 0 to n_procs - 1 do
+              if not (List.exists (Rat.equal proc_free.(p)) !seen_times) then begin
+                seen_times := proc_free.(p) :: !seen_times;
+                let start = Rat.max ready_data proc_free.(p) in
+                let e = Rat.add start jobs.(i).Job.wcet in
+                (* prune deadline misses immediately *)
+                if Rat.(e <= jobs.(i).Job.deadline) then begin
+                  let saved_free = proc_free.(p) in
+                  entries.(i) <- { Static_schedule.proc = p; start };
+                  finish.(i) <- e;
+                  scheduled.(i) <- true;
+                  proc_free.(p) <- e;
+                  List.iter
+                    (fun s -> missing.(s) <- missing.(s) - 1)
+                    (Graph.succs g i);
+                  dfs (n_done + 1) (Rat.max current_makespan e)
+                    (Rat.sub remaining_work jobs.(i).Job.wcet);
+                  List.iter
+                    (fun s -> missing.(s) <- missing.(s) + 1)
+                    (Graph.succs g i);
+                  proc_free.(p) <- saved_free;
+                  scheduled.(i) <- false
+                end
+              end
+            done
+          end
+        done
+      end
+    end
+    end
+  in
+  if n > 0 then dfs 0 Rat.zero total_work;
+  {
+    schedule =
+      Option.map (fun e -> Static_schedule.make ~n_procs e) !best_entries;
+    makespan = !best_makespan;
+    optimal = !exhausted;
+    nodes = !nodes;
+  }
+
+let optimality_gap ?node_budget ~n_procs ~heuristic_makespan g =
+  let r = solve ?node_budget ~n_procs g in
+  match (r.makespan, r.optimal) with
+  | Some opt, true ->
+    Some
+      ((Rat.to_float heuristic_makespan -. Rat.to_float opt)
+      /. Rat.to_float opt)
+  | _ -> None

@@ -1,0 +1,37 @@
+(** Exact scheduling for small task graphs, by branch and bound.
+
+    Footnote 5 of the paper contrasts scalable list scheduling with
+    "less-scalable methods based on constraint solving and model
+    checking".  This module is that alternative, sized for ablations:
+    it enumerates semi-active schedules (every job starts at its
+    arrival, at a predecessor's completion, or at its processor's
+    previous completion — a dominant set for makespan) with
+    lower-bound pruning and identical-machine symmetry breaking.
+
+    Intended for graphs of ~a dozen jobs; the [node_budget] caps the
+    search so the call always terminates, reporting whether optimality
+    was proved. *)
+
+type result = {
+  schedule : Static_schedule.t option;
+      (** a makespan-minimal feasible schedule, if any deadline-feasible
+          schedule was found *)
+  makespan : Rt_util.Rat.t option;
+  optimal : bool;
+      (** true iff the search space was exhausted within the budget *)
+  nodes : int;  (** search nodes explored *)
+}
+
+val solve :
+  ?node_budget:int -> n_procs:int -> Taskgraph.Graph.t -> result
+(** Default budget: 2_000_000 nodes.  Deadline-infeasible branches are
+    pruned, so [schedule = None && optimal = true] proves that no
+    feasible schedule exists on [n_procs] processors. *)
+
+val optimality_gap :
+  ?node_budget:int ->
+  n_procs:int ->
+  heuristic_makespan:Rt_util.Rat.t ->
+  Taskgraph.Graph.t ->
+  float option
+(** [(heuristic − optimal) / optimal], when the optimum was proved. *)

@@ -1,0 +1,121 @@
+module Rat = Rt_util.Rat
+module Pqueue = Rt_util.Pqueue
+module Graph = Taskgraph.Graph
+module Job = Taskgraph.Job
+
+let schedule ~rank ~n_procs g =
+  let n = Graph.n_jobs g in
+  if Array.length rank <> n then
+    invalid_arg "List_scheduler.schedule: rank array size mismatch";
+  if n_procs <= 0 then invalid_arg "List_scheduler.schedule: no processors";
+  let entries =
+    Array.make n { Static_schedule.proc = 0; start = Rat.zero }
+  in
+  let started = Array.make n false in
+  let finish_time = Array.make n Rat.zero in
+  let missing_preds = Array.init n (fun i -> List.length (Graph.preds g i)) in
+  let proc_free = Array.make n_procs Rat.zero in
+  (* ready queue ordered by schedule priority *)
+  let ready = Pqueue.create ~cmp:(fun a b -> Int.compare rank.(a) rank.(b)) in
+  (* future wake-up times: arrivals of jobs whose predecessors are done,
+     and completions that release successors or processors *)
+  let events = Pqueue.create ~cmp:Rat.compare in
+  let pending_arrival = Array.make n false in
+  let release now i =
+    (* all predecessors done; becomes ready at max(now, A_i) *)
+    let j = Graph.job g i in
+    if Rat.(j.Job.arrival <= now) then Pqueue.push ready i
+    else if not pending_arrival.(i) then begin
+      pending_arrival.(i) <- true;
+      Pqueue.push events j.Job.arrival
+    end
+  in
+  Array.iteri
+    (fun i _ -> if missing_preds.(i) = 0 then release Rat.zero i)
+    entries;
+  (* also re-check arrival-released jobs at each event time *)
+  let scheduled_count = ref 0 in
+  let rec dispatch now =
+    (* move arrival-pending jobs whose time has come *)
+    for i = 0 to n - 1 do
+      if
+        pending_arrival.(i)
+        && Rat.((Graph.job g i).Job.arrival <= now)
+      then begin
+        pending_arrival.(i) <- false;
+        Pqueue.push ready i
+      end
+    done;
+    (* find a free processor: smallest free time <= now, lowest index *)
+    let free = ref (-1) in
+    for p = n_procs - 1 downto 0 do
+      if Rat.(proc_free.(p) <= now) then free := p
+    done;
+    if !free >= 0 then
+      match Pqueue.pop ready with
+      | None -> ()
+      | Some i ->
+        let p = !free in
+        entries.(i) <- { Static_schedule.proc = p; start = now };
+        started.(i) <- true;
+        incr scheduled_count;
+        let e = Rat.add now (Graph.job g i).Job.wcet in
+        finish_time.(i) <- e;
+        proc_free.(p) <- e;
+        Pqueue.push events e;
+        dispatch now
+  in
+  dispatch Rat.zero;
+  let completed_up_to = ref Rat.zero in
+  let complete_jobs now =
+    (* successors of jobs finishing at or before [now] become eligible *)
+    for i = 0 to n - 1 do
+      if
+        started.(i)
+        && Rat.(finish_time.(i) <= now)
+        && Rat.(finish_time.(i) > !completed_up_to)
+      then
+        List.iter
+          (fun s ->
+            missing_preds.(s) <- missing_preds.(s) - 1;
+            if missing_preds.(s) = 0 then release now s)
+          (Graph.succs g i)
+    done;
+    completed_up_to := Rat.max !completed_up_to now
+  in
+  let rec run () =
+    match Pqueue.pop events with
+    | None -> ()
+    | Some t ->
+      complete_jobs t;
+      dispatch t;
+      run ()
+  in
+  run ();
+  assert (!scheduled_count = n || n = 0);
+  Static_schedule.make ~n_procs entries
+
+let schedule_with ~heuristic ~n_procs g =
+  schedule ~rank:(Priority.rank g heuristic) ~n_procs g
+
+type attempt = {
+  heuristic : Priority.heuristic;
+  schedule : Static_schedule.t;
+  feasible : bool;
+  makespan : Rat.t;
+}
+
+let auto ?(heuristics = Priority.all) ~n_procs g =
+  let attempts =
+    List.map
+      (fun heuristic ->
+        let s = schedule_with ~heuristic ~n_procs g in
+        {
+          heuristic;
+          schedule = s;
+          feasible = Static_schedule.is_feasible g s;
+          makespan = Static_schedule.makespan g s;
+        })
+      heuristics
+  in
+  (attempts, List.find_opt (fun a -> a.feasible) attempts)

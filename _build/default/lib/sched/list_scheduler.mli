@@ -1,0 +1,40 @@
+(** Non-preemptive list scheduling on [M] identical processors
+    (Sec. III-B).
+
+    A job is {e ready} at time [t] when it has arrived ([A_i <= t]) and
+    all task-graph predecessors have completed ([∀j ∈ Pred(i), e_j <= t]).
+    The scheduler simulates fixed-priority dispatch under the given
+    schedule priority [SP]: whenever a processor is idle, the
+    highest-priority ready job starts on it. *)
+
+val schedule :
+  rank:int array -> n_procs:int -> Taskgraph.Graph.t -> Static_schedule.t
+(** [rank] from {!Priority.rank} (lower = higher priority).
+    The result maps and starts every job; it satisfies arrival,
+    precedence and mutual exclusion by construction — only deadlines can
+    be violated, which {!Static_schedule.check} reports.
+    @raise Invalid_argument on a rank array of the wrong length or
+    [n_procs <= 0]. *)
+
+val schedule_with :
+  heuristic:Priority.heuristic ->
+  n_procs:int ->
+  Taskgraph.Graph.t ->
+  Static_schedule.t
+(** Convenience composition of {!Priority.rank} and {!schedule}. *)
+
+type attempt = {
+  heuristic : Priority.heuristic;
+  schedule : Static_schedule.t;
+  feasible : bool;
+  makespan : Rt_util.Rat.t;
+}
+
+val auto :
+  ?heuristics:Priority.heuristic list ->
+  n_procs:int ->
+  Taskgraph.Graph.t ->
+  attempt list * attempt option
+(** Tries every heuristic (default {!Priority.all}) and returns all
+    attempts plus the chosen one: the first feasible schedule, by
+    heuristic order; [None] if none is feasible. *)

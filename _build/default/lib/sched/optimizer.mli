@@ -1,0 +1,32 @@
+(** Stochastic improvement of the schedule priority [SP].
+
+    Sec. III-B: "If the obtained static schedule satisfies the job
+    deadlines then it is feasible, otherwise the selected schedule
+    priority may be sub-optimal.  Different heuristics exist for
+    optimizing priority order SP [8]."  This module implements the
+    search side of that remark: starting from a heuristic's priority
+    order, it repeatedly swaps ranks of random job pairs and keeps a
+    swap when it improves the objective — first feasibility (fewer
+    deadline misses in the static schedule), then makespan.
+
+    Deterministic in the seed. *)
+
+type outcome = {
+  rank : int array;  (** the best priority ranks found *)
+  schedule : Static_schedule.t;
+  feasible : bool;
+  makespan : Rt_util.Rat.t;
+  iterations : int;  (** swap attempts actually evaluated *)
+  improvements : int;  (** accepted swaps *)
+}
+
+val improve :
+  ?seed:int ->
+  ?iterations:int ->
+  ?start:Priority.heuristic ->
+  n_procs:int ->
+  Taskgraph.Graph.t ->
+  outcome
+(** Defaults: seed 1, 400 iterations, starting from {!Priority.Alap_edf}.
+    The result is never worse than the starting heuristic's schedule
+    under the (missed deadlines, makespan) lexicographic objective. *)

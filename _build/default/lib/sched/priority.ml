@@ -1,0 +1,57 @@
+module Rat = Rt_util.Rat
+module Graph = Taskgraph.Graph
+module Job = Taskgraph.Job
+module Analysis = Taskgraph.Analysis
+
+type heuristic =
+  | Alap_edf
+  | B_level
+  | Deadline_monotonic
+  | Edf_nominal
+  | Fifo_arrival
+
+let all = [ Alap_edf; B_level; Deadline_monotonic; Edf_nominal; Fifo_arrival ]
+
+let to_string = function
+  | Alap_edf -> "alap-edf"
+  | B_level -> "b-level"
+  | Deadline_monotonic -> "deadline-monotonic"
+  | Edf_nominal -> "edf"
+  | Fifo_arrival -> "fifo"
+
+let of_string s =
+  List.find_opt (fun h -> to_string h = String.lowercase_ascii s) all
+
+let pp ppf h = Format.pp_print_string ppf (to_string h)
+
+let order g h =
+  let n = Graph.n_jobs g in
+  let key : int -> Rat.t =
+    match h with
+    | Alap_edf ->
+      let times = Analysis.asap_alap g in
+      fun i -> times.Analysis.alap.(i)
+    | B_level ->
+      let bl = Analysis.b_level g in
+      fun i -> Rat.neg bl.(i)
+    | Deadline_monotonic ->
+      fun i ->
+        let j = Graph.job g i in
+        Rat.sub j.Job.deadline j.Job.arrival
+    | Edf_nominal -> fun i -> (Graph.job g i).Job.deadline
+    | Fifo_arrival -> fun i -> (Graph.job g i).Job.arrival
+  in
+  let keys = Array.init n key in
+  let ids = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Rat.compare keys.(a) keys.(b) in
+      if c <> 0 then c else Int.compare a b)
+    ids;
+  ids
+
+let rank g h =
+  let ids = order g h in
+  let r = Array.make (Array.length ids) 0 in
+  Array.iteri (fun pos id -> r.(id) <- pos) ids;
+  r

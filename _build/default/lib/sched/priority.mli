@@ -1,0 +1,30 @@
+(** Schedule-priority ([SP]) heuristics for list scheduling
+    (Sec. III-B).
+
+    [SP] is a total order on jobs — earlier means higher priority.  It
+    must not be confused with the functional priority [FP], which
+    defines the precedence edges; [SP] only steers the list scheduler's
+    choices. *)
+
+type heuristic =
+  | Alap_edf
+      (** EDF adjusted for precedences: ascending ALAP completion time
+          [D'_i] — the paper's primary recommendation *)
+  | B_level  (** descending longest-path-to-sink (classic list scheduling) *)
+  | Deadline_monotonic  (** ascending relative deadline [D_i − A_i] *)
+  | Edf_nominal  (** ascending nominal absolute deadline [D_i] *)
+  | Fifo_arrival  (** ascending arrival time [A_i] *)
+
+val all : heuristic list
+val to_string : heuristic -> string
+val of_string : string -> heuristic option
+val pp : Format.formatter -> heuristic -> unit
+
+val rank : Taskgraph.Graph.t -> heuristic -> int array
+(** [rank.(job) = position] in the priority order: 0 is the highest
+    priority.  All heuristics break ties by job id, so the order is
+    total and deterministic. *)
+
+val order : Taskgraph.Graph.t -> heuristic -> int array
+(** Job ids sorted from highest to lowest priority (the inverse
+    permutation of {!rank}). *)

@@ -1,0 +1,86 @@
+module Rat = Rt_util.Rat
+module Network = Fppn.Network
+module Process = Fppn.Process
+
+type entry = {
+  process : string;
+  priority : int;
+  response : Rat.t option;
+  deadline : Rat.t;
+}
+
+let rm_priorities net =
+  let n = Network.n_processes net in
+  let ids = List.init n Fun.id in
+  let sorted =
+    List.sort
+      (fun a b ->
+        let pa = Network.process net a and pb = Network.process net b in
+        let c = Rat.compare (Process.period pa) (Process.period pb) in
+        if c <> 0 then c
+        else
+          let c = Int.compare (Network.fp_rank net a) (Network.fp_rank net b) in
+          if c <> 0 then c
+          else String.compare (Process.name pa) (Process.name pb))
+      ids
+  in
+  List.mapi (fun prio p -> (Process.name (Network.process net p), prio)) sorted
+
+let analyse ?priorities ~wcet net =
+  let prio_assoc =
+    match priorities with Some l -> l | None -> rm_priorities net
+  in
+  let prio_of name =
+    match List.assoc_opt name prio_assoc with Some p -> p | None -> max_int
+  in
+  let procs =
+    List.sort
+      (fun a b -> Int.compare (prio_of (Process.name a)) (prio_of (Process.name b)))
+      (Array.to_list (Network.processes net))
+  in
+  List.map
+    (fun proc ->
+      let name = Process.name proc in
+      let c = wcet name in
+      let deadline = Process.deadline proc in
+      let higher =
+        List.filter
+          (fun other ->
+            prio_of (Process.name other) < prio_of name)
+          procs
+      in
+      let interference r =
+        List.fold_left
+          (fun acc j ->
+            let jobs =
+              Rat.of_int
+                (Process.burst j * Rat.ceil (Rat.div r (Process.period j)))
+            in
+            Rat.add acc (Rat.mul jobs (wcet (Process.name j))))
+          Rat.zero higher
+      in
+      (* fixpoint iteration, bounded by the deadline *)
+      let rec iterate r guard =
+        if guard = 0 then None
+        else
+          let r' = Rat.add c (interference r) in
+          if Rat.(r' > deadline) then None
+          else if Rat.equal r' r then Some r
+          else iterate r' (guard - 1)
+      in
+      { process = name; priority = prio_of name; response = iterate c 10_000; deadline })
+    procs
+
+let schedulable entries = List.for_all (fun e -> e.response <> None) entries
+
+let pp ppf entries =
+  Format.fprintf ppf "%-20s %4s %12s %12s@." "process" "prio" "response ms"
+    "deadline ms";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-20s %4d %12s %12s@." e.process e.priority
+        (match e.response with
+        | Some r -> Rat.to_string r
+        | None -> "unschedulable")
+        (Rat.to_string e.deadline))
+    entries

@@ -1,0 +1,100 @@
+module Rat = Rt_util.Rat
+module Graph = Taskgraph.Graph
+module Job = Taskgraph.Job
+
+let to_string ?graph s =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "fppn-schedule v1\n";
+  Buffer.add_string buf (Printf.sprintf "procs %d\n" (Static_schedule.n_procs s));
+  Buffer.add_string buf (Printf.sprintf "jobs %d\n" (Static_schedule.n_jobs s));
+  for i = 0 to Static_schedule.n_jobs s - 1 do
+    let label =
+      match graph with
+      | Some g -> Printf.sprintf "  # %s" (Job.label (Graph.job g i))
+      | None -> ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%d %d %s%s\n" i (Static_schedule.proc s i)
+         (Rat.to_string (Static_schedule.start s i))
+         label)
+  done;
+  Buffer.contents buf
+
+let of_string text =
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let lines =
+    List.filteri (fun _ l -> String.trim l <> "")
+      (List.map strip_comment (String.split_on_char '\n' text))
+    |> List.map String.trim
+  in
+  match lines with
+  | header :: rest when String.trim header = "fppn-schedule v1" -> (
+    let parse_kv key line =
+      match String.split_on_char ' ' line with
+      | [ k; v ] when k = key -> int_of_string_opt v
+      | _ -> None
+    in
+    match rest with
+    | procs_line :: jobs_line :: entries -> (
+      match (parse_kv "procs" procs_line, parse_kv "jobs" jobs_line) with
+      | Some n_procs, Some n_jobs -> (
+        if List.length entries <> n_jobs then
+          Error
+            (Printf.sprintf "expected %d entries, found %d" n_jobs
+               (List.length entries))
+        else
+          let table =
+            Array.make n_jobs { Static_schedule.proc = 0; start = Rat.zero }
+          in
+          let seen = Array.make n_jobs false in
+          let parse_entry line =
+            match
+              List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+            with
+            | [ id; proc; start ] -> (
+              match (int_of_string_opt id, int_of_string_opt proc) with
+              | Some id, Some proc when id >= 0 && id < n_jobs -> (
+                try
+                  table.(id) <-
+                    { Static_schedule.proc; start = Rat.of_string start };
+                  seen.(id) <- true;
+                  Ok ()
+                with Invalid_argument msg -> Error msg)
+              | _ -> Error (Printf.sprintf "bad entry %S" line))
+            | _ -> Error (Printf.sprintf "bad entry %S" line)
+          in
+          let rec parse_all = function
+            | [] -> Ok ()
+            | l :: rest -> (
+              match parse_entry l with Ok () -> parse_all rest | Error e -> Error e)
+          in
+          match parse_all entries with
+          | Error e -> Error e
+          | Ok () ->
+            if Array.for_all Fun.id seen then
+              try Ok (Static_schedule.make ~n_procs table)
+              with Invalid_argument msg -> Error msg
+            else Error "some job ids are missing")
+      | _ -> Error "malformed procs/jobs header")
+    | _ -> Error "truncated header")
+  | _ -> Error "not an fppn-schedule v1 file"
+
+let save ?graph path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?graph s))
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let matches g s = Static_schedule.n_jobs s = Graph.n_jobs g

@@ -1,0 +1,33 @@
+(** Persistence of static schedules.
+
+    The paper's compile-time algorithm "prepares a configuration for
+    the online policy"; this module is that handoff: a schedule computed
+    once can be saved, inspected and later fed to the runtime without
+    re-running the scheduler.
+
+    Format (line-oriented text, stable across versions of this library):
+    {v
+    fppn-schedule v1
+    procs 2
+    jobs 10
+    0 0 0        # <job-id> <processor> <start-time as rational>
+    1 1 25
+    ...
+    v}
+    Lines starting with [#] and blank lines are ignored; an inline [#]
+    starts a comment. *)
+
+val to_string : ?graph:Taskgraph.Graph.t -> Static_schedule.t -> string
+(** [graph], if given, adds job labels as comments. *)
+
+val of_string : string -> (Static_schedule.t, string) result
+(** Parses {!to_string} output; the error describes the offending line. *)
+
+val save : ?graph:Taskgraph.Graph.t -> string -> Static_schedule.t -> unit
+(** [save path sched]. *)
+
+val load : string -> (Static_schedule.t, string) result
+
+val matches : Taskgraph.Graph.t -> Static_schedule.t -> bool
+(** Sanity check before running a loaded schedule: covers exactly the
+    graph's jobs. *)

@@ -1,0 +1,117 @@
+module Rat = Rt_util.Rat
+module Graph = Taskgraph.Graph
+module Job = Taskgraph.Job
+
+type entry = { proc : int; start : Rat.t }
+
+type t = { n_procs : int; entries : entry array }
+
+let make ~n_procs entries =
+  if Array.length entries = 0 then
+    invalid_arg "Static_schedule.make: empty schedule";
+  if n_procs <= 0 then invalid_arg "Static_schedule.make: no processors";
+  Array.iter
+    (fun e ->
+      if e.proc < 0 || e.proc >= n_procs then
+        invalid_arg "Static_schedule.make: processor out of range";
+      if Rat.sign e.start < 0 then
+        invalid_arg "Static_schedule.make: negative start time")
+    entries;
+  { n_procs; entries }
+
+let n_procs t = t.n_procs
+let n_jobs t = Array.length t.entries
+let entry t i = t.entries.(i)
+let start t i = t.entries.(i).start
+let proc t i = t.entries.(i).proc
+
+let finish g t i = Rat.add t.entries.(i).start (Graph.job g i).Job.wcet
+
+let makespan g t =
+  let best = ref Rat.zero in
+  for i = 0 to n_jobs t - 1 do
+    best := Rat.max !best (finish g t i)
+  done;
+  !best
+
+let jobs_on t p =
+  let ids = ref [] in
+  for i = n_jobs t - 1 downto 0 do
+    if t.entries.(i).proc = p then ids := i :: !ids
+  done;
+  List.stable_sort
+    (fun a b ->
+      let c = Rat.compare t.entries.(a).start t.entries.(b).start in
+      if c <> 0 then c else Int.compare a b)
+    !ids
+
+type violation =
+  | Arrival of int
+  | Deadline of int
+  | Precedence of int * int
+  | Overlap of int * int
+
+let pp_violation g ppf =
+  let lbl i = Job.label (Graph.job g i) in
+  function
+  | Arrival i -> Format.fprintf ppf "%s starts before its arrival" (lbl i)
+  | Deadline i -> Format.fprintf ppf "%s finishes after its deadline" (lbl i)
+  | Precedence (i, j) ->
+    Format.fprintf ppf "%s must complete before %s starts" (lbl i) (lbl j)
+  | Overlap (i, j) ->
+    Format.fprintf ppf "%s and %s overlap on their shared processor" (lbl i)
+      (lbl j)
+
+let check g t =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  for i = 0 to n_jobs t - 1 do
+    let j = Graph.job g i in
+    if Rat.(start t i < j.Job.arrival) then add (Arrival i);
+    if Rat.(finish g t i > j.Job.deadline) then add (Deadline i)
+  done;
+  List.iter
+    (fun (i, j) -> if Rat.(finish g t i > start t j) then add (Precedence (i, j)))
+    (Graph.edges g);
+  for p = 0 to t.n_procs - 1 do
+    let rec scan = function
+      | a :: (b :: _ as rest) ->
+        if Rat.(finish g t a > start t b) then add (Overlap (a, b));
+        scan rest
+      | [ _ ] | [] -> ()
+    in
+    scan (jobs_on t p)
+  done;
+  List.rev !violations
+
+let is_feasible g t = check g t = []
+
+let to_gantt_rows g t =
+  List.init t.n_procs (fun p ->
+      let segments =
+        List.map
+          (fun i ->
+            {
+              Rt_util.Gantt.start = Rat.to_float (start t i);
+              finish = Rat.to_float (finish g t i);
+              label = Job.label (Graph.job g i);
+            })
+          (jobs_on t p)
+      in
+      { Rt_util.Gantt.name = Printf.sprintf "M%d" (p + 1); segments })
+
+let pp g ppf t =
+  Format.fprintf ppf "%-24s %-5s %10s %10s %10s@." "job" "proc" "start"
+    "finish" "deadline";
+  List.iter
+    (fun p ->
+      List.iter
+        (fun i ->
+          let j = Graph.job g i in
+          Format.fprintf ppf "%-24s M%-4d %10s %10s %10s@." (Job.label j)
+            (p + 1)
+            (Rat.to_string (start t i))
+            (Rat.to_string (finish g t i))
+            (Rat.to_string j.Job.deadline))
+        (jobs_on t p))
+    (List.init t.n_procs Fun.id)

@@ -1,0 +1,1 @@
+lib/taskgraph/analysis.ml: Array Format Graph Hashtbl Job List Rt_util

@@ -1,0 +1,1 @@
+lib/taskgraph/analysis.mli: Format Graph Rt_util

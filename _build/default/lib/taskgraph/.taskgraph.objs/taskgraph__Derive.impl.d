@@ -1,0 +1,1 @@
+lib/taskgraph/derive.ml: Array Format Fppn Fun Graph Int Job List Rt_util String

@@ -1,0 +1,1 @@
+lib/taskgraph/derive.mli: Format Fppn Graph Rt_util

@@ -1,0 +1,1 @@
+lib/taskgraph/graph.ml: Array Buffer Format Fun Hashtbl Int Job List Printf Rt_util

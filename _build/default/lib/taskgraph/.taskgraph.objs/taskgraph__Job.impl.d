@@ -1,0 +1,1 @@
+lib/taskgraph/job.ml: Format Int Printf Rt_util

@@ -1,0 +1,1 @@
+lib/taskgraph/job.mli: Format Rt_util

@@ -1,0 +1,44 @@
+(** ASAP/ALAP times, the precedence-aware load metric, and the necessary
+    schedulability condition (Sec. III-B, Prop. 3.1). *)
+
+type times = {
+  asap : Rt_util.Rat.t array;
+      (** [A'_i = max(A_i, max_{j ∈ Pred(i)} A'_j + C_j)] — a lower
+          bound on any feasible start time *)
+  alap : Rt_util.Rat.t array;
+      (** [D'_i = min(D_i, min_{j ∈ Succ(i)} D'_j − C_j)] — an upper
+          bound on any feasible completion time *)
+}
+
+val asap_alap : Graph.t -> times
+
+type load_result = {
+  value : Rt_util.Rat.t;
+  window : Rt_util.Rat.t * Rt_util.Rat.t;
+      (** a maximizing window [(t1, t2)] *)
+}
+
+val load : ?times:times -> Graph.t -> load_result
+(** [Load(TG) = max_{t1<t2} (Σ_{A'_i ≥ t1 ∧ D'_i ≤ t2} C_i) / (t2−t1)],
+    the generalization of Liu's load to precedence constraints.  Returns
+    zero load over window [(0,1)] for an empty graph. *)
+
+type violation =
+  | Job_infeasible of int
+      (** [A'_i + C_i > D'_i]: the job cannot fit its own window *)
+  | Load_exceeds of { load : Rt_util.Rat.t; processors : int }
+      (** [⌈Load⌉ > M] *)
+
+val pp_violation : Graph.t -> Format.formatter -> violation -> unit
+
+val necessary_condition :
+  ?times:times -> Graph.t -> processors:int -> (unit, violation list) result
+(** Prop. 3.1: a task graph is schedulable on [M] processors only if
+    every job fits its ASAP/ALAP window and [⌈Load⌉ ≤ M]. *)
+
+val b_level : Graph.t -> Rt_util.Rat.t array
+(** [b_level.(i)] is the longest WCET path from job [i] to a sink,
+    including [C_i] — the classic list-scheduling priority. *)
+
+val critical_path : Graph.t -> Rt_util.Rat.t * int list
+(** Longest WCET path in the graph and a witness job sequence. *)

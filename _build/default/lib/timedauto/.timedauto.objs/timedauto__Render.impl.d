@@ -1,0 +1,1 @@
+lib/timedauto/render.ml: Buffer List Printf Rt_util String Ta

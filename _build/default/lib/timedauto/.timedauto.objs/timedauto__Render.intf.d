@@ -1,0 +1,1 @@
+lib/timedauto/render.mli: Ta

@@ -1,0 +1,1 @@
+lib/timedauto/sim.ml: Array Hashtbl List Printf Rt_util Ta

@@ -1,0 +1,1 @@
+lib/timedauto/sim.mli: Rt_util Ta

@@ -1,0 +1,1 @@
+lib/timedauto/ta.ml: Hashtbl List Printf Rt_util

@@ -1,0 +1,1 @@
+lib/timedauto/ta.mli: Rt_util

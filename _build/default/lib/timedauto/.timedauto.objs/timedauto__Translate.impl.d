@@ -1,0 +1,1 @@
+lib/timedauto/translate.ml: Array Fppn Hashtbl Int List Option Printf Rt_util Runtime Sched Sim String Ta Taskgraph

@@ -1,0 +1,1 @@
+lib/timedauto/translate.mli: Fppn Runtime Sched Sim Ta Taskgraph

@@ -1,0 +1,67 @@
+module Rat = Rt_util.Rat
+
+let bound_to_string = function
+  | Ta.Static r -> Rat.to_string r
+  | Ta.Dynamic _ -> "<dyn>"
+
+let atom_to_string = function
+  | Ta.Ge (c, b) -> Printf.sprintf "%s >= %s" c (bound_to_string b)
+  | Ta.Le (c, b) -> Printf.sprintf "%s <= %s" c (bound_to_string b)
+
+let guard_to_string (e : Ta.edge) =
+  let atoms = List.map atom_to_string e.Ta.atoms in
+  let data = if e.Ta.data_guard == Ta.true_guard then [] else [ "[data]" ] in
+  match atoms @ data with [] -> "true" | parts -> String.concat " && " parts
+
+let edge_to_string (e : Ta.edge) =
+  Printf.sprintf "  %s --[%s | %s%s]--> %s" e.Ta.src e.Ta.name
+    (guard_to_string e)
+    (match e.Ta.resets with
+    | [] -> ""
+    | resets -> Printf.sprintf " | reset %s" (String.concat "," resets))
+    e.Ta.dst
+
+let describe c =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "component %s (initial %s, clocks %s)\n" (Ta.name c)
+       (Ta.initial c)
+       (String.concat "," (Ta.clocks c)));
+  List.iter
+    (fun e -> Buffer.add_string buf (edge_to_string e ^ "\n"))
+    (Ta.edges c);
+  Buffer.contents buf
+
+let describe_all cs = String.concat "\n" (List.map describe cs)
+
+let to_dot components =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "digraph ta {\n  rankdir=LR;\n  node [shape=circle, fontsize=10];\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%s\";\n" i (Ta.name c));
+      let qualify l = Printf.sprintf "%s__%s" (Ta.name c) l in
+      let locations =
+        List.sort_uniq String.compare
+          (Ta.initial c
+          :: List.concat_map (fun (e : Ta.edge) -> [ e.Ta.src; e.Ta.dst ]) (Ta.edges c))
+      in
+      List.iter
+        (fun l ->
+          let shape =
+            if l = Ta.initial c then ", shape=doublecircle" else ""
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "    \"%s\" [label=\"%s\"%s];\n" (qualify l) l shape))
+        locations;
+      List.iter
+        (fun (e : Ta.edge) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    \"%s\" -> \"%s\" [label=\"%s\\n%s\", fontsize=9];\n"
+               (qualify e.Ta.src) (qualify e.Ta.dst) e.Ta.name (guard_to_string e)))
+        (Ta.edges c);
+      Buffer.add_string buf "  }\n")
+    components;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

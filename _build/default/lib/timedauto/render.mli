@@ -1,0 +1,18 @@
+(** Inspection output for timed-automata networks: a textual listing of
+    every component (locations, edges, guards) and a Graphviz DOT
+    rendering of the location graphs.
+
+    Guard atoms with dynamic bounds print as ["x >= <dyn>"] — their value
+    exists only at run time; data guards print as ["[data]"] when they
+    are not the trivial [true_guard].  This makes generated scheduler
+    automata reviewable, which is how the paper's toolchain users audit
+    the code generator's output. *)
+
+val describe : Ta.component -> string
+(** One component, human-readable. *)
+
+val describe_all : Ta.component list -> string
+
+val to_dot : Ta.component list -> string
+(** One DOT cluster per component; edges labelled with their names and
+    clock constraints. *)

@@ -1,0 +1,128 @@
+module Rat = Rt_util.Rat
+
+type comp_state = {
+  comp : Ta.component;
+  mutable loc : Ta.loc;
+  resets : (Ta.clock, Rat.t) Hashtbl.t; (* last reset instant *)
+}
+
+type t = { comps : comp_state array; mutable time : Rat.t }
+
+let create components =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let n = Ta.name c in
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Sim.create: duplicate component %S" n);
+      Hashtbl.add seen n ())
+    components;
+  let comps =
+    Array.of_list
+      (List.map
+         (fun comp ->
+           let resets = Hashtbl.create 4 in
+           List.iter (fun c -> Hashtbl.replace resets c Rat.zero) (Ta.clocks comp);
+           { comp; loc = Ta.initial comp; resets })
+         components)
+  in
+  { comps; time = Rat.zero }
+
+type fired = { time : Rat.t; component : string; edge : string }
+
+let eval_bound = function Ta.Static r -> r | Ta.Dynamic f -> f ()
+
+(* Earliest instant >= now at which the clock atoms of [e] hold, or None. *)
+let enabling_time cs now (e : Ta.edge) =
+  let lower = ref now and upper = ref None in
+  List.iter
+    (fun atom ->
+      match atom with
+      | Ta.Ge (c, b) ->
+        let at = Rat.add (Hashtbl.find cs.resets c) (eval_bound b) in
+        if Rat.(at > !lower) then lower := at
+      | Ta.Le (c, b) ->
+        let at = Rat.add (Hashtbl.find cs.resets c) (eval_bound b) in
+        upper := Some (match !upper with None -> at | Some u -> Rat.min u at))
+    e.Ta.atoms;
+  match !upper with
+  | Some u when Rat.(!lower > u) -> None
+  | _ -> Some !lower
+
+let run ?(max_steps = 1_000_000) ?horizon (t : t) =
+  let log = ref [] in
+  let steps = ref 0 in
+  let fire cs (e : Ta.edge) =
+    incr steps;
+    if !steps > max_steps then
+      invalid_arg "Sim.run: step bound exceeded (Zeno loop?)";
+    List.iter (fun c -> Hashtbl.replace cs.resets c t.time) e.Ta.resets;
+    e.Ta.effect ~now:t.time;
+    cs.loc <- e.Ta.dst;
+    log :=
+      { time = t.time; component = Ta.name cs.comp; edge = e.Ta.name } :: !log
+  in
+  (* fire any edge enabled right now; component order, then edge order *)
+  let fire_one () =
+    let rec scan i =
+      if i >= Array.length t.comps then false
+      else
+        let cs = t.comps.(i) in
+        let candidate =
+          List.find_opt
+            (fun (e : Ta.edge) ->
+              e.Ta.data_guard ()
+              && match enabling_time cs t.time e with
+                 | Some at -> Rat.equal at t.time
+                 | None -> false)
+            (Ta.edges_from cs.comp cs.loc)
+        in
+        match candidate with
+        | Some e ->
+          fire cs e;
+          true
+        | None -> scan (i + 1)
+    in
+    scan 0
+  in
+  let next_wakeup () =
+    Array.fold_left
+      (fun acc cs ->
+        List.fold_left
+          (fun acc (e : Ta.edge) ->
+            if e.Ta.data_guard () then
+              match enabling_time cs t.time e with
+              | Some at when Rat.(at > t.time) -> (
+                match acc with
+                | None -> Some at
+                | Some b -> Some (Rat.min b at))
+              | _ -> acc
+            else acc)
+          acc
+          (Ta.edges_from cs.comp cs.loc))
+      None t.comps
+  in
+  let rec loop () =
+    if fire_one () then loop ()
+    else
+      match next_wakeup () with
+      | None -> () (* quiescent *)
+      | Some at ->
+        (match horizon with
+        | Some h when Rat.(at > h) -> ()
+        | _ ->
+          t.time <- at;
+          loop ())
+  in
+  loop ();
+  List.rev !log
+
+let now (t : t) = t.time
+
+let location (t : t) name =
+  let rec find i =
+    if i >= Array.length t.comps then raise Not_found
+    else if Ta.name t.comps.(i).comp = name then t.comps.(i).loc
+    else find (i + 1)
+  in
+  find 0

@@ -1,0 +1,30 @@
+(** Simulator for closed networks of timed automata.
+
+    Semantics implemented: at the current instant, fire any enabled edge
+    (deterministically: components in declaration order, edges in
+    declaration order within a component) until none is enabled; then
+    let time elapse to the earliest instant at which some edge with a
+    currently-true data guard becomes clock-enabled; repeat.  Suitable
+    for the deterministic, urgency-free-upper-bound networks produced by
+    {!Translate} (each "wait" has an exact firing time).
+
+    A {e step bound} guards against Zeno loops (effect closures that
+    re-enable themselves without consuming time). *)
+
+type t
+
+val create : Ta.component list -> t
+(** @raise Invalid_argument on duplicate component names. *)
+
+type fired = { time : Rt_util.Rat.t; component : string; edge : string }
+
+val run :
+  ?max_steps:int -> ?horizon:Rt_util.Rat.t -> t -> fired list
+(** Runs until no edge can ever fire again (quiescence), the optional
+    time [horizon] is passed, or [max_steps] (default 1_000_000) edges
+    have fired.  Returns the firing log in order.
+    @raise Invalid_argument when the step bound is hit. *)
+
+val now : t -> Rt_util.Rat.t
+val location : t -> string -> Ta.loc
+(** Current location of a component. @raise Not_found *)

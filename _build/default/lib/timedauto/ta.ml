@@ -1,0 +1,65 @@
+module Rat = Rt_util.Rat
+
+type loc = string
+type clock = string
+
+type bound =
+  | Static of Rat.t
+  | Dynamic of (unit -> Rat.t)
+
+type atom =
+  | Ge of clock * bound
+  | Le of clock * bound
+
+type edge = {
+  src : loc;
+  atoms : atom list;
+  data_guard : unit -> bool;
+  resets : clock list;
+  effect : now:Rat.t -> unit;
+  dst : loc;
+  name : string;
+}
+
+type component = {
+  comp_name : string;
+  comp_initial : loc;
+  comp_clocks : clock list;
+  comp_edges : edge list;
+  by_src : (loc, edge list) Hashtbl.t;
+}
+
+let clock_of_atom = function Ge (c, _) | Le (c, _) -> c
+
+let component ~name ~initial ~clocks edges =
+  let check c =
+    if not (List.mem c clocks) then
+      invalid_arg
+        (Printf.sprintf "Ta.component %s: undeclared clock %S" name c)
+  in
+  List.iter
+    (fun e ->
+      List.iter (fun a -> check (clock_of_atom a)) e.atoms;
+      List.iter check e.resets)
+    edges;
+  let by_src = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let prev = try Hashtbl.find by_src e.src with Not_found -> [] in
+      Hashtbl.replace by_src e.src (prev @ [ e ]))
+    edges;
+  {
+    comp_name = name;
+    comp_initial = initial;
+    comp_clocks = clocks;
+    comp_edges = edges;
+    by_src;
+  }
+
+let name c = c.comp_name
+let initial c = c.comp_initial
+let clocks c = c.comp_clocks
+let edges c = c.comp_edges
+let edges_from c l = try Hashtbl.find c.by_src l with Not_found -> []
+let true_guard () = true
+let no_effect ~now:_ = ()

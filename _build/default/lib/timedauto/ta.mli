@@ -1,0 +1,53 @@
+(** A small timed-automata intermediate representation.
+
+    The paper's toolchain ([10]) compiles an FPPN and its static
+    schedule into a network of timed automata executed by a real-time
+    engine (on Linux and on the Kalray MPPA).  This module is the IR of
+    our equivalent of that path: components with locations, real-valued
+    clocks, guarded edges, clock resets, and effect closures that carry
+    the data computation (job bodies).
+
+    Guards combine {e clock atoms} — lower/upper bounds on clocks, with
+    possibly dynamic bounds (e.g. a sampled execution time) — and a
+    {e data guard} closure over shared state (e.g. "all predecessor done
+    flags set").  This mirrors how the BIP engine mixes timing
+    constraints with data predicates. *)
+
+type loc = string
+type clock = string
+
+type bound =
+  | Static of Rt_util.Rat.t
+  | Dynamic of (unit -> Rt_util.Rat.t)
+      (** evaluated when the guard is tested; must be stable while the
+          source location is occupied *)
+
+type atom =
+  | Ge of clock * bound  (** [x >= b] *)
+  | Le of clock * bound  (** [x <= b] *)
+
+type edge = {
+  src : loc;
+  atoms : atom list;  (** conjunction; empty = true *)
+  data_guard : unit -> bool;
+  resets : clock list;
+  effect : now:Rt_util.Rat.t -> unit;
+  dst : loc;
+  name : string;  (** for traces/debugging *)
+}
+
+type component
+
+val component :
+  name:string -> initial:loc -> clocks:clock list -> edge list -> component
+(** @raise Invalid_argument if an edge resets or tests an undeclared
+    clock. *)
+
+val name : component -> string
+val initial : component -> loc
+val clocks : component -> clock list
+val edges : component -> edge list
+val edges_from : component -> loc -> edge list
+
+val true_guard : unit -> bool
+val no_effect : now:Rt_util.Rat.t -> unit

@@ -1,0 +1,213 @@
+module Rat = Rt_util.Rat
+module Network = Fppn.Network
+module Process = Fppn.Process
+module Netstate = Fppn.Netstate
+module Graph = Taskgraph.Graph
+module Job = Taskgraph.Job
+module Derive = Taskgraph.Derive
+module Static_schedule = Sched.Static_schedule
+module Engine = Runtime.Engine
+module Exec_trace = Runtime.Exec_trace
+module Platform = Runtime.Platform
+module Exec_time = Runtime.Exec_time
+
+type system = {
+  components : Ta.component list;
+  state : Netstate.t;
+  records : Exec_trace.record list ref;
+}
+
+let components s = s.components
+
+let build net derived sched (config : Engine.config) =
+  let g = derived.Derive.graph in
+  let h = derived.Derive.hyperperiod in
+  if config.Engine.frames <= 0 then
+    invalid_arg "Translate.build: frames must be positive";
+  if Static_schedule.n_jobs sched <> Graph.n_jobs g then
+    invalid_arg "Translate.build: schedule does not cover the task graph";
+  let n_procs = config.Engine.platform.Platform.n_procs in
+  if Static_schedule.n_procs sched <> n_procs then
+    invalid_arg "Translate.build: schedule and platform processor counts differ";
+  let assigned, _unhandled =
+    Engine.sporadic_assignment net derived ~frames:config.Engine.frames
+      config.Engine.sporadic
+  in
+  let state = Netstate.create net in
+  let completions = Array.make (Graph.n_jobs g) 0 in
+  let records = ref [] in
+  let frame_base f = Rat.mul h (Rat.of_int f) in
+  let preds_done frame job () =
+    List.for_all (fun p -> completions.(p) > frame) (Graph.preds g job)
+  in
+  let relative_deadline job =
+    Process.deadline (Network.process net (Graph.job g job).Job.proc)
+  in
+  let component_of_proc p =
+    let order = Static_schedule.jobs_on sched p in
+    let edges = ref [] in
+    let add e = edges := e :: !edges in
+    let n_rounds = List.length order in
+    let loc_wait f i = Printf.sprintf "f%d_r%d_wait" f i in
+    let loc_run f i = Printf.sprintf "f%d_r%d_run" f i in
+    let loc_after f i =
+      if i + 1 < n_rounds then loc_wait f (i + 1)
+      else if f + 1 < config.Engine.frames then loc_wait (f + 1) 0
+      else "done"
+    in
+    (* one mutable cell per component holds the running job's duration
+       (read by the completion edge's dynamic bound) *)
+    let duration = ref Rat.zero in
+    (* record of the currently running job, published at completion *)
+    let pending = ref None in
+    for f = 0 to config.Engine.frames - 1 do
+      List.iteri
+        (fun i job ->
+          let j = Graph.job g job in
+          let base = frame_base f in
+          let invocation = Rat.add base j.Job.arrival in
+          let earliest =
+            Rat.max invocation
+              (Rat.add base (Platform.frame_overhead config.Engine.platform ~frame:f))
+          in
+          let stamp_of () =
+            if j.Job.is_server then Hashtbl.find_opt assigned (job, f)
+            else Some invocation
+          in
+          let is_real () = stamp_of () <> None in
+          (* start edge *)
+          add
+            {
+              Ta.src = loc_wait f i;
+              atoms = [ Ta.Ge ("t", Ta.Static earliest) ];
+              data_guard = (fun () -> preds_done f job () && is_real ());
+              resets = [ "x" ];
+              effect =
+                (fun ~now ->
+                  let invoked = Option.get (stamp_of ()) in
+                  let accesses = ref 0 in
+                  let recorder = function
+                    | Fppn.Trace.Read _ | Fppn.Trace.Write _ -> incr accesses
+                    | _ -> ()
+                  in
+                  Netstate.run_job ~recorder ~inputs:config.Engine.inputs state
+                    ~proc:j.Job.proc ~now:invoked;
+                  duration :=
+                    Rat.add
+                      (Exec_time.sample config.Engine.exec j)
+                      (Rat.mul
+                         config.Engine.platform.Platform.overhead
+                           .Platform.per_access
+                         (Rat.of_int !accesses));
+                  pending :=
+                    Some
+                      {
+                        Exec_trace.job;
+                        label = Job.label j;
+                        frame = f;
+                        proc = p;
+                        invoked;
+                        start = now;
+                        finish = now (* patched at completion *);
+                        deadline = Rat.add invoked (relative_deadline job);
+                        skipped = false;
+                      });
+              dst = loc_run f i;
+              name = Printf.sprintf "start:%s:f%d" (Job.label j) f;
+            };
+          (* completion edge *)
+          add
+            {
+              Ta.src = loc_run f i;
+              atoms = [ Ta.Ge ("x", Ta.Dynamic (fun () -> !duration)) ];
+              data_guard = Ta.true_guard;
+              resets = [];
+              effect =
+                (fun ~now ->
+                  completions.(job) <- completions.(job) + 1;
+                  match !pending with
+                  | Some r ->
+                    records := { r with Exec_trace.finish = now } :: !records;
+                    pending := None
+                  | None -> ());
+              dst = loc_after f i;
+              name = Printf.sprintf "end:%s:f%d" (Job.label j) f;
+            };
+          (* skip edge for a 'false' server slot: taken at the window
+             boundary when no real event maps to the slot *)
+          if j.Job.is_server then
+            add
+              {
+                Ta.src = loc_wait f i;
+                atoms = [ Ta.Ge ("t", Ta.Static earliest) ];
+                data_guard =
+                  (fun () -> preds_done f job () && not (is_real ()));
+                resets = [];
+                effect =
+                  (fun ~now ->
+                    completions.(job) <- completions.(job) + 1;
+                    records :=
+                      {
+                        Exec_trace.job;
+                        label = Job.label j;
+                        frame = f;
+                        proc = p;
+                        invoked = invocation;
+                        start = now;
+                        finish = now;
+                        deadline = Rat.add invocation (relative_deadline job);
+                        skipped = true;
+                      }
+                      :: !records);
+                dst = loc_after f i;
+                name = Printf.sprintf "skip:%s:f%d" (Job.label j) f;
+              })
+        order
+    done;
+    let initial = if n_rounds = 0 then "done" else loc_wait 0 0 in
+    Ta.component
+      ~name:(Printf.sprintf "sched_M%d" (p + 1))
+      ~initial ~clocks:[ "t"; "x" ] (List.rev !edges)
+  in
+  {
+    components = List.init n_procs component_of_proc;
+    state;
+    records;
+  }
+
+type result = {
+  trace : Exec_trace.t;
+  channel_history : (string * Fppn.Value.t list) list;
+  output_history : (string * Fppn.Value.t list) list;
+  stats : Exec_trace.stats;
+  firings : Sim.fired list;
+}
+
+let execute ?max_steps s =
+  let sim = Sim.create s.components in
+  let firings = Sim.run ?max_steps sim in
+  let trace =
+    List.sort
+      (fun (a : Exec_trace.record) b ->
+        let c = Rat.compare a.Exec_trace.start b.Exec_trace.start in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.Exec_trace.proc b.Exec_trace.proc in
+          if c <> 0 then c
+          else
+            let c = Int.compare a.Exec_trace.frame b.Exec_trace.frame in
+            if c <> 0 then c else Int.compare a.Exec_trace.job b.Exec_trace.job)
+      !(s.records)
+  in
+  {
+    trace;
+    channel_history = Netstate.channel_history s.state;
+    output_history = Netstate.output_history s.state;
+    stats = Exec_trace.stats trace;
+    firings;
+  }
+
+let signature r =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (r.channel_history @ r.output_history)

@@ -1,0 +1,41 @@
+(** Code generation: FPPN + static schedule → network of timed automata.
+
+    Reproduces the architecture of the paper's toolchain [10]: the
+    process network and the schedule are compiled into one {e scheduler
+    automaton per processor} that encodes the static-order policy —
+    per job round, a {e wait} location whose outgoing start edge is
+    guarded by the invocation time (global clock) and the predecessors'
+    done flags (data guard), and a {e run} location left when the local
+    clock reaches the sampled execution time.  Sporadic server slots get
+    an alternative {e skip} edge for the ['false'] case.
+
+    Executing the generated network under {!Sim} must produce exactly
+    the channel histories of [Runtime.Engine] and of the zero-delay
+    interpreter — this is the cross-validation used by the determinism
+    experiment (E5 in DESIGN.md). *)
+
+type system
+
+val build :
+  Fppn.Network.t ->
+  Taskgraph.Derive.t ->
+  Sched.Static_schedule.t ->
+  Runtime.Engine.config ->
+  system
+(** Same preconditions as [Runtime.Engine.run]. *)
+
+val components : system -> Ta.component list
+
+type result = {
+  trace : Runtime.Exec_trace.t;
+  channel_history : (string * Fppn.Value.t list) list;
+  output_history : (string * Fppn.Value.t list) list;
+  stats : Runtime.Exec_trace.stats;
+  firings : Sim.fired list;
+}
+
+val execute : ?max_steps:int -> system -> result
+(** Builds a {!Sim.t} over the generated components and runs it to
+    quiescence. *)
+
+val signature : result -> (string * Fppn.Value.t list) list

@@ -1,0 +1,1 @@
+lib/util/gantt.ml: Buffer Bytes Float Hashtbl List Printf String

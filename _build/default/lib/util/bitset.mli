@@ -1,0 +1,27 @@
+(** Fixed-capacity mutable bitsets.
+
+    Used for dense reachability matrices in transitive closure and
+    reduction of task graphs (hundreds to thousands of nodes). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set over universe [\[0, n)]. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every element of [src] to [dst].
+    @raise Invalid_argument on capacity mismatch. *)
+
+val inter_into : t -> t -> unit
+val copy : t -> t
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val is_empty : t -> bool
+val equal : t -> t -> bool

@@ -1,0 +1,47 @@
+type node = { id : string; label : string; shape : string; style : string }
+type edge = { src : string; dst : string; elabel : string; estyle : string }
+
+let node ?label ?(shape = "box") ?(style = "") id =
+  { id; label = (match label with Some l -> l | None -> id); shape; style }
+
+let edge ?(label = "") ?(style = "") src dst =
+  { src; dst; elabel = label; estyle = style }
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ~name nodes edges =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=LR;\n";
+  List.iter
+    (fun n ->
+      let attrs =
+        [ Printf.sprintf "label=\"%s\"" (escape n.label);
+          Printf.sprintf "shape=%s" n.shape ]
+        @ (if n.style = "" then [] else [ Printf.sprintf "style=\"%s\"" (escape n.style) ])
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [%s];\n" (escape n.id) (String.concat ", " attrs)))
+    nodes;
+  List.iter
+    (fun e ->
+      let attrs =
+        (if e.elabel = "" then [] else [ Printf.sprintf "label=\"%s\"" (escape e.elabel) ])
+        @ if e.estyle = "" then [] else [ Printf.sprintf "style=\"%s\"" (escape e.estyle) ]
+      in
+      let attr_str = if attrs = [] then "" else Printf.sprintf " [%s]" (String.concat ", " attrs) in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\"%s;\n" (escape e.src) (escape e.dst) attr_str))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Graphviz DOT export of process networks and task graphs. *)
+
+type node = {
+  id : string;
+  label : string;
+  shape : string;  (** e.g. ["box"], ["ellipse"] *)
+  style : string;  (** e.g. [""], ["dashed"] *)
+}
+
+type edge = {
+  src : string;
+  dst : string;
+  elabel : string;
+  estyle : string;  (** e.g. [""], ["dotted"] for priority-only edges *)
+}
+
+val node : ?label:string -> ?shape:string -> ?style:string -> string -> node
+val edge : ?label:string -> ?style:string -> string -> string -> edge
+
+val render : name:string -> node list -> edge list -> string
+(** A complete [digraph name { ... }] document; identifiers are quoted
+    and escaped. *)

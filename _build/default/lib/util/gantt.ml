@@ -1,0 +1,186 @@
+type segment = { start : float; finish : float; label : string }
+type row = { name : string; segments : segment list }
+
+let span rows =
+  List.fold_left
+    (fun (lo, hi) r ->
+      List.fold_left
+        (fun (lo, hi) s -> (min lo s.start, max hi s.finish))
+        (lo, hi) r.segments)
+    (infinity, neg_infinity) rows
+
+let render ?(width = 72) ?t_min ?t_max ?(time_unit = "ms") rows =
+  let lo0, hi0 = span rows in
+  let lo = match t_min with Some v -> v | None -> if lo0 = infinity then 0.0 else lo0 in
+  let hi = match t_max with Some v -> v | None -> if hi0 = neg_infinity then 1.0 else hi0 in
+  let hi = if hi <= lo then lo +. 1.0 else hi in
+  let scale = float_of_int width /. (hi -. lo) in
+  let cell_of t =
+    let c = int_of_float (Float.round ((t -. lo) *. scale)) in
+    min width (max 0 c)
+  in
+  let name_width =
+    List.fold_left (fun acc r -> max acc (String.length r.name)) 4 rows
+  in
+  let buf = Buffer.create 1024 in
+  let draw_row r =
+    let line = Bytes.make width '.' in
+    let segs = List.sort (fun a b -> compare a.start b.start) r.segments in
+    List.iter
+      (fun s ->
+        let c0 = cell_of s.start and c1 = cell_of s.finish in
+        let c1 = if c1 <= c0 then min width (c0 + 1) else c1 in
+        for c = c0 to c1 - 1 do
+          Bytes.set line c '#'
+        done;
+        (* bar boundaries, then the clipped label *)
+        if c0 < width then Bytes.set line c0 '[';
+        if c1 - 1 >= 0 && c1 - 1 < width && c1 - 1 > c0 then Bytes.set line (c1 - 1) ']';
+        let room = c1 - c0 - 2 in
+        let lbl = s.label in
+        let lbl_len = min (String.length lbl) (max 0 room) in
+        for k = 0 to lbl_len - 1 do
+          Bytes.set line (c0 + 1 + k) lbl.[k]
+        done)
+      segs;
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s |%s|\n" name_width r.name (Bytes.to_string line))
+  in
+  List.iter draw_row rows;
+  (* time axis with ticks at the ends and the middle *)
+  let axis = Bytes.make width '-' in
+  Bytes.set axis 0 '+';
+  if width > 1 then Bytes.set axis (width - 1) '+';
+  if width > 2 then Bytes.set axis (width / 2) '+';
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s |%s|\n" name_width "" (Bytes.to_string axis));
+  let mid = (lo +. hi) /. 2.0 in
+  let fmt v = Printf.sprintf "%g%s" v time_unit in
+  let left = fmt lo and middle = fmt mid and right = fmt hi in
+  let axis_labels = Bytes.make (width + 2) ' ' in
+  let put pos s =
+    let pos = max 0 (min (Bytes.length axis_labels - String.length s) pos) in
+    String.iteri (fun i c -> Bytes.set axis_labels (pos + i) c) s
+  in
+  put 0 left;
+  put ((width / 2) - (String.length middle / 2)) middle;
+  put (width + 2 - String.length right) right;
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %s\n" name_width "" (Bytes.to_string axis_labels));
+  Buffer.contents buf
+
+let print ?width ?t_min ?t_max ?time_unit rows =
+  print_string (render ?width ?t_min ?t_max ?time_unit rows)
+
+let escape_xml s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* stable label -> hue: the process-name prefix (before '[') hashes to a
+   hue so all jobs of one process share a color across charts *)
+let color_of label =
+  let key =
+    match String.index_opt label '[' with
+    | Some i -> String.sub label 0 i
+    | None -> label
+  in
+  let h = Hashtbl.hash key in
+  let hue = h mod 360 in
+  Printf.sprintf "hsl(%d, 62%%, 62%%)" hue
+
+let to_svg ?(width = 960) ?(row_height = 34) ?t_min ?t_max ?(time_unit = "ms")
+    ?(title = "") rows =
+  let lo0, hi0 = span rows in
+  let lo = match t_min with Some v -> v | None -> if lo0 = infinity then 0.0 else lo0 in
+  let hi = match t_max with Some v -> v | None -> if hi0 = neg_infinity then 1.0 else hi0 in
+  let hi = if hi <= lo then lo +. 1.0 else hi in
+  let margin_left = 90 and margin_top = if title = "" then 12 else 36 in
+  let chart_w = width - margin_left - 16 in
+  let x_of t =
+    float_of_int margin_left +. ((t -. lo) /. (hi -. lo) *. float_of_int chart_w)
+  in
+  let n_rows = List.length rows in
+  let height = margin_top + (n_rows * row_height) + 34 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        font-family=\"sans-serif\" font-size=\"11\">\n"
+       width height);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect width=\"%d\" height=\"%d\" fill=\"white\" stroke=\"#ccc\"/>\n"
+       width height);
+  if title <> "" then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%d\" y=\"22\" font-size=\"14\" font-weight=\"bold\">%s</text>\n"
+         margin_left (escape_xml title));
+  (* lanes *)
+  List.iteri
+    (fun i row ->
+      let y = margin_top + (i * row_height) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">%s</text>\n"
+           (margin_left - 8)
+           (y + (row_height / 2) + 4)
+           (escape_xml row.name));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#eee\"/>\n"
+           margin_left (y + row_height) (margin_left + chart_w) (y + row_height));
+      List.iter
+        (fun s ->
+          let x0 = x_of (Float.max lo s.start) and x1 = x_of (Float.min hi s.finish) in
+          if x1 > x0 then begin
+            let w = x1 -. x0 in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" rx=\"3\" \
+                  fill=\"%s\" stroke=\"#555\" stroke-width=\"0.5\">\
+                  <title>%s: %.4g-%.4g %s</title></rect>\n"
+                 x0 (y + 4) w (row_height - 10)
+                 (color_of s.label)
+                 (escape_xml s.label) s.start s.finish time_unit);
+            if w > 30.0 then
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "<text x=\"%.1f\" y=\"%d\" clip-path=\"none\">%s</text>\n"
+                   (x0 +. 3.0)
+                   (y + (row_height / 2) + 3)
+                   (escape_xml s.label))
+          end)
+        row.segments)
+    rows;
+  (* time axis with ~8 ticks *)
+  let axis_y = margin_top + (n_rows * row_height) + 6 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#333\"/>\n"
+       margin_left axis_y (margin_left + chart_w) axis_y);
+  let n_ticks = 8 in
+  for k = 0 to n_ticks do
+    let t = lo +. ((hi -. lo) *. float_of_int k /. float_of_int n_ticks) in
+    let x = x_of t in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" stroke=\"#333\"/>\n" x
+         axis_y x (axis_y + 4));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%.4g%s</text>\n" x
+         (axis_y + 18) t
+         (if k = n_ticks then time_unit else ""))
+  done;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

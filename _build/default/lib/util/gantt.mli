@@ -1,0 +1,39 @@
+(** ASCII Gantt charts of schedules and execution traces (the textual
+    analogue of the paper's Fig. 4 and Fig. 6). *)
+
+type segment = {
+  start : float;
+  finish : float;  (** must satisfy [finish >= start] *)
+  label : string;  (** shown inside the bar, clipped to its width *)
+}
+
+type row = { name : string; segments : segment list }
+
+val render :
+  ?width:int ->
+  ?t_min:float ->
+  ?t_max:float ->
+  ?time_unit:string ->
+  row list ->
+  string
+(** [render rows] draws one line per row plus a time axis.  [width] is
+    the number of character cells of the time span (default 72).  The
+    span defaults to the extremes of all segments.  Overlapping segments
+    within a row are drawn left to right, later ones overwriting. *)
+
+val print :
+  ?width:int -> ?t_min:float -> ?t_max:float -> ?time_unit:string -> row list -> unit
+
+val to_svg :
+  ?width:int ->
+  ?row_height:int ->
+  ?t_min:float ->
+  ?t_max:float ->
+  ?time_unit:string ->
+  ?title:string ->
+  row list ->
+  string
+(** Standalone SVG document: one horizontal lane per row, one rounded
+    bar per segment with its label, a time axis with ticks, and a
+    stable label→color mapping so the same job always gets the same hue
+    across charts.  [width] is in pixels (default 960). *)

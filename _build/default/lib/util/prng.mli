@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Used for sporadic event traces, execution-time jitter and random
+    workload generation.  A dedicated generator (rather than
+    [Stdlib.Random]) keeps experiment outputs bit-identical across OCaml
+    versions and independent of global state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float_in : t -> float -> float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val split : t -> t
+(** A statistically independent generator derived from [t]'s stream. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.
+    @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,143 @@
+type t = { num : int; den : int }
+
+exception Overflow
+exception Division_by_zero
+
+let rec gcd_int a b =
+  let a = Stdlib.abs a and b = Stdlib.abs b in
+  if b = 0 then a else gcd_int b (a mod b)
+
+(* Overflow-checked primitive ops on the int representation. *)
+let check_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow else p
+
+let check_add a b =
+  let s = a + b in
+  (* overflow iff operands share sign and the result sign differs *)
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else s
+
+let lcm_int a b =
+  if a = 0 || b = 0 then 0
+  else check_mul (Stdlib.abs a / gcd_int a b) (Stdlib.abs b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero
+  else
+    let sgn = if den < 0 then -1 else 1 in
+    let num = sgn * num and den = sgn * den in
+    let g = gcd_int num den in
+    if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let num t = t.num
+let den t = t.den
+
+let add a b =
+  let g = gcd_int a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  (* a.num/a.den + b.num/b.den = (a.num*db + b.num*da) / (a.den*db) *)
+  make (check_add (check_mul a.num db) (check_mul b.num da)) (check_mul a.den db)
+
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* cross-cancel before multiplying to delay overflow *)
+  let g1 = gcd_int a.num b.den and g2 = gcd_int b.num a.den in
+  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+  make
+    (check_mul (a.num / g1) (b.num / g2))
+    (check_mul (a.den / g2) (b.den / g1))
+
+let div a b =
+  if b.num = 0 then raise Division_by_zero else mul a { num = b.den; den = b.num }
+
+let abs a = { a with num = Stdlib.abs a.num }
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den *)
+  Stdlib.compare (check_mul a.num b.den) (check_mul b.num a.den)
+
+let equal a b = a.num = b.num && a.den = b.den
+let sign a = Stdlib.compare a.num 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let is_integer a = a.den = 1
+
+let to_int_exn a =
+  if is_integer a then a.num
+  else invalid_arg (Printf.sprintf "Rat.to_int_exn: %d/%d" a.num a.den)
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let floor a =
+  if a.num >= 0 then a.num / a.den
+  else
+    let q = a.num / a.den in
+    if q * a.den = a.num then q else q - 1
+
+let ceil a = -floor (neg a)
+let fdiv a b = floor (div a b)
+
+let lcm a b =
+  if sign a <= 0 || sign b <= 0 then
+    invalid_arg "Rat.lcm: arguments must be positive";
+  (* lcm(p/q, r/s) = lcm(p, r) / gcd(q, s) for fractions in lowest terms *)
+  make (lcm_int a.num b.num) (gcd_int a.den b.den)
+
+let lcm_list = function
+  | [] -> invalid_arg "Rat.lcm_list: empty list"
+  | x :: rest -> List.fold_left lcm x rest
+
+let pp ppf a =
+  if is_integer a then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a
+
+let of_string s =
+  let s = String.trim s in
+  let fail () = invalid_arg (Printf.sprintf "Rat.of_string: %S" s) in
+  match String.index_opt s '/' with
+  | Some i ->
+    let n = String.sub s 0 i
+    and d = String.sub s (i + 1) (String.length s - i - 1) in
+    (try make (int_of_string (String.trim n)) (int_of_string (String.trim d))
+     with Failure _ -> fail ())
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> (try of_int (int_of_string s) with Failure _ -> fail ())
+     | Some i ->
+       let int_part = String.sub s 0 i
+       and frac = String.sub s (i + 1) (String.length s - i - 1) in
+       if String.length frac = 0 then fail ();
+       let scale =
+         String.fold_left (fun acc _ -> check_mul acc 10) 1 frac
+       in
+       (try
+          let ip = if String.length int_part = 0 then 0 else int_of_string int_part in
+          let neg_input = String.length s > 0 && s.[0] = '-' in
+          let fp = int_of_string frac in
+          if fp < 0 then fail ();
+          let mag = add (abs (of_int ip)) (make fp scale) in
+          if neg_input then neg mag else mag
+        with Failure _ -> fail ()))
+
+(* Infix aliases, defined last so the implementation above keeps the
+   integer operators from Stdlib. *)
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0
+let ( = ) = equal

@@ -1,0 +1,90 @@
+(** Exact rational arithmetic for model time.
+
+    The paper takes periods and deadlines in [Q+] and computes
+    hyperperiods as least common multiples of rationals (Sec. III-A,
+    footnote 4).  All model times in this code base are values of
+    {!type:t}; the conventional unit is the millisecond.
+
+    Values are kept in normal form: positive denominator, numerator and
+    denominator coprime.  Arithmetic raises {!Overflow} rather than
+    silently wrapping. *)
+
+type t = private { num : int; den : int }
+
+exception Overflow
+exception Division_by_zero
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( = ) : t -> t -> bool
+
+val is_integer : t -> bool
+
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val to_float : t -> float
+
+val floor : t -> int
+(** Greatest integer [<=] the value. *)
+
+val ceil : t -> int
+(** Least integer [>=] the value. *)
+
+val fdiv : t -> t -> int
+(** [fdiv a b] is [floor (a / b)]: how many whole periods [b] fit in [a]. *)
+
+val lcm : t -> t -> t
+(** Least common multiple of two positive rationals: the smallest
+    positive rational that is an integer multiple of both.  Used for
+    hyperperiod computation.
+    @raise Invalid_argument on non-positive arguments. *)
+
+val lcm_list : t list -> t
+(** {!lcm} folded over a non-empty list.
+    @raise Invalid_argument on an empty list. *)
+
+val gcd_int : int -> int -> int
+(** Non-negative gcd of two integers; [gcd_int 0 0 = 0]. *)
+
+val lcm_int : int -> int -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints integers without denominator, otherwise [num/den]. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Parses ["n"], ["n/d"] and decimal forms like ["2.5"].
+    @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,42 @@
+type align = Left | Right | Center
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let left = (width - n) / 2 in
+      String.make left ' ' ^ s ^ String.make (width - n - left) ' '
+
+let render ?(aligns = []) ~header rows =
+  let n_cols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length header) rows
+  in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let widths =
+    Array.init n_cols (fun i ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (cell row i)))
+          (String.length (cell header i))
+          rows)
+  in
+  let align_of i =
+    match List.nth_opt aligns i with Some a -> a | None -> Left
+  in
+  let render_row row =
+    let cells =
+      List.init n_cols (fun i -> pad (align_of i) widths.(i) (cell row i))
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map render_row rows in
+  String.concat "\n" ((render_row header :: rule :: body) @ [ "" ])
+
+let print ?aligns ~header rows = print_string (render ?aligns ~header rows)

@@ -1,0 +1,12 @@
+(** ASCII table rendering for experiment and benchmark reports. *)
+
+type align = Left | Right | Center
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the rows out under the header with a
+    separator rule, padding columns to their widest cell.  [aligns]
+    defaults to left for every column; a short list is padded with
+    [Left].  Ragged rows are padded with empty cells. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+(** {!render} followed by [print_string]. *)

@@ -1,0 +1,1 @@
+lib/verify/checker.ml: Format Fppn Fun List Printf Rt_util Runtime Sched String Taskgraph Timedauto

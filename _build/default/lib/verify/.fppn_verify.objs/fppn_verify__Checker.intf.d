@@ -1,0 +1,1 @@
+lib/verify/checker.mli: Format Fppn Rt_util Taskgraph

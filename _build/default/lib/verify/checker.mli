@@ -1,0 +1,61 @@
+(** One-stop verification of an FPPN application.
+
+    Packages the checks a designer wants before trusting a network
+    (everything the paper promises, executed as tests):
+
+    + static validation is implied by construction; the {e scheduling
+      subclass} of Sec. III-A is re-checked and reported;
+    + the necessary schedulability condition (Prop. 3.1) and an actual
+      static schedule for the requested processor count;
+    + {e determinism} (Props. 2.1/4.1): channel histories compared
+      across the zero-delay reference, the static-order runtime on
+      every requested processor count with several execution-time jitter
+      seeds, and the timed-automata backend;
+    + {e trace compliance}: every runtime trace re-checked against the
+      real-time semantics (WCET, invocation, precedence, mutual
+      exclusion);
+    + {e buffer bounds}: FIFO occupancy and rate-mismatch detection.
+
+    Sporadic stimulation uses random traces derived from the seed, with
+    horizon-edge events excluded (they would only be handled beyond the
+    simulated window). *)
+
+type check = {
+  name : string;
+  passed : bool;
+  detail : string;
+}
+
+type report = {
+  checks : check list;
+  passed : bool;  (** conjunction *)
+}
+
+type latency_spec = {
+  l_source : string;
+  l_sink : string;
+  max_reaction : Rt_util.Rat.t;
+      (** required bound on finish(sink) − invocation(freshest source
+          ancestor) — the "end-to-end timing constraint" of Sec. I *)
+}
+
+type config = {
+  processor_counts : int list;  (** default [\[1; 2; 4\]] *)
+  frames : int;  (** default 2 *)
+  jitter_seeds : int list;  (** default [\[1; 2; 3\]] *)
+  sporadic_density : float;  (** default 0.5 *)
+  seed : int;
+  inputs : Fppn.Netstate.input_feed;
+  latency_specs : latency_spec list;
+      (** verified on the WCET execution of every processor count *)
+}
+
+val default_config : config
+
+val run :
+  ?config:config ->
+  wcet:Taskgraph.Derive.wcet_map ->
+  Fppn.Network.t ->
+  report
+
+val pp : Format.formatter -> report -> unit

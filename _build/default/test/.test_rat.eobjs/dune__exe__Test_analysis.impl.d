@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Fppn_apps List Printf Rt_util Taskgraph

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Float Fppn Fppn_apps List Printf QCheck2 QCheck_alcotest Rt_util Sched Taskgraph

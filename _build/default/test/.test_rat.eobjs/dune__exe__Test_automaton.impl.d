@@ -1,0 +1,1 @@
+test/test_automaton.ml: Alcotest Fppn Hashtbl List Rt_util

@@ -1,0 +1,1 @@
+test/test_automotive.ml: Alcotest Array Format Fppn Fppn_apps Hashtbl List Option Printf Rt_util Runtime Sched String Taskgraph

@@ -1,0 +1,1 @@
+test/test_channel_event.ml: Alcotest Format Fppn List QCheck2 QCheck_alcotest Rt_util String

@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Format Fppn Fppn_apps Fun List QCheck2 QCheck_alcotest Rt_util Runtime Sched String Taskgraph

@@ -1,0 +1,1 @@
+test/test_derive.ml: Alcotest Array Fppn Fppn_apps Fun List QCheck2 QCheck_alcotest Rt_util String Taskgraph

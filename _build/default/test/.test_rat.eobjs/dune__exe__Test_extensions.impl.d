@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Format Fppn Fppn_apps Fppn_verify Fun List Printf QCheck2 QCheck_alcotest Rt_util Runtime Sched String Sys Taskgraph

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Fppn Fppn_apps List Option Printf QCheck2 QCheck_alcotest Rt_util Runtime Sched String Taskgraph Timedauto

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Char Filename Format Fppn Fppn_lang List Printf QCheck2 QCheck_alcotest Rt_util Runtime Sched String Sys Taskgraph

@@ -1,0 +1,1 @@
+test/test_mixedcrit.ml: Alcotest Array Format Fppn List Mixedcrit Option Printf Rt_util Runtime Taskgraph

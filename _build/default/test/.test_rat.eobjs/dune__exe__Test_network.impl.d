@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Format Fppn Fppn_apps List Printf Rt_util String

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest List QCheck2 QCheck_alcotest Rt_util Stdlib

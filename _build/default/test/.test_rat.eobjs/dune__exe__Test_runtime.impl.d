@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Fppn Fppn_apps Hashtbl List Printf Rt_util Runtime Sched String Taskgraph

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Format Fppn_apps List Option Printf QCheck2 QCheck_alcotest Rt_util Sched Taskgraph

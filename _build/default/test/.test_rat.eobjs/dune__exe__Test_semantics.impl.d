@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Fppn Fppn_apps List Rt_util

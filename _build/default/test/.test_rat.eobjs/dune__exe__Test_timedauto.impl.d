@@ -1,0 +1,1 @@
+test/test_timedauto.ml: Alcotest Fppn Fppn_apps List Rt_util Runtime Sched String Taskgraph Timedauto

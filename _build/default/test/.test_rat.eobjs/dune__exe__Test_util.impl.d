@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Int List QCheck2 QCheck_alcotest Rt_util Set String

@@ -1,0 +1,170 @@
+module Rat = Rt_util.Rat
+module Digraph = Rt_util.Digraph
+module Graph = Taskgraph.Graph
+module Job = Taskgraph.Job
+module Analysis = Taskgraph.Analysis
+
+let ms = Rat.of_int
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+(* Hand-built graph:
+     J0 (A=0,  D=100, C=30) --\
+                               +--> J2 (A=0, D=100, C=40)
+     J1 (A=0,  D=60,  C=20) --/
+     J3 (A=100, D=200, C=50)   (independent)            *)
+let sample () =
+  let mk id name a d c =
+    {
+      Job.id;
+      proc = id;
+      proc_name = name;
+      k = 1;
+      arrival = ms a;
+      deadline = ms d;
+      wcet = ms c;
+      is_server = false;
+    }
+  in
+  let jobs =
+    [| mk 0 "J0" 0 100 30; mk 1 "J1" 0 60 20; mk 2 "J2" 0 100 40; mk 3 "J3" 100 200 50 |]
+  in
+  let dag = Digraph.create 4 in
+  Digraph.add_edge dag 0 2;
+  Digraph.add_edge dag 1 2;
+  Graph.make jobs dag
+
+let test_asap_alap () =
+  let g = sample () in
+  let t = Analysis.asap_alap g in
+  Alcotest.check rat "J0 asap" (ms 0) t.Analysis.asap.(0);
+  Alcotest.check rat "J2 asap = max pred chain" (ms 30) t.Analysis.asap.(2);
+  Alcotest.check rat "J3 asap = its arrival" (ms 100) t.Analysis.asap.(3);
+  Alcotest.check rat "J2 alap = own deadline" (ms 100) t.Analysis.alap.(2);
+  Alcotest.check rat "J0 alap tightened by J2" (ms 60) t.Analysis.alap.(0);
+  Alcotest.check rat "J1 alap = min(own D, J2 slack)" (ms 60) t.Analysis.alap.(1)
+
+let test_load () =
+  let g = sample () in
+  let l = Analysis.load g in
+  (* window [0,100] holds J0+J1+J2 = 90ms -> 0.9; check it's the max *)
+  Alcotest.check rat "load value" (Rat.make 9 10) l.Analysis.value;
+  let t1, t2 = l.Analysis.window in
+  Alcotest.check rat "window start" (ms 0) t1;
+  Alcotest.check rat "window end" (ms 100) t2
+
+let test_load_empty () =
+  let g = Graph.make [||] (Digraph.create 0) in
+  ignore g;
+  (* empty arrays are rejected by Static_schedule but Graph accepts them *)
+  let l = Analysis.load g in
+  Alcotest.check rat "empty load" Rat.zero l.Analysis.value
+
+let test_necessary_condition () =
+  let g = sample () in
+  (match Analysis.necessary_condition g ~processors:1 with
+  | Ok () -> ()
+  | Error vs ->
+    Alcotest.failf "unexpected violations: %d (load %s)" (List.length vs)
+      (Rat.to_string (Analysis.load g).Analysis.value));
+  (* an infeasible job: C bigger than its window *)
+  let bad =
+    let mk id a d c =
+      {
+        Job.id;
+        proc = id;
+        proc_name = "X";
+        k = 1;
+        arrival = ms a;
+        deadline = ms d;
+        wcet = ms c;
+        is_server = false;
+      }
+    in
+    Graph.make [| mk 0 0 50 80 |] (Digraph.create 1)
+  in
+  match Analysis.necessary_condition bad ~processors:4 with
+  | Ok () -> Alcotest.fail "expected Job_infeasible"
+  | Error vs ->
+    Alcotest.(check bool) "job infeasible reported" true
+      (List.exists (function Analysis.Job_infeasible 0 -> true | _ -> false) vs)
+
+let test_load_exceeds () =
+  (* two independent jobs each filling [0,100] completely: load = 2 *)
+  let mk id a d c =
+    {
+      Job.id;
+      proc = id;
+      proc_name = Printf.sprintf "P%d" id;
+      k = 1;
+      arrival = ms a;
+      deadline = ms d;
+      wcet = ms c;
+      is_server = false;
+    }
+  in
+  let g = Graph.make [| mk 0 0 100 100; mk 1 0 100 100 |] (Digraph.create 2) in
+  Alcotest.check rat "load 2" (ms 2) (Analysis.load g).Analysis.value;
+  (match Analysis.necessary_condition g ~processors:1 with
+  | Error vs ->
+    Alcotest.(check bool) "load violation on M=1" true
+      (List.exists (function Analysis.Load_exceeds _ -> true | _ -> false) vs)
+  | Ok () -> Alcotest.fail "expected Load_exceeds");
+  match Analysis.necessary_condition g ~processors:2 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "M=2 satisfies the necessary condition"
+
+let test_b_level_critical_path () =
+  let g = sample () in
+  let bl = Analysis.b_level g in
+  Alcotest.check rat "sink b-level = own wcet" (ms 40) bl.(2);
+  Alcotest.check rat "J0 b-level = 30+40" (ms 70) bl.(0);
+  Alcotest.check rat "J3 b-level standalone" (ms 50) bl.(3);
+  let len, path = Analysis.critical_path g in
+  Alcotest.check rat "critical path length" (ms 70) len;
+  Alcotest.(check (list int)) "critical path" [ 0; 2 ] path
+
+let test_fft_load_matches_paper () =
+  (* Sec. V-A: 14 jobs, C=13.3 ms -> load 0.93 *)
+  let p = Fppn_apps.Fft.default_params in
+  let d = Taskgraph.Derive.derive_exn ~wcet:(Fppn_apps.Fft.wcet_map p) (Fppn_apps.Fft.network p) in
+  let l = Taskgraph.Analysis.load d.Taskgraph.Derive.graph in
+  let v = Rat.to_float l.Analysis.value in
+  Alcotest.(check bool) "load = 0.931" true (v > 0.92 && v < 0.94)
+
+let test_fft_overhead_load_matches_paper () =
+  (* with the 41 ms overhead job the load exceeds 1 (paper: ~1.2) *)
+  let p = Fppn_apps.Fft.default_params in
+  let net = Fppn_apps.Fft.network_with_overhead_job p in
+  let wcet = Fppn_apps.Fft.wcet_map_with_overhead p ~overhead:(ms 41) in
+  let d = Taskgraph.Derive.derive_exn ~wcet net in
+  let l = Taskgraph.Analysis.load d.Taskgraph.Derive.graph in
+  let v = Rat.to_float l.Analysis.value in
+  Alcotest.(check bool) "load > 1" true (v > 1.0);
+  Alcotest.(check bool) "load in the paper's ballpark (~1.1-1.2)" true (v < 1.3);
+  (* Prop. 3.1: single processor is necessarily infeasible *)
+  match Taskgraph.Analysis.necessary_condition d.Taskgraph.Derive.graph ~processors:1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected the necessary condition to fail on M=1"
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "asap-alap",
+        [
+          Alcotest.test_case "recursive times" `Quick test_asap_alap;
+          Alcotest.test_case "b-level / critical path" `Quick test_b_level_critical_path;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "hand computation" `Quick test_load;
+          Alcotest.test_case "empty graph" `Quick test_load_empty;
+          Alcotest.test_case "necessary condition" `Quick test_necessary_condition;
+          Alcotest.test_case "load exceeds processors" `Quick test_load_exceeds;
+        ] );
+      ( "paper",
+        [
+          Alcotest.test_case "fft load 0.93" `Quick test_fft_load_matches_paper;
+          Alcotest.test_case "fft overhead load >1" `Quick
+            test_fft_overhead_load_matches_paper;
+        ] );
+    ]

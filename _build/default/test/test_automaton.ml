@@ -1,0 +1,229 @@
+module A = Fppn.Automaton
+module V = Fppn.Value
+
+let value = Alcotest.testable V.pp V.equal
+
+(* A tiny store-backed environment for direct eval/run tests. *)
+let make_env ?(channels = []) vars =
+  let store = Hashtbl.create 8 in
+  List.iter (fun (x, v) -> Hashtbl.replace store x v) vars;
+  let chans = Hashtbl.create 8 in
+  List.iter (fun (c, vs) -> Hashtbl.replace chans c (ref vs)) channels;
+  let written = ref [] in
+  let env =
+    {
+      A.lookup = (fun x -> try Hashtbl.find store x with Not_found -> V.Absent);
+      assign = (fun x v -> Hashtbl.replace store x v);
+      read_channel =
+        (fun c ->
+          match Hashtbl.find_opt chans c with
+          | Some ({ contents = v :: rest } as r) ->
+            r := rest;
+            v
+          | _ -> V.Absent);
+      write_channel = (fun c v -> written := (c, v) :: !written);
+    }
+  in
+  (env, store, written)
+
+let test_eval_arithmetic () =
+  let lookup = function "x" -> V.Int 6 | "y" -> V.Float 0.5 | _ -> V.Absent in
+  let check expr expected label =
+    Alcotest.check value label expected (A.eval lookup expr)
+  in
+  check (A.Add (A.Var "x", A.Const (V.Int 1))) (V.Int 7) "int add";
+  check (A.Mul (A.Var "x", A.Var "y")) (V.Float 3.0) "mixed mul widens";
+  check (A.Neg (A.Var "x")) (V.Int (-6)) "neg";
+  check (A.Mod (A.Var "x", A.Const (V.Int 4))) (V.Int 2) "mod";
+  check (A.Lt (A.Var "y", A.Const (V.Float 1.0))) (V.Bool true) "lt";
+  check (A.Avail "x") (V.Bool true) "avail on present";
+  check (A.Avail "zz") (V.Bool false) "avail on absent";
+  check
+    (A.And (A.Const (V.Bool true), A.Not (A.Const (V.Bool false))))
+    (V.Bool true) "boolean ops"
+
+let test_eval_type_errors () =
+  let lookup _ = V.Bool true in
+  Alcotest.(check bool) "adding booleans raises" true
+    (try
+       ignore (A.eval lookup (A.Add (A.Var "a", A.Var "b")));
+       false
+     with Invalid_argument _ -> true)
+
+(* Counter automaton: one job run increments x and emits it. *)
+let counter =
+  A.make ~initial:"l0"
+    ~vars:[ ("x", V.Int 0) ]
+    ~transitions:
+      [
+        {
+          A.src = "l0";
+          guard = A.Const (V.Bool true);
+          actions =
+            [ A.Assign ("x", A.Add (A.Var "x", A.Const (V.Int 1))); A.Write ("out", A.Var "x") ];
+          dst = "l0";
+        };
+      ]
+
+let test_run_job_counter () =
+  let env, store, written = make_env [ ("x", V.Int 0) ] in
+  let steps = A.run_job counter env in
+  Alcotest.(check int) "one step per run" 1 steps;
+  ignore (A.run_job counter env);
+  ignore (A.run_job counter env);
+  Alcotest.check value "x incremented thrice" (V.Int 3) (Hashtbl.find store "x");
+  Alcotest.(check (list (pair string value)))
+    "writes in order"
+    [ ("out", V.Int 1); ("out", V.Int 2); ("out", V.Int 3) ]
+    (List.rev !written)
+
+(* Two-location automaton with a guarded branch: models an 'if'. *)
+let brancher =
+  A.make ~initial:"start"
+    ~vars:[ ("x", V.Int 0); ("big", V.Bool false) ]
+    ~transitions:
+      [
+        {
+          A.src = "start";
+          guard = A.Const (V.Bool true);
+          actions = [ A.Read ("x", "in") ];
+          dst = "decide";
+        };
+        {
+          A.src = "decide";
+          guard = A.Lt (A.Const (V.Int 10), A.Var "x");
+          actions = [ A.Assign ("big", A.Const (V.Bool true)); A.Write ("out", A.Var "x") ];
+          dst = "start";
+        };
+        {
+          A.src = "decide";
+          guard = A.Le (A.Var "x", A.Const (V.Int 10));
+          actions = [ A.Assign ("big", A.Const (V.Bool false)) ];
+          dst = "start";
+        };
+      ]
+
+let test_run_job_branching () =
+  let env, store, written =
+    make_env ~channels:[ ("in", [ V.Int 42; V.Int 3 ]) ]
+      [ ("x", V.Int 0); ("big", V.Bool false) ]
+  in
+  let steps = A.run_job brancher env in
+  Alcotest.(check int) "two steps" 2 steps;
+  Alcotest.check value "took the big branch" (V.Bool true) (Hashtbl.find store "big");
+  Alcotest.(check int) "one write" 1 (List.length !written);
+  ignore (A.run_job brancher env);
+  Alcotest.check value "small branch on second job" (V.Bool false)
+    (Hashtbl.find store "big")
+
+let test_stuck () =
+  let a =
+    A.make ~initial:"l0" ~vars:[]
+      ~transitions:
+        [
+          {
+            A.src = "l0";
+            guard = A.Const (V.Bool true);
+            actions = [];
+            dst = "dead_end";
+          };
+        ]
+  in
+  let env, _, _ = make_env [] in
+  Alcotest.check_raises "stuck in dead_end" (A.Stuck "dead_end") (fun () ->
+      ignore (A.run_job a env))
+
+let test_step_bound () =
+  (* l0 -> l1 -> l1 -> ... never returns to l0 *)
+  let a =
+    A.make ~initial:"l0" ~vars:[]
+      ~transitions:
+        [
+          { A.src = "l0"; guard = A.Const (V.Bool true); actions = []; dst = "l1" };
+          { A.src = "l1"; guard = A.Const (V.Bool true); actions = []; dst = "l1" };
+        ]
+  in
+  let env, _, _ = make_env [] in
+  Alcotest.check_raises "non-terminating job"
+    (Invalid_argument "Automaton.run_job: step bound exceeded (non-terminating job?)")
+    (fun () -> ignore (A.run_job ~max_steps:50 a env))
+
+let test_static_checks () =
+  Alcotest.(check bool) "undeclared variable rejected" true
+    (try
+       ignore
+         (A.make ~initial:"l0" ~vars:[]
+            ~transitions:
+              [
+                {
+                  A.src = "l0";
+                  guard = A.Var "ghost";
+                  actions = [];
+                  dst = "l0";
+                };
+              ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "initial location must have an exit" true
+    (try
+       ignore (A.make ~initial:"l0" ~vars:[] ~transitions:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_introspection () =
+  Alcotest.(check (list string)) "locations" [ "start"; "decide" ] (A.locations brancher);
+  Alcotest.(check (list string)) "channels read" [ "in" ] (A.channels_read brancher);
+  Alcotest.(check (list string)) "channels written" [ "out" ] (A.channels_written brancher)
+
+(* Automaton process embedded in a network must behave like a native
+   process: this exercises Instance + Netstate with the Automaton path. *)
+let test_automaton_in_network () =
+  let module Network = Fppn.Network in
+  let module Process = Fppn.Process in
+  let module Event = Fppn.Event in
+  let ms = Rt_util.Rat.of_int in
+  let b = Network.Builder.create "auto-net" in
+  Network.Builder.add_process b
+    (Process.make ~name:"Counter"
+       ~event:(Event.periodic ~period:(ms 100) ~deadline:(ms 100) ())
+       (Process.Automaton counter));
+  Network.Builder.add_process b
+    (Process.make ~name:"Sink"
+       ~event:(Event.periodic ~period:(ms 100) ~deadline:(ms 100) ())
+       (Process.Native
+          (fun ctx -> ctx.Process.write "sunk" (ctx.Process.read "out"))));
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Fifo ~writer:"Counter"
+    ~reader:"Sink" "out";
+  Network.Builder.add_priority b "Counter" "Sink";
+  Network.Builder.add_output b ~owner:"Sink" "sunk";
+  let net = Network.Builder.finish_exn b in
+  let inv = Fppn.Semantics.invocations ~horizon:(ms 300) net in
+  let res = Fppn.Semantics.run net inv in
+  Alcotest.(check (list value))
+    "automaton output flows through the network"
+    [ V.Int 1; V.Int 2; V.Int 3 ]
+    (List.assoc "sunk" res.Fppn.Semantics.output_history)
+
+let () =
+  Alcotest.run "automaton"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_eval_arithmetic;
+          Alcotest.test_case "type errors" `Quick test_eval_type_errors;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "counter" `Quick test_run_job_counter;
+          Alcotest.test_case "branching" `Quick test_run_job_branching;
+          Alcotest.test_case "stuck" `Quick test_stuck;
+          Alcotest.test_case "step bound" `Quick test_step_bound;
+        ] );
+      ( "static",
+        [
+          Alcotest.test_case "checks" `Quick test_static_checks;
+          Alcotest.test_case "introspection" `Quick test_introspection;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "automaton in network" `Quick test_automaton_in_network ] );
+    ]

@@ -1,0 +1,286 @@
+(* Tests for the mixed-criticality extension (the paper's "mixed-critical
+   scheduling" future-work item): dual schedules, the path-preserving
+   graph restriction, and the mode-switched engine. *)
+
+module Rat = Rt_util.Rat
+module V = Fppn.Value
+module Event = Fppn.Event
+module Process = Fppn.Process
+module Network = Fppn.Network
+module Graph = Taskgraph.Graph
+module Job = Taskgraph.Job
+module Derive = Taskgraph.Derive
+module Digraph = Rt_util.Digraph
+module Spec = Mixedcrit.Spec
+module Dual_schedule = Mixedcrit.Dual_schedule
+module Mc_engine = Mixedcrit.Mc_engine
+module Exec_time = Runtime.Exec_time
+module Exec_trace = Runtime.Exec_trace
+
+let ms = Rat.of_int
+
+(* --- Graph.induced / map_wcet --------------------------------------------- *)
+
+let mk_job id name a d c =
+  {
+    Job.id;
+    proc = id;
+    proc_name = name;
+    k = 1;
+    arrival = ms a;
+    deadline = ms d;
+    wcet = ms c;
+    is_server = false;
+  }
+
+let test_induced_preserves_paths () =
+  (* A -> B -> C; dropping B must keep A -> C *)
+  let jobs = [| mk_job 0 "A" 0 100 10; mk_job 1 "B" 0 100 10; mk_job 2 "C" 0 100 10 |] in
+  let dag = Digraph.create 3 in
+  Digraph.add_edge dag 0 1;
+  Digraph.add_edge dag 1 2;
+  let g = Graph.make jobs dag in
+  let g', back = Graph.induced ~keep:(fun j -> j.Job.proc_name <> "B") g in
+  Alcotest.(check int) "two jobs kept" 2 (Graph.n_jobs g');
+  Alcotest.(check (array int)) "id mapping" [| 0; 2 |] back;
+  Alcotest.(check bool) "A -> C edge through the dropped job" true
+    (Graph.has_edge g' 0 1);
+  Alcotest.(check bool) "no jobs kept rejected" true
+    (try
+       ignore (Graph.induced ~keep:(fun _ -> false) g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_map_wcet () =
+  let jobs = [| mk_job 0 "A" 0 100 10 |] in
+  let g = Graph.make jobs (Digraph.create 1) in
+  let g' = Graph.map_wcet (fun _ -> ms 42) g in
+  Alcotest.(check bool) "wcet replaced" true
+    (Rat.equal (Graph.job g' 0).Job.wcet (ms 42));
+  Alcotest.(check bool) "original untouched" true
+    (Rat.equal (Graph.job g 0).Job.wcet (ms 10))
+
+(* --- the MC scenario -------------------------------------------------------- *)
+
+(* HI control chain Sensor -> Control (period 100) plus two best-effort
+   LO processes (Logger, Telemetry) on 2 processors. *)
+let mc_net () =
+  let b = Network.Builder.create "mc" in
+  let add name body =
+    Network.Builder.add_process b
+      (Process.make ~name
+         ~event:(Event.periodic ~period:(ms 100) ~deadline:(ms 100) ())
+         (Process.Native body))
+  in
+  add "Sensor" (fun ctx -> ctx.Process.write "meas" (V.Int ctx.Process.job_index));
+  add "Control" (fun ctx ->
+      let x = ctx.Process.read "meas" in
+      ctx.Process.write "cmd" x;
+      ctx.Process.write "act_out" x);
+  add "Logger" (fun ctx -> ctx.Process.write "log_out" (ctx.Process.read "cmd"));
+  add "Telemetry" (fun ctx ->
+      ctx.Process.write "tm_out" (V.Int ctx.Process.job_index));
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:"Sensor"
+    ~reader:"Control" "meas";
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:"Control"
+    ~reader:"Logger" "cmd";
+  Network.Builder.add_priority b "Sensor" "Control";
+  Network.Builder.add_priority b "Control" "Logger";
+  Network.Builder.add_output b ~owner:"Control" "act_out";
+  Network.Builder.add_output b ~owner:"Logger" "log_out";
+  Network.Builder.add_output b ~owner:"Telemetry" "tm_out";
+  Network.Builder.finish_exn b
+
+let mc_spec () =
+  Spec.of_list ~default_criticality:Spec.Lo
+    ~wcet_lo:
+      (Derive.wcet_of_list (ms 30)
+         [ ("Sensor", ms 15); ("Control", ms 20) ])
+    ~hi:[ ("Sensor", ms 40); ("Control", ms 55) ]
+
+let test_spec_accessors () =
+  let spec = mc_spec () in
+  Alcotest.(check bool) "Sensor is HI" true (Spec.criticality spec "Sensor" = Spec.Hi);
+  Alcotest.(check bool) "Logger is LO" true (Spec.criticality spec "Logger" = Spec.Lo);
+  Alcotest.(check bool) "C_LO" true (Rat.equal (Spec.wcet_lo spec "Sensor") (ms 15));
+  Alcotest.(check bool) "C_HI for HI" true (Rat.equal (Spec.wcet_hi spec "Sensor") (ms 40));
+  Alcotest.(check bool) "C_HI = C_LO for LO" true
+    (Rat.equal (Spec.wcet_hi spec "Logger") (ms 30))
+
+let test_spec_rejects_inverted_budgets () =
+  let bad =
+    Spec.of_list ~default_criticality:Spec.Lo
+      ~wcet_lo:(Derive.const_wcet (ms 50))
+      ~hi:[ ("X", ms 10) ]
+  in
+  Alcotest.(check bool) "C_HI < C_LO rejected" true
+    (try
+       ignore (Spec.wcet_hi bad "X");
+       false
+     with Invalid_argument _ -> true)
+
+let test_dual_schedule_build () =
+  let dual = Dual_schedule.build_exn ~n_procs:2 ~spec:(mc_spec ()) (mc_net ()) in
+  let full = dual.Dual_schedule.derived.Derive.graph in
+  Alcotest.(check int) "full graph: 4 jobs" 4 (Graph.n_jobs full);
+  let hi = Option.get dual.Dual_schedule.hi in
+  Alcotest.(check int) "hi graph: 2 jobs" 2 (Graph.n_jobs hi.Dual_schedule.hi_graph);
+  (* HI graph carries the conservative budgets *)
+  Array.iter
+    (fun j ->
+      let expected = if j.Job.proc_name = "Sensor" then ms 40 else ms 55 in
+      Alcotest.(check bool) (j.Job.proc_name ^ " C_HI") true
+        (Rat.equal j.Job.wcet expected))
+    (Graph.jobs hi.Dual_schedule.hi_graph);
+  (* precedence Sensor -> Control survives the restriction *)
+  Alcotest.(check bool) "hi edge kept" true
+    (Graph.has_edge hi.Dual_schedule.hi_graph 0 1)
+
+let test_dual_schedule_infeasible () =
+  (* conservative budgets too large for the 100 ms frame *)
+  let spec =
+    Spec.of_list ~default_criticality:Spec.Lo
+      ~wcet_lo:(Derive.wcet_of_list (ms 10) [ ("Sensor", ms 15); ("Control", ms 20) ])
+      ~hi:[ ("Sensor", ms 60); ("Control", ms 60) ]
+  in
+  match Dual_schedule.build ~n_procs:2 ~spec (mc_net ()) with
+  | Error Dual_schedule.Hi_infeasible -> ()
+  | Error e ->
+    Alcotest.failf "expected Hi_infeasible, got %s"
+      (Format.asprintf "%a" Dual_schedule.pp_error e)
+  | Ok _ -> Alcotest.fail "expected infeasibility"
+
+let run_mc ?(frames = 3) ~exec () =
+  let net = mc_net () in
+  let spec = mc_spec () in
+  let dual = Dual_schedule.build_exn ~n_procs:2 ~spec net in
+  let config = { (Mc_engine.default_config ~frames ~n_procs:2 ()) with Mc_engine.exec } in
+  Mc_engine.run net ~spec dual config
+
+let test_no_overrun_stays_in_lo () =
+  (* true durations at the optimistic budgets: never degrade *)
+  let spec = mc_spec () in
+  let exec = Exec_time.profile (Spec.wcet_lo spec) in
+  let r = run_mc ~exec () in
+  Alcotest.(check (list (pair int (testable Rat.pp Rat.equal)))) "no switches" []
+    r.Mc_engine.mode_switches;
+  Alcotest.(check int) "nothing dropped" 0 r.Mc_engine.dropped_lo;
+  Alcotest.(check int) "no HI misses" 0 r.Mc_engine.hi_misses;
+  Alcotest.(check int) "no LO misses" 0 r.Mc_engine.lo_misses;
+  (* LO-mode behavior equals the zero-delay reference *)
+  let net = mc_net () in
+  let zd =
+    Fppn.Semantics.run net (Fppn.Semantics.invocations ~horizon:(ms 300) net)
+  in
+  Alcotest.(check bool) "deterministic in LO mode" true
+    (List.equal
+       (fun (n1, h1) (n2, h2) -> n1 = n2 && List.equal V.equal h1 h2)
+       (Fppn.Semantics.signature zd)
+       (Mc_engine.signature r))
+
+let test_overrun_degrades_and_protects_hi () =
+  (* every HI job runs to its conservative budget: every frame degrades *)
+  let spec = mc_spec () in
+  let exec = Exec_time.profile (Spec.wcet_hi spec) in
+  let r = run_mc ~frames:3 ~exec () in
+  Alcotest.(check int) "every frame switches" 3
+    (List.length r.Mc_engine.mode_switches);
+  Alcotest.(check bool) "LO jobs dropped" true (r.Mc_engine.dropped_lo > 0);
+  Alcotest.(check int) "HI deadlines protected" 0 r.Mc_engine.hi_misses;
+  (* HI outputs still present every frame; Logger output starved in
+     degraded frames *)
+  let act = List.assoc "act_out" r.Mc_engine.output_history in
+  Alcotest.(check int) "three control commands" 3 (List.length act);
+  let log = List.assoc "log_out" r.Mc_engine.output_history in
+  Alcotest.(check bool) "logger starved" true (List.length log < 3)
+
+let test_switch_instant_is_the_budget_expiry () =
+  let spec = mc_spec () in
+  let exec = Exec_time.profile (Spec.wcet_hi spec) in
+  let r = run_mc ~frames:1 ~exec () in
+  match r.Mc_engine.mode_switches with
+  | [ (0, t) ] ->
+    (* Sensor starts at 0 and overruns its 15 ms budget *)
+    Alcotest.(check bool) "switch at the Sensor budget expiry" true
+      (Rat.equal t (ms 15))
+  | l -> Alcotest.failf "expected one switch, got %d" (List.length l)
+
+let test_partial_overrun_pattern () =
+  (* jittered durations across many frames: some degrade, some do not;
+     the HI guarantee must hold in every frame *)
+  let exec = Exec_time.uniform ~seed:11 ~min_fraction:0.3 in
+  let r = run_mc ~frames:20 ~exec () in
+  let switches = List.length r.Mc_engine.mode_switches in
+  Alcotest.(check bool) "some frames degraded" true (switches > 0);
+  Alcotest.(check bool) "some frames clean" true (switches < 20);
+  Alcotest.(check int) "HI never misses" 0 r.Mc_engine.hi_misses;
+  (* consistency: dropped LO jobs only in degraded frames *)
+  let degraded = List.map fst r.Mc_engine.mode_switches in
+  List.iter
+    (fun (rec_ : Exec_trace.record) ->
+      if rec_.Exec_trace.skipped then
+        Alcotest.(check bool)
+          (Printf.sprintf "drop of %s only in a degraded frame" rec_.Exec_trace.label)
+          true
+          (List.mem rec_.Exec_trace.frame degraded))
+    r.Mc_engine.trace
+
+(* With no HI processes the MC engine must coincide with the plain
+   runtime on the same schedule. *)
+let test_all_lo_equals_plain_engine () =
+  let net = mc_net () in
+  let spec =
+    Spec.of_list ~default_criticality:Spec.Lo
+      ~wcet_lo:(Taskgraph.Derive.wcet_of_list (ms 30)
+                  [ ("Sensor", ms 15); ("Control", ms 20) ])
+      ~hi:[]
+  in
+  let dual = Dual_schedule.build_exn ~n_procs:2 ~spec net in
+  let mc =
+    Mc_engine.run net ~spec dual
+      (Mc_engine.default_config ~frames:3 ~n_procs:2 ())
+  in
+  let plain =
+    Runtime.Engine.run net dual.Dual_schedule.derived
+      dual.Dual_schedule.lo_schedule
+      (Runtime.Engine.default_config ~frames:3 ~n_procs:2 ())
+  in
+  Alcotest.(check bool) "no switches" true (mc.Mc_engine.mode_switches = []);
+  Alcotest.(check bool) "identical channel histories" true
+    (List.equal
+       (fun (n1, h1) (n2, h2) -> n1 = n2 && List.equal V.equal h1 h2)
+       (Mc_engine.signature mc)
+       (Runtime.Engine.signature plain));
+  (* traces coincide record for record *)
+  Alcotest.(check int) "same record count"
+    (List.length plain.Runtime.Engine.trace)
+    (List.length mc.Mc_engine.trace)
+
+let () =
+  Alcotest.run "mixedcrit"
+    [
+      ( "graph-restriction",
+        [
+          Alcotest.test_case "paths preserved" `Quick test_induced_preserves_paths;
+          Alcotest.test_case "map_wcet" `Quick test_map_wcet;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "accessors" `Quick test_spec_accessors;
+          Alcotest.test_case "inverted budgets" `Quick test_spec_rejects_inverted_budgets;
+        ] );
+      ( "dual-schedule",
+        [
+          Alcotest.test_case "build" `Quick test_dual_schedule_build;
+          Alcotest.test_case "infeasible" `Quick test_dual_schedule_infeasible;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "no overrun" `Quick test_no_overrun_stays_in_lo;
+          Alcotest.test_case "overrun degrades" `Quick test_overrun_degrades_and_protects_hi;
+          Alcotest.test_case "switch instant" `Quick test_switch_instant_is_the_budget_expiry;
+          Alcotest.test_case "partial overruns" `Quick test_partial_overrun_pattern;
+          Alcotest.test_case "all-LO equals plain engine" `Quick
+            test_all_lo_equals_plain_engine;
+        ] );
+    ]

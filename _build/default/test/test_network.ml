@@ -1,0 +1,242 @@
+module Rat = Rt_util.Rat
+module V = Fppn.Value
+module Event = Fppn.Event
+module Process = Fppn.Process
+module Network = Fppn.Network
+
+let ms = Rat.of_int
+let rat = Alcotest.testable Rat.pp Rat.equal
+let nop _ = ()
+
+let periodic ?(burst = 1) name period =
+  Process.make ~name
+    ~event:(Event.periodic ~burst ~period:(ms period) ~deadline:(ms period) ())
+    (Process.Native nop)
+
+let sporadic ?(burst = 1) ?deadline name period =
+  let deadline = match deadline with Some d -> ms d | None -> ms (2 * period) in
+  Process.make ~name
+    ~event:(Event.sporadic ~burst ~min_period:(ms period) ~deadline ())
+    (Process.Native nop)
+
+(* two periodic processes with one channel and one priority edge *)
+let tiny () =
+  let b = Network.Builder.create "tiny" in
+  Network.Builder.add_process b (periodic "A" 100);
+  Network.Builder.add_process b (periodic "B" 200);
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Fifo ~writer:"A" ~reader:"B" "c";
+  Network.Builder.add_priority b "A" "B";
+  b
+
+let test_build_ok () =
+  let net = Network.Builder.finish_exn (tiny ()) in
+  Alcotest.(check int) "2 processes" 2 (Network.n_processes net);
+  Alcotest.(check int) "A index" 0 (Network.find net "A");
+  Alcotest.(check bool) "A higher priority" true
+    (Network.higher_priority net 0 1);
+  Alcotest.(check bool) "related either way" true (Network.related net 1 0);
+  Alcotest.(check bool) "rank order" true
+    (Network.fp_rank net 0 < Network.fp_rank net 1);
+  Alcotest.check rat "hyperperiod" (ms 200) (Network.hyperperiod net);
+  Alcotest.(check int) "one channel between" 1
+    (List.length (Network.channels_between net 0 1))
+
+let expect_errors b expected =
+  match Network.Builder.finish b with
+  | Ok _ -> Alcotest.fail "expected validation errors"
+  | Error errs ->
+    let strings =
+      List.map (fun e -> Format.asprintf "%a" Network.pp_error e) errs
+    in
+    List.iter
+      (fun needle ->
+        if
+          not
+            (List.exists
+               (fun s ->
+                 (* substring check *)
+                 let nl = String.length needle and sl = String.length s in
+                 let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
+                 scan 0)
+               strings)
+        then
+          Alcotest.failf "missing error %S among [%s]" needle
+            (String.concat "; " strings))
+      expected
+
+let test_duplicate_process () =
+  let b = tiny () in
+  Network.Builder.add_process b (periodic "A" 100);
+  expect_errors b [ "duplicate process \"A\"" ]
+
+let test_unknown_process () =
+  let b = tiny () in
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Fifo ~writer:"A" ~reader:"Ghost" "g";
+  expect_errors b [ "unknown process \"Ghost\"" ]
+
+let test_duplicate_channel () =
+  let b = tiny () in
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Fifo ~writer:"B" ~reader:"A" "c";
+  expect_errors b [ "duplicate channel \"c\"" ]
+
+let test_self_channel () =
+  let b = tiny () in
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Fifo ~writer:"A" ~reader:"A" "self";
+  expect_errors b [ "connects a process to itself" ]
+
+let test_priority_cycle () =
+  let b = tiny () in
+  Network.Builder.add_priority b "B" "A";
+  expect_errors b [ "functional priority cycle" ]
+
+let test_missing_priority () =
+  let b = Network.Builder.create "nopr" in
+  Network.Builder.add_process b (periodic "A" 100);
+  Network.Builder.add_process b (periodic "B" 100);
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Fifo ~writer:"A" ~reader:"B" "c";
+  expect_errors b [ "no functional priority between" ]
+
+let test_empty_network () =
+  expect_errors (Network.Builder.create "empty") [ "network has no processes" ]
+
+let test_duplicate_io () =
+  let b = tiny () in
+  Network.Builder.add_input b ~owner:"A" "in";
+  Network.Builder.add_input b ~owner:"B" "in";
+  expect_errors b [ "duplicate external channel \"in\"" ]
+
+(* --- user map (scheduling subclass, Sec. III-A) ----------------------- *)
+
+let with_sporadic ~user_period ~sporadic_period ~deadline () =
+  let b = Network.Builder.create "sub" in
+  Network.Builder.add_process b (periodic "U" user_period);
+  Network.Builder.add_process b (sporadic ~deadline "S" sporadic_period);
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:"S"
+    ~reader:"U" "cfg";
+  Network.Builder.add_priority b "S" "U";
+  Network.Builder.finish_exn b
+
+let test_user_map_ok () =
+  let net = with_sporadic ~user_period:100 ~sporadic_period:300 ~deadline:600 () in
+  match Network.user_map net with
+  | Error _ -> Alcotest.fail "expected Ok"
+  | Ok users ->
+    Alcotest.(check (option int)) "U has no user" None users.(Network.find net "U");
+    Alcotest.(check (option int)) "S's user is U"
+      (Some (Network.find net "U"))
+      users.(Network.find net "S")
+
+let test_user_map_no_user () =
+  let b = Network.Builder.create "nouser" in
+  Network.Builder.add_process b (periodic "U" 100);
+  Network.Builder.add_process b (sporadic "S" 300);
+  (* no channel: S has no user *)
+  let net = Network.Builder.finish_exn b in
+  match Network.user_map net with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error [ Network.No_user "S" ] -> ()
+  | Error _ -> Alcotest.fail "expected No_user"
+
+let test_user_map_period_too_large () =
+  let net = with_sporadic ~user_period:500 ~sporadic_period:300 ~deadline:600 () in
+  match Network.user_map net with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error [ Network.User_period_too_large { sporadic = "S"; user = "U" } ] -> ()
+  | Error _ -> Alcotest.fail "expected User_period_too_large"
+
+let test_user_map_ambiguous () =
+  let b = Network.Builder.create "ambig" in
+  Network.Builder.add_process b (periodic "U1" 100);
+  Network.Builder.add_process b (periodic "U2" 100);
+  Network.Builder.add_process b (sporadic "S" 300);
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:"S" ~reader:"U1" "c1";
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:"S" ~reader:"U2" "c2";
+  Network.Builder.add_priority b "S" "U1";
+  Network.Builder.add_priority b "S" "U2";
+  let net = Network.Builder.finish_exn b in
+  match Network.user_map net with
+  | Error [ Network.Ambiguous_user ("S", [ "U1"; "U2" ]) ] -> ()
+  | _ -> Alcotest.fail "expected Ambiguous_user"
+
+let test_user_map_sporadic_user () =
+  let b = Network.Builder.create "spuser" in
+  Network.Builder.add_process b (periodic "P" 100);
+  Network.Builder.add_process b (sporadic "S1" 200);
+  Network.Builder.add_process b (sporadic "S2" 400);
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:"S2" ~reader:"S1" "c";
+  Network.Builder.add_priority b "S2" "S1";
+  let net = Network.Builder.finish_exn b in
+  match Network.user_map net with
+  | Error errs ->
+    Alcotest.(check bool) "mentions sporadic user" true
+      (List.exists
+         (function Network.Sporadic_user _ -> true | _ -> false)
+         errs)
+  | Ok _ -> Alcotest.fail "expected error"
+
+(* --- rendering, I/O accessors ----------------------------------------- *)
+
+let test_io_and_dot () =
+  let b = tiny () in
+  Network.Builder.add_input b ~owner:"A" "ext_in";
+  Network.Builder.add_output b ~owner:"B" "ext_out";
+  let net = Network.Builder.finish_exn b in
+  Alcotest.(check int) "one input" 1 (List.length (Network.inputs net));
+  Alcotest.(check int) "one output" 1 (List.length (Network.outputs net));
+  Alcotest.(check int) "io of A" 1 (List.length (Network.io_of net "A"));
+  let dot = Network.to_dot net in
+  List.iter
+    (fun needle ->
+      let nl = String.length needle and sl = String.length dot in
+      let rec scan i = i + nl <= sl && (String.sub dot i nl = needle || scan (i + 1)) in
+      Alcotest.(check bool) (Printf.sprintf "dot mentions %s" needle) true (scan 0))
+    [ "digraph"; "\"A\""; "\"B\""; "ext_in"; "fifo" ]
+
+let test_fig1_shape () =
+  (* structural checks against the paper's Fig. 1 *)
+  let net = Fppn_apps.Fig1.network () in
+  Alcotest.(check int) "7 processes" 7 (Network.n_processes net);
+  Alcotest.(check int) "7 internal channels" 7 (List.length (Network.channels net));
+  let coefb = Network.process net (Network.find net "CoefB") in
+  Alcotest.(check bool) "CoefB sporadic" true (Process.is_sporadic coefb);
+  Alcotest.(check int) "CoefB burst 2" 2 (Process.burst coefb);
+  Alcotest.check rat "CoefB min period 700" (ms 700) (Process.period coefb);
+  Alcotest.check rat "hyperperiod 200 excluding sporadic periods via lcm"
+    (ms 1400)
+    (Network.hyperperiod net);
+  match Network.user_map net with
+  | Error _ -> Alcotest.fail "Fig.1 is in the scheduling subclass"
+  | Ok users ->
+    Alcotest.(check (option int)) "CoefB's user is FilterB"
+      (Some (Network.find net "FilterB"))
+      users.(Network.find net "CoefB")
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "valid build" `Quick test_build_ok;
+          Alcotest.test_case "duplicate process" `Quick test_duplicate_process;
+          Alcotest.test_case "unknown process" `Quick test_unknown_process;
+          Alcotest.test_case "duplicate channel" `Quick test_duplicate_channel;
+          Alcotest.test_case "self channel" `Quick test_self_channel;
+          Alcotest.test_case "priority cycle" `Quick test_priority_cycle;
+          Alcotest.test_case "missing priority" `Quick test_missing_priority;
+          Alcotest.test_case "empty network" `Quick test_empty_network;
+          Alcotest.test_case "duplicate io" `Quick test_duplicate_io;
+        ] );
+      ( "user-map",
+        [
+          Alcotest.test_case "ok" `Quick test_user_map_ok;
+          Alcotest.test_case "no user" `Quick test_user_map_no_user;
+          Alcotest.test_case "period too large" `Quick test_user_map_period_too_large;
+          Alcotest.test_case "ambiguous" `Quick test_user_map_ambiguous;
+          Alcotest.test_case "sporadic user" `Quick test_user_map_sporadic_user;
+        ] );
+      ( "accessors",
+        [
+          Alcotest.test_case "io and dot" `Quick test_io_and_dot;
+          Alcotest.test_case "fig1 shape" `Quick test_fig1_shape;
+        ] );
+    ]

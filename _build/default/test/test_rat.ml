@@ -1,0 +1,154 @@
+module Rat = Rt_util.Rat
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let check_rat = Alcotest.check rat
+
+let test_normalization () =
+  check_rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  check_rat "-6/4 = -3/2" (Rat.make (-3) 2) (Rat.make 6 (-4));
+  check_rat "0/7 = 0" Rat.zero (Rat.make 0 7);
+  Alcotest.(check int) "num of 3/2" 3 (Rat.num (Rat.make 6 4));
+  Alcotest.(check int) "den of 3/2" 2 (Rat.den (Rat.make 6 4));
+  Alcotest.(check int) "den positive after sign flip" 4 (Rat.den (Rat.make (-3) (-4) |> Rat.neg |> Rat.neg))
+
+let test_zero_denominator () =
+  Alcotest.check_raises "make x 0" Rat.Division_by_zero (fun () ->
+      ignore (Rat.make 1 0))
+
+let test_arithmetic () =
+  check_rat "1/2 + 1/3" (Rat.make 5 6) (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "1/2 - 1/3" (Rat.make 1 6) (Rat.sub (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "2/3 * 3/4" (Rat.make 1 2) (Rat.mul (Rat.make 2 3) (Rat.make 3 4));
+  check_rat "(1/2) / (1/4)" (Rat.of_int 2) (Rat.div (Rat.make 1 2) (Rat.make 1 4));
+  Alcotest.check_raises "div by zero" Rat.Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Rat.(Rat.make 1 3 < Rat.make 1 2);
+  Alcotest.(check bool) "2/4 = 1/2" true (Rat.equal (Rat.make 2 4) (Rat.make 1 2));
+  Alcotest.(check int) "sign -5/3" (-1) (Rat.sign (Rat.make (-5) 3));
+  Alcotest.(check int) "sign 0" 0 (Rat.sign Rat.zero)
+
+let test_floor_ceil () =
+  Alcotest.(check int) "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+  Alcotest.(check int) "ceil 7/2" 4 (Rat.ceil (Rat.make 7 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2));
+  Alcotest.(check int) "floor of integer" 5 (Rat.floor (Rat.of_int 5));
+  Alcotest.(check int) "fdiv 700/200" 3 (Rat.fdiv (Rat.of_int 700) (Rat.of_int 200))
+
+let test_lcm () =
+  (* the FMS hyperperiods of Sec. V-B *)
+  let l = Rat.lcm_list (List.map Rat.of_int [ 200; 5000; 1600; 1000 ]) in
+  check_rat "original FMS hyperperiod" (Rat.of_int 40000) l;
+  let l' = Rat.lcm_list (List.map Rat.of_int [ 200; 5000; 400; 1000 ]) in
+  check_rat "reduced FMS hyperperiod" (Rat.of_int 10000) l';
+  (* rational lcm, footnote 4 *)
+  check_rat "lcm 1/2 1/3 = 1" Rat.one (Rat.lcm (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "lcm 3/2 1/2 = 3/2" (Rat.make 3 2) (Rat.lcm (Rat.make 3 2) (Rat.make 1 2));
+  Alcotest.check_raises "lcm needs positive"
+    (Invalid_argument "Rat.lcm: arguments must be positive") (fun () ->
+      ignore (Rat.lcm Rat.zero Rat.one))
+
+let test_to_int () =
+  Alcotest.(check int) "to_int_exn 5" 5 (Rat.to_int_exn (Rat.of_int 5));
+  Alcotest.(check bool) "is_integer 4/2" true (Rat.is_integer (Rat.make 4 2));
+  Alcotest.(check bool) "not integer 1/2" false (Rat.is_integer (Rat.make 1 2))
+
+let test_of_string () =
+  check_rat "parse 42" (Rat.of_int 42) (Rat.of_string "42");
+  check_rat "parse 3/4" (Rat.make 3 4) (Rat.of_string "3/4");
+  check_rat "parse 2.5" (Rat.make 5 2) (Rat.of_string "2.5");
+  check_rat "parse -1.25" (Rat.make (-5) 4) (Rat.of_string "-1.25");
+  check_rat "parse .5" (Rat.make 1 2) (Rat.of_string "0.5");
+  Alcotest.(check string) "print 3/4" "3/4" (Rat.to_string (Rat.make 3 4));
+  Alcotest.(check string) "print integer" "7" (Rat.to_string (Rat.of_int 7));
+  Alcotest.check_raises "garbage" (Invalid_argument "Rat.of_string: \"abc\"")
+    (fun () -> ignore (Rat.of_string "abc"))
+
+let test_overflow () =
+  let big = Rat.of_int max_int in
+  Alcotest.check_raises "mul overflow" Rat.Overflow (fun () ->
+      ignore (Rat.mul big (Rat.of_int 2)));
+  Alcotest.check_raises "add overflow" Rat.Overflow (fun () ->
+      ignore (Rat.add big big))
+
+(* --- properties ----------------------------------------------------- *)
+
+let small_rat_gen =
+  QCheck2.Gen.(
+    map2
+      (fun n d -> Rat.make n d)
+      (int_range (-1000) 1000)
+      (int_range 1 1000))
+
+let qprop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:500 gen f)
+
+let prop_add_commutative =
+  qprop "add commutative" (QCheck2.Gen.pair small_rat_gen small_rat_gen)
+    (fun (a, b) -> Rat.equal (Rat.add a b) (Rat.add b a))
+
+let prop_add_associative =
+  qprop "add associative"
+    (QCheck2.Gen.triple small_rat_gen small_rat_gen small_rat_gen)
+    (fun (a, b, c) ->
+      Rat.equal (Rat.add a (Rat.add b c)) (Rat.add (Rat.add a b) c))
+
+let prop_mul_distributes =
+  qprop "mul distributes over add"
+    (QCheck2.Gen.triple small_rat_gen small_rat_gen small_rat_gen)
+    (fun (a, b, c) ->
+      Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)))
+
+let prop_compare_antisym =
+  qprop "compare antisymmetric" (QCheck2.Gen.pair small_rat_gen small_rat_gen)
+    (fun (a, b) -> Rat.compare a b = -Rat.compare b a)
+
+let prop_lcm_divides =
+  let pos_gen =
+    QCheck2.Gen.(
+      map2 (fun n d -> Rat.make n d) (int_range 1 500) (int_range 1 500))
+  in
+  qprop "lcm is a common multiple" (QCheck2.Gen.pair pos_gen pos_gen)
+    (fun (a, b) ->
+      let l = Rat.lcm a b in
+      Rat.is_integer (Rat.div l a) && Rat.is_integer (Rat.div l b))
+
+let prop_floor_bound =
+  qprop "floor bounds" small_rat_gen (fun a ->
+      let f = Rat.floor a in
+      let fl = Rat.of_int f in
+      let fl1 = Rat.of_int (Stdlib.( + ) f 1) in
+      Rat.(fl <= a) && Rat.(a < fl1))
+
+let prop_string_roundtrip =
+  qprop "to_string/of_string roundtrip" small_rat_gen (fun a ->
+      Rat.equal a (Rat.of_string (Rat.to_string a)))
+
+let () =
+  Alcotest.run "rat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "zero denominator" `Quick test_zero_denominator;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+          Alcotest.test_case "lcm" `Quick test_lcm;
+          Alcotest.test_case "to_int" `Quick test_to_int;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "overflow" `Quick test_overflow;
+        ] );
+      ( "properties",
+        [
+          prop_add_commutative;
+          prop_add_associative;
+          prop_mul_distributes;
+          prop_compare_antisym;
+          prop_lcm_divides;
+          prop_floor_bound;
+          prop_string_roundtrip;
+        ] );
+    ]

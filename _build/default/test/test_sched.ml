@@ -1,0 +1,397 @@
+module Rat = Rt_util.Rat
+module Digraph = Rt_util.Digraph
+module Graph = Taskgraph.Graph
+module Job = Taskgraph.Job
+module Derive = Taskgraph.Derive
+module Priority = Sched.Priority
+module Static_schedule = Sched.Static_schedule
+module List_scheduler = Sched.List_scheduler
+
+let ms = Rat.of_int
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let mk_job id ?(name = Printf.sprintf "P%d" id) ?(k = 1) a d c =
+  {
+    Job.id;
+    proc = id;
+    proc_name = name;
+    k;
+    arrival = ms a;
+    deadline = ms d;
+    wcet = ms c;
+    is_server = false;
+  }
+
+let chain3 () =
+  (* J0 -> J1 -> J2, plenty of slack *)
+  let jobs = [| mk_job 0 0 300 50; mk_job 1 0 300 50; mk_job 2 0 300 50 |] in
+  let dag = Digraph.create 3 in
+  Digraph.add_edge dag 0 1;
+  Digraph.add_edge dag 1 2;
+  Graph.make jobs dag
+
+(* --- priority heuristics ------------------------------------------------ *)
+
+let test_heuristic_orders () =
+  let jobs =
+    [| mk_job 0 0 300 10; mk_job 1 0 100 10; mk_job 2 50 200 10 |]
+  in
+  let g = Graph.make jobs (Digraph.create 3) in
+  Alcotest.(check (array int)) "EDF-nominal sorts by deadline" [| 1; 2; 0 |]
+    (Priority.order g Priority.Edf_nominal);
+  Alcotest.(check (array int)) "FIFO sorts by arrival" [| 0; 1; 2 |]
+    (Priority.order g Priority.Fifo_arrival);
+  Alcotest.(check (array int)) "DM sorts by relative deadline" [| 1; 2; 0 |]
+    (Priority.order g Priority.Deadline_monotonic);
+  (* rank is the inverse of order *)
+  let rank = Priority.rank g Priority.Edf_nominal in
+  Alcotest.(check int) "rank of highest" 0 rank.(1);
+  Alcotest.(check int) "rank of lowest" 2 rank.(0)
+
+let test_blevel_priority () =
+  let g = chain3 () in
+  Alcotest.(check (array int)) "b-level: deepest first" [| 0; 1; 2 |]
+    (Priority.order g Priority.B_level)
+
+let test_heuristic_strings () =
+  List.iter
+    (fun h ->
+      match Priority.of_string (Priority.to_string h) with
+      | Some h' -> Alcotest.(check bool) "roundtrip" true (h = h')
+      | None -> Alcotest.fail "of_string failed")
+    Priority.all;
+  Alcotest.(check bool) "unknown string" true (Priority.of_string "bogus" = None)
+
+(* --- static schedule checker -------------------------------------------- *)
+
+let entry proc start = { Static_schedule.proc; start = ms start }
+
+let test_check_valid () =
+  let g = chain3 () in
+  let s = Static_schedule.make ~n_procs:2 [| entry 0 0; entry 1 50; entry 0 100 |] in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map
+       (Format.asprintf "%a" (Static_schedule.pp_violation g))
+       (Static_schedule.check g s));
+  Alcotest.check rat "makespan" (ms 150) (Static_schedule.makespan g s);
+  Alcotest.(check (list int)) "static order on M1" [ 0; 2 ] (Static_schedule.jobs_on s 0)
+
+let test_check_violations () =
+  let g = chain3 () in
+  (* J1 starts before J0 completes; J2 overlaps J0 on processor 0;
+     also J2 starts before its predecessor J1 finishes *)
+  let s = Static_schedule.make ~n_procs:2 [| entry 0 0; entry 1 20; entry 0 30 |] in
+  let vs = Static_schedule.check g s in
+  let has p = List.exists p vs in
+  Alcotest.(check bool) "precedence violated" true
+    (has (function Static_schedule.Precedence _ -> true | _ -> false));
+  Alcotest.(check bool) "overlap detected" true
+    (has (function Static_schedule.Overlap _ -> true | _ -> false));
+  Alcotest.(check bool) "not feasible" false (Static_schedule.is_feasible g s)
+
+let test_check_arrival_deadline () =
+  let jobs = [| mk_job 0 100 150 20 |] in
+  let g = Graph.make jobs (Digraph.create 1) in
+  let early = Static_schedule.make ~n_procs:1 [| entry 0 50 |] in
+  Alcotest.(check bool) "arrival violation" true
+    (List.exists
+       (function Static_schedule.Arrival 0 -> true | _ -> false)
+       (Static_schedule.check g early));
+  let late = Static_schedule.make ~n_procs:1 [| entry 0 140 |] in
+  Alcotest.(check bool) "deadline violation" true
+    (List.exists
+       (function Static_schedule.Deadline 0 -> true | _ -> false)
+       (Static_schedule.check g late))
+
+let test_make_validation () =
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Static_schedule.make ~n_procs:1 [||]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "processor out of range rejected" true
+    (try
+       ignore (Static_schedule.make ~n_procs:1 [| entry 3 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- list scheduler ------------------------------------------------------ *)
+
+let test_list_scheduling_chain () =
+  let g = chain3 () in
+  let s = List_scheduler.schedule_with ~heuristic:Priority.Alap_edf ~n_procs:2 g in
+  Alcotest.(check bool) "feasible" true (Static_schedule.is_feasible g s);
+  (* a chain cannot be parallelized: makespan = 150 regardless of M *)
+  Alcotest.check rat "chain makespan" (ms 150) (Static_schedule.makespan g s)
+
+let test_list_scheduling_parallelism () =
+  (* two independent jobs must run in parallel on two processors *)
+  let jobs = [| mk_job 0 0 100 80; mk_job 1 0 100 80 |] in
+  let g = Graph.make jobs (Digraph.create 2) in
+  let s1 = List_scheduler.schedule_with ~heuristic:Priority.Alap_edf ~n_procs:1 g in
+  Alcotest.(check bool) "M=1 infeasible (160 > 100)" false
+    (Static_schedule.is_feasible g s1);
+  let s2 = List_scheduler.schedule_with ~heuristic:Priority.Alap_edf ~n_procs:2 g in
+  Alcotest.(check bool) "M=2 feasible" true (Static_schedule.is_feasible g s2);
+  Alcotest.check rat "parallel makespan" (ms 80) (Static_schedule.makespan g s2);
+  Alcotest.(check bool) "jobs on different processors" true
+    (Static_schedule.proc s2 0 <> Static_schedule.proc s2 1)
+
+let test_list_scheduling_respects_arrival () =
+  let jobs = [| mk_job 0 100 300 50 |] in
+  let g = Graph.make jobs (Digraph.create 1) in
+  let s = List_scheduler.schedule_with ~heuristic:Priority.Fifo_arrival ~n_procs:1 g in
+  Alcotest.check rat "waits for arrival" (ms 100) (Static_schedule.start s 0)
+
+let test_list_scheduling_priority_decides () =
+  (* two ready jobs, one processor: the higher-priority one goes first *)
+  let jobs = [| mk_job 0 0 400 50; mk_job 1 0 100 50 |] in
+  let g = Graph.make jobs (Digraph.create 2) in
+  let s = List_scheduler.schedule_with ~heuristic:Priority.Edf_nominal ~n_procs:1 g in
+  Alcotest.check rat "urgent job first" (ms 0) (Static_schedule.start s 1);
+  Alcotest.check rat "other second" (ms 50) (Static_schedule.start s 0)
+
+let test_auto_fig1 () =
+  let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet (Fppn_apps.Fig1.network ()) in
+  let g = d.Derive.graph in
+  (* 10 jobs x 25 ms = 250 ms > 200 ms: one processor cannot work *)
+  let _, best1 = List_scheduler.auto ~n_procs:1 g in
+  Alcotest.(check bool) "M=1 infeasible" true (best1 = None);
+  (* the paper's Fig. 4 uses two processors *)
+  let attempts, best2 = List_scheduler.auto ~n_procs:2 g in
+  Alcotest.(check int) "all heuristics tried" (List.length Priority.all)
+    (List.length attempts);
+  match best2 with
+  | None -> Alcotest.fail "M=2 must be feasible as in Fig. 4"
+  | Some a ->
+    Alcotest.(check bool) "chosen attempt is feasible" true
+      a.List_scheduler.feasible;
+    Alcotest.(check bool) "fits in the frame" true
+      Rat.(a.List_scheduler.makespan <= ms 200)
+
+(* --- priority optimizer ----------------------------------------------------- *)
+
+let test_optimizer_never_worse () =
+  let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet (Fppn_apps.Fig1.network ()) in
+  let g = d.Derive.graph in
+  let base =
+    List_scheduler.schedule_with ~heuristic:Priority.Alap_edf ~n_procs:2 g
+  in
+  let o = Sched.Optimizer.improve ~seed:3 ~iterations:100 ~n_procs:2 g in
+  Alcotest.(check bool) "still feasible" true o.Sched.Optimizer.feasible;
+  Alcotest.(check bool) "makespan not worse" true
+    Rat.(o.Sched.Optimizer.makespan <= Static_schedule.makespan g base);
+  Alcotest.(check bool) "resulting schedule is structurally valid" true
+    (List.for_all
+       (function Static_schedule.Deadline _ -> true | _ -> false)
+       (Static_schedule.check g o.Sched.Optimizer.schedule))
+
+let test_optimizer_repairs_bad_heuristic () =
+  (* FIFO misses a deadline on fig1; the optimizer should repair it *)
+  let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet (Fppn_apps.Fig1.network ()) in
+  let g = d.Derive.graph in
+  let base = List_scheduler.schedule_with ~heuristic:Priority.Fifo_arrival ~n_procs:2 g in
+  Alcotest.(check bool) "FIFO baseline infeasible" false
+    (Static_schedule.is_feasible g base);
+  let o =
+    Sched.Optimizer.improve ~seed:7 ~iterations:600 ~start:Priority.Fifo_arrival
+      ~n_procs:2 g
+  in
+  Alcotest.(check bool) "optimizer repaired feasibility" true
+    o.Sched.Optimizer.feasible;
+  Alcotest.(check bool) "some swaps were accepted" true
+    (o.Sched.Optimizer.improvements > 0)
+
+let test_optimizer_deterministic () =
+  let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet (Fppn_apps.Fig1.network ()) in
+  let g = d.Derive.graph in
+  let a = Sched.Optimizer.improve ~seed:5 ~iterations:50 ~n_procs:2 g in
+  let b = Sched.Optimizer.improve ~seed:5 ~iterations:50 ~n_procs:2 g in
+  Alcotest.(check (array int)) "same seed, same ranks" a.Sched.Optimizer.rank
+    b.Sched.Optimizer.rank
+
+(* --- exact branch-and-bound --------------------------------------------------- *)
+
+let test_exact_chain () =
+  let g = chain3 () in
+  let r = Sched.Exact.solve ~n_procs:2 g in
+  Alcotest.(check bool) "optimal proved" true r.Sched.Exact.optimal;
+  Alcotest.(check (option (testable Rat.pp Rat.equal))) "chain optimum 150"
+    (Some (ms 150)) r.Sched.Exact.makespan;
+  match r.Sched.Exact.schedule with
+  | Some s -> Alcotest.(check bool) "schedule feasible" true (Static_schedule.is_feasible g s)
+  | None -> Alcotest.fail "expected a schedule"
+
+let test_exact_beats_or_matches_heuristics () =
+  let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet (Fppn_apps.Fig1.network ()) in
+  let g = d.Derive.graph in
+  let r = Sched.Exact.solve ~n_procs:2 g in
+  Alcotest.(check bool) "optimal proved on 10 jobs" true r.Sched.Exact.optimal;
+  let opt = Option.get r.Sched.Exact.makespan in
+  (* ALAP-EDF achieved 125; the optimum can be no larger *)
+  Alcotest.(check bool) "optimum <= heuristic" true Rat.(opt <= ms 125);
+  (* and no smaller than the critical path *)
+  let cp, _ = Taskgraph.Analysis.critical_path g in
+  ignore cp;
+  let s =
+    List_scheduler.schedule_with ~heuristic:Priority.Alap_edf ~n_procs:2 g
+  in
+  let gap =
+    Sched.Exact.optimality_gap ~n_procs:2
+      ~heuristic_makespan:(Static_schedule.makespan g s) g
+  in
+  Alcotest.(check bool) "gap computed and non-negative" true
+    (match gap with Some x -> x >= -.1e-9 | None -> false)
+
+let test_exact_detects_infeasibility () =
+  (* two serialized 80 ms jobs, both due at 100: infeasible on any M *)
+  let jobs = [| mk_job 0 0 100 80; mk_job 1 0 100 80 |] in
+  let dag = Digraph.create 2 in
+  Digraph.add_edge dag 0 1;
+  let g = Graph.make jobs dag in
+  let r = Sched.Exact.solve ~n_procs:4 g in
+  Alcotest.(check bool) "exhausted" true r.Sched.Exact.optimal;
+  Alcotest.(check bool) "no feasible schedule exists" true
+    (r.Sched.Exact.schedule = None)
+
+let test_exact_respects_budget () =
+  let params =
+    { Fppn_apps.Randgen.default_params with seed = 9; n_periodic = 7; n_sporadic = 2 }
+  in
+  let net = Fppn_apps.Randgen.network params in
+  let wcet =
+    Fppn_apps.Randgen.wcet ~scale:(Rat.make 1 10) (Derive.const_wcet Rat.one) net
+  in
+  let d = Derive.derive_exn ~wcet net in
+  let r = Sched.Exact.solve ~node_budget:500 ~n_procs:2 d.Derive.graph in
+  Alcotest.(check bool) "budget respected" true (r.Sched.Exact.nodes <= 501);
+  Alcotest.(check bool) "reports incompleteness" true
+    ((not r.Sched.Exact.optimal) || r.Sched.Exact.nodes <= 500)
+
+(* --- properties ----------------------------------------------------------- *)
+
+let qprop name ?(count = 60) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let random_params_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* n_periodic = int_range 2 7 in
+    let* n_sporadic = int_range 0 2 in
+    let* heuristic = oneofl Priority.all in
+    let* n_procs = int_range 1 4 in
+    return (seed, n_periodic, n_sporadic, heuristic, n_procs))
+
+let prop_schedule_structurally_valid =
+  qprop "list schedules satisfy arrival/precedence/mutual-exclusion"
+    random_params_gen (fun (seed, n_periodic, n_sporadic, heuristic, n_procs) ->
+      let params =
+        { Fppn_apps.Randgen.default_params with seed; n_periodic; n_sporadic }
+      in
+      let net = Fppn_apps.Randgen.network params in
+      let wcet =
+        Fppn_apps.Randgen.wcet ~scale:(Rat.make 1 20) (Derive.const_wcet Rat.one) net
+      in
+      let d = Derive.derive_exn ~wcet net in
+      let g = d.Derive.graph in
+      let s = List_scheduler.schedule_with ~heuristic ~n_procs g in
+      (* deadlines may be missed; the structural constraints may not *)
+      List.for_all
+        (function
+          | Static_schedule.Deadline _ -> true
+          | Static_schedule.Arrival _ | Static_schedule.Precedence _
+          | Static_schedule.Overlap _ -> false)
+        (Static_schedule.check g s))
+
+let prop_exact_dominates_heuristic =
+  qprop "exact B&B never exceeds the heuristic makespan" ~count:20
+    QCheck2.Gen.(pair (int_range 0 5_000) (int_range 2 4))
+    (fun (seed, n_periodic) ->
+      let params =
+        { Fppn_apps.Randgen.default_params with seed; n_periodic; n_sporadic = 1 }
+      in
+      let net = Fppn_apps.Randgen.network params in
+      let wcet =
+        Fppn_apps.Randgen.wcet ~scale:(Rat.make 1 10) (Derive.const_wcet Rat.one) net
+      in
+      let g = (Derive.derive_exn ~wcet net).Derive.graph in
+      if Graph.n_jobs g > 14 then true (* keep the search small *)
+      else
+        let s = List_scheduler.schedule_with ~heuristic:Priority.Alap_edf ~n_procs:2 g in
+        let r = Sched.Exact.solve ~node_budget:300_000 ~n_procs:2 g in
+        match (r.Sched.Exact.makespan, r.Sched.Exact.optimal) with
+        | Some opt, true ->
+          (* when the heuristic is feasible, the optimum is no worse *)
+          (not (Static_schedule.is_feasible g s))
+          || Rat.(opt <= Static_schedule.makespan g s)
+        | None, true ->
+          (* proved infeasible: the heuristic must miss deadlines too *)
+          not (Static_schedule.is_feasible g s)
+        | _, false -> true)
+
+let prop_necessary_condition_is_necessary =
+  qprop "Prop. 3.1: a feasible schedule implies the necessary condition"
+    ~count:40
+    QCheck2.Gen.(triple (int_range 0 5_000) (int_range 2 6) (int_range 1 3))
+    (fun (seed, n_periodic, n_procs) ->
+      let params =
+        { Fppn_apps.Randgen.default_params with seed; n_periodic; n_sporadic = 1 }
+      in
+      let net = Fppn_apps.Randgen.network params in
+      let wcet =
+        Fppn_apps.Randgen.wcet ~scale:(Rat.make 1 8) (Derive.const_wcet Rat.one) net
+      in
+      let d = Derive.derive_exn ~wcet net in
+      let g = d.Derive.graph in
+      match snd (List_scheduler.auto ~n_procs g) with
+      | None -> true
+      | Some _ ->
+        (* a feasible schedule exists: the necessary condition must hold *)
+        Taskgraph.Analysis.necessary_condition g ~processors:n_procs = Ok ())
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "priority",
+        [
+          Alcotest.test_case "orders" `Quick test_heuristic_orders;
+          Alcotest.test_case "b-level" `Quick test_blevel_priority;
+          Alcotest.test_case "strings" `Quick test_heuristic_strings;
+        ] );
+      ( "static-schedule",
+        [
+          Alcotest.test_case "valid schedule" `Quick test_check_valid;
+          Alcotest.test_case "violations" `Quick test_check_violations;
+          Alcotest.test_case "arrival/deadline" `Quick test_check_arrival_deadline;
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+        ] );
+      ( "list-scheduler",
+        [
+          Alcotest.test_case "chain" `Quick test_list_scheduling_chain;
+          Alcotest.test_case "parallelism" `Quick test_list_scheduling_parallelism;
+          Alcotest.test_case "arrival respected" `Quick
+            test_list_scheduling_respects_arrival;
+          Alcotest.test_case "priority decides" `Quick
+            test_list_scheduling_priority_decides;
+          Alcotest.test_case "auto on fig1 (Fig. 4)" `Quick test_auto_fig1;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "chain optimum" `Quick test_exact_chain;
+          Alcotest.test_case "fig1 optimum" `Quick test_exact_beats_or_matches_heuristics;
+          Alcotest.test_case "proves infeasibility" `Quick test_exact_detects_infeasibility;
+          Alcotest.test_case "node budget" `Quick test_exact_respects_budget;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "never worse" `Quick test_optimizer_never_worse;
+          Alcotest.test_case "repairs FIFO" `Quick test_optimizer_repairs_bad_heuristic;
+          Alcotest.test_case "deterministic" `Quick test_optimizer_deterministic;
+        ] );
+      ( "properties",
+        [
+          prop_schedule_structurally_valid;
+          prop_necessary_condition_is_necessary;
+          prop_exact_dominates_heuristic;
+        ] );
+    ]

@@ -1,0 +1,270 @@
+module Rat = Rt_util.Rat
+module V = Fppn.Value
+module Derive = Taskgraph.Derive
+module List_scheduler = Sched.List_scheduler
+module Engine = Runtime.Engine
+module Exec_time = Runtime.Exec_time
+module Exec_trace = Runtime.Exec_trace
+module Ta = Timedauto.Ta
+module Sim = Timedauto.Sim
+module Translate = Timedauto.Translate
+
+let ms = Rat.of_int
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let eq_sig a b =
+  List.equal
+    (fun (n1, h1) (n2, h2) -> String.equal n1 n2 && List.equal V.equal h1 h2)
+    a b
+
+(* --- Ta construction ---------------------------------------------------- *)
+
+let simple_edge ?(atoms = []) ?(guard = Ta.true_guard) ?(resets = [])
+    ?(effect = Ta.no_effect) ~src ~dst name =
+  { Ta.src; atoms; data_guard = guard; resets; effect; dst; name }
+
+let test_component_validation () =
+  Alcotest.(check bool) "undeclared clock rejected" true
+    (try
+       ignore
+         (Ta.component ~name:"c" ~initial:"l0" ~clocks:[]
+            [ simple_edge ~atoms:[ Ta.Ge ("x", Ta.Static Rat.zero) ] ~src:"l0" ~dst:"l0" "e" ]);
+       false
+     with Invalid_argument _ -> true);
+  let c =
+    Ta.component ~name:"c" ~initial:"l0" ~clocks:[ "x" ]
+      [ simple_edge ~resets:[ "x" ] ~src:"l0" ~dst:"l1" "a";
+        simple_edge ~src:"l1" ~dst:"l0" "b" ]
+  in
+  Alcotest.(check int) "edges from l0" 1 (List.length (Ta.edges_from c "l0"));
+  Alcotest.(check int) "edges total" 2 (List.length (Ta.edges c))
+
+(* --- Sim: a two-component ping/pong over shared state ------------------- *)
+
+let test_sim_clock_waits () =
+  (* component fires at t=10, resets x, then fires again at t=25 *)
+  let log = ref [] in
+  let c =
+    Ta.component ~name:"c" ~initial:"a" ~clocks:[ "x" ]
+      [
+        simple_edge
+          ~atoms:[ Ta.Ge ("x", Ta.Static (ms 10)) ]
+          ~resets:[ "x" ]
+          ~effect:(fun ~now -> log := now :: !log)
+          ~src:"a" ~dst:"b" "first";
+        simple_edge
+          ~atoms:[ Ta.Ge ("x", Ta.Static (ms 15)) ]
+          ~effect:(fun ~now -> log := now :: !log)
+          ~src:"b" ~dst:"done" "second";
+      ]
+  in
+  let sim = Sim.create [ c ] in
+  let fired = Sim.run sim in
+  Alcotest.(check int) "two firings" 2 (List.length fired);
+  Alcotest.(check (list rat)) "firing times" [ ms 10; ms 25 ] (List.rev !log);
+  Alcotest.check rat "time stops at quiescence" (ms 25) (Sim.now sim);
+  Alcotest.(check string) "final location" "done" (Sim.location sim "c")
+
+let test_sim_data_guard_synchronization () =
+  (* producer sets a flag at t=5; consumer can only proceed after it *)
+  let flag = ref false in
+  let producer =
+    Ta.component ~name:"prod" ~initial:"p0" ~clocks:[ "x" ]
+      [
+        simple_edge
+          ~atoms:[ Ta.Ge ("x", Ta.Static (ms 5)) ]
+          ~effect:(fun ~now:_ -> flag := true)
+          ~src:"p0" ~dst:"p1" "produce";
+      ]
+  in
+  let consumed_at = ref Rat.zero in
+  let consumer =
+    Ta.component ~name:"cons" ~initial:"c0" ~clocks:[ "x" ]
+      [
+        simple_edge
+          ~guard:(fun () -> !flag)
+          ~effect:(fun ~now -> consumed_at := now)
+          ~src:"c0" ~dst:"c1" "consume";
+      ]
+  in
+  let sim = Sim.create [ producer; consumer ] in
+  ignore (Sim.run sim);
+  Alcotest.check rat "consumer fired when the flag appeared" (ms 5) !consumed_at
+
+let test_sim_dynamic_bound () =
+  let dur = ref (ms 7) in
+  let c =
+    Ta.component ~name:"c" ~initial:"a" ~clocks:[ "x" ]
+      [
+        simple_edge
+          ~atoms:[ Ta.Ge ("x", Ta.Dynamic (fun () -> !dur)) ]
+          ~src:"a" ~dst:"b" "wait-dynamic";
+      ]
+  in
+  let sim = Sim.create [ c ] in
+  let fired = Sim.run sim in
+  Alcotest.(check int) "fired once" 1 (List.length fired);
+  Alcotest.check rat "at the dynamic bound" (ms 7) (Sim.now sim)
+
+let test_sim_zeno_guard () =
+  let c =
+    Ta.component ~name:"c" ~initial:"a" ~clocks:[]
+      [ simple_edge ~src:"a" ~dst:"a" "loop" ]
+  in
+  let sim = Sim.create [ c ] in
+  Alcotest.check_raises "zeno loop detected"
+    (Invalid_argument "Sim.run: step bound exceeded (Zeno loop?)") (fun () ->
+      ignore (Sim.run ~max_steps:100 sim))
+
+let test_sim_duplicate_names () =
+  let c () =
+    Ta.component ~name:"same" ~initial:"a" ~clocks:[]
+      [ simple_edge ~src:"a" ~dst:"b" "e" ]
+  in
+  Alcotest.check_raises "duplicates rejected"
+    (Invalid_argument "Sim.create: duplicate component \"same\"") (fun () ->
+      ignore (Sim.create [ c (); c () ]))
+
+(* --- Translate: cross-validation against the engine --------------------- *)
+
+let fig1_setup ~n_procs =
+  let net = Fppn_apps.Fig1.network () in
+  let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet net in
+  let sched =
+    match snd (List_scheduler.auto ~n_procs d.Taskgraph.Derive.graph) with
+    | Some a -> a.List_scheduler.schedule
+    | None -> Alcotest.fail "no feasible schedule"
+  in
+  (net, d, sched)
+
+let test_translate_structure () =
+  let net, d, sched = fig1_setup ~n_procs:2 in
+  let config = Engine.default_config ~frames:2 ~n_procs:2 () in
+  let sys = Translate.build net d sched config in
+  let comps = Translate.components sys in
+  Alcotest.(check int) "one component per processor" 2 (List.length comps);
+  (* per frame and job round: a start and an end edge, plus skip edges
+     for server slots *)
+  let total_edges =
+    List.fold_left (fun acc c -> acc + List.length (Ta.edges c)) 0 comps
+  in
+  Alcotest.(check bool) "enough edges for 2 frames of 10 rounds" true
+    (total_edges >= 2 * 10 * 2)
+
+let test_translate_matches_engine () =
+  let net, d, sched = fig1_setup ~n_procs:2 in
+  let coefb = [ ms 50; ms 200 ] in
+  let inputs = Fppn_apps.Fig1.input_feed ~samples:32 in
+  let mk_config () =
+    { (Engine.default_config ~frames:3 ~n_procs:2 ()) with
+      Engine.sporadic = [ ("CoefB", coefb) ];
+      inputs;
+      exec = Exec_time.uniform ~seed:21 ~min_fraction:0.5 }
+  in
+  let rt = Engine.run net d sched (mk_config ()) in
+  (* fresh config: the jittered exec model is stateful *)
+  let ta = Translate.execute (Translate.build net d sched (mk_config ())) in
+  Alcotest.(check bool) "signatures equal" true
+    (eq_sig (Engine.signature rt) (Translate.signature ta));
+  Alcotest.(check int) "same number of executed jobs"
+    rt.Engine.stats.Exec_trace.executed ta.Translate.stats.Exec_trace.executed;
+  Alcotest.(check int) "same skips" rt.Engine.stats.Exec_trace.skipped
+    ta.Translate.stats.Exec_trace.skipped;
+  Alcotest.(check int) "no misses in either" 0
+    (rt.Engine.stats.Exec_trace.misses + ta.Translate.stats.Exec_trace.misses);
+  (* with identical PRNG seeds the trace timings must agree exactly *)
+  List.iter2
+    (fun (a : Exec_trace.record) (b : Exec_trace.record) ->
+      Alcotest.(check string) "same job order" a.Exec_trace.label b.Exec_trace.label;
+      Alcotest.(check bool) "same start" true (Rat.equal a.Exec_trace.start b.Exec_trace.start);
+      Alcotest.(check bool) "same finish" true (Rat.equal a.Exec_trace.finish b.Exec_trace.finish))
+    rt.Engine.trace ta.Translate.trace
+
+let test_translate_matches_zero_delay () =
+  let net, d, sched = fig1_setup ~n_procs:3 in
+  let inputs = Fppn_apps.Fig1.input_feed ~samples:32 in
+  let horizon = Rat.mul d.Taskgraph.Derive.hyperperiod (Rat.of_int 2) in
+  let zd =
+    Fppn.Semantics.run ~inputs net (Fppn.Semantics.invocations ~horizon net)
+  in
+  let config =
+    { (Engine.default_config ~frames:2 ~n_procs:3 ()) with Engine.inputs = inputs }
+  in
+  let ta = Translate.execute (Translate.build net d sched config) in
+  Alcotest.(check bool) "TA network reproduces the zero-delay history" true
+    (eq_sig (Fppn.Semantics.signature zd) (Translate.signature ta))
+
+let test_translate_with_overhead_model () =
+  (* the generated TA must mirror the engine's frame-overhead delays *)
+  let net, d, sched = fig1_setup ~n_procs:2 in
+  let overhead =
+    { Runtime.Platform.first_frame = ms 41;
+      steady_frame = ms 20;
+      per_access = ms 1 }
+  in
+  let mk_config () =
+    { (Engine.default_config ~frames:2 ~n_procs:2 ()) with
+      Engine.platform = Runtime.Platform.create ~overhead ~n_procs:2 ();
+      exec = Exec_time.uniform ~seed:77 ~min_fraction:0.5 }
+  in
+  let rt = Engine.run net d sched (mk_config ()) in
+  let ta = Translate.execute (Translate.build net d sched (mk_config ())) in
+  List.iter2
+    (fun (a : Exec_trace.record) (b : Exec_trace.record) ->
+      Alcotest.(check bool) ("start of " ^ a.Exec_trace.label) true
+        (Rat.equal a.Exec_trace.start b.Exec_trace.start);
+      Alcotest.(check bool) ("finish of " ^ a.Exec_trace.label) true
+        (Rat.equal a.Exec_trace.finish b.Exec_trace.finish))
+    rt.Engine.trace ta.Translate.trace;
+  (* no job starts before the frame overhead has elapsed *)
+  List.iter
+    (fun (r : Exec_trace.record) ->
+      if not r.Exec_trace.skipped then begin
+        let bound = if r.Exec_trace.frame = 0 then ms 41 else ms 220 in
+        Alcotest.(check bool) "overhead respected" true
+          Rat.(r.Exec_trace.start >= bound)
+      end)
+    ta.Translate.trace
+
+let test_render () =
+  let net, d, sched = fig1_setup ~n_procs:2 in
+  let config = Engine.default_config ~frames:1 ~n_procs:2 () in
+  let sys = Translate.build net d sched config in
+  let comps = Translate.components sys in
+  let text = Timedauto.Render.describe_all comps in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "lists both schedulers" true
+    (contains "component sched_M1" text && contains "component sched_M2" text);
+  Alcotest.(check bool) "shows clock guards" true (contains "t >= " text);
+  Alcotest.(check bool) "shows dynamic bounds" true (contains "<dyn>" text);
+  Alcotest.(check bool) "marks data guards" true (contains "[data]" text);
+  let dot = Timedauto.Render.to_dot comps in
+  Alcotest.(check bool) "dot has clusters" true (contains "subgraph cluster_0" dot);
+  Alcotest.(check bool) "dot closes" true (contains "}" dot)
+
+let () =
+  Alcotest.run "timedauto"
+    [
+      ( "ta",
+        [ Alcotest.test_case "component validation" `Quick test_component_validation ] );
+      ( "sim",
+        [
+          Alcotest.test_case "clock waits" `Quick test_sim_clock_waits;
+          Alcotest.test_case "data-guard sync" `Quick test_sim_data_guard_synchronization;
+          Alcotest.test_case "dynamic bound" `Quick test_sim_dynamic_bound;
+          Alcotest.test_case "zeno guard" `Quick test_sim_zeno_guard;
+          Alcotest.test_case "duplicate names" `Quick test_sim_duplicate_names;
+        ] );
+      ( "translate",
+        [
+          Alcotest.test_case "structure" `Quick test_translate_structure;
+          Alcotest.test_case "matches engine" `Quick test_translate_matches_engine;
+          Alcotest.test_case "matches zero-delay" `Quick test_translate_matches_zero_delay;
+          Alcotest.test_case "render" `Quick test_render;
+          Alcotest.test_case "overhead model" `Quick test_translate_with_overhead_model;
+        ] );
+    ]
