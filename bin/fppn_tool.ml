@@ -670,6 +670,150 @@ let report_cmd =
        ~doc:"Emit a complete Markdown deployment report for an application")
     term
 
+let fuzz_cmd =
+  let run seed budget procs frames jitter_seeds permutations no_boundary
+      max_periodic max_sporadic no_shrink shrink_budget inject json_out =
+    let parse_ints what s =
+      try List.map int_of_string (String.split_on_char ',' s)
+      with _ ->
+        Printf.eprintf "bad %s %S (expected comma-separated integers)\n" what s;
+        exit 2
+    in
+    let inject =
+      match String.lowercase_ascii inject with
+      | "none" -> Fppn_fuzz.Campaign.No_injection
+      | "channel-flip" -> Fppn_fuzz.Campaign.Inject_channel_flip
+      | "sporadic-flip" -> Fppn_fuzz.Campaign.Inject_sporadic_flip
+      | other ->
+        Printf.eprintf
+          "unknown injection %S (none|channel-flip|sporadic-flip)\n" other;
+        exit 2
+    in
+    let config =
+      {
+        Fppn_fuzz.Campaign.seed;
+        budget;
+        proc_counts = parse_ints "--procs" procs;
+        jitter_seeds = parse_ints "--jitter-seeds" jitter_seeds;
+        frames;
+        permutations;
+        boundary_snap = not no_boundary;
+        max_periodic;
+        max_sporadic;
+        shrink = not no_shrink;
+        shrink_budget;
+        inject;
+      }
+    in
+    let report = Fppn_fuzz.Campaign.run ~log:print_endline config in
+    Format.printf "%a" Fppn_fuzz.Report.pp report;
+    Option.iter
+      (fun path ->
+        (try Runtime.Export.write_file path (Fppn_fuzz.Report.to_json report)
+         with Sys_error msg ->
+           Printf.eprintf "cannot write report: %s\n" msg;
+           exit 2);
+        Printf.printf "report written to %s (json)\n" path)
+      json_out;
+    match inject with
+    | Fppn_fuzz.Campaign.No_injection ->
+      if not (Fppn_fuzz.Report.passed report) then exit 1
+    | _ ->
+      (* self-test mode: the oracle must catch at least one injected bug *)
+      if Fppn_fuzz.Report.passed report then begin
+        print_endline
+          "self-test FAILED: no injected priority-order bug was caught";
+        exit 3
+      end
+  in
+  let budget =
+    Arg.(
+      value & opt int 50
+      & info [ "budget" ] ~docv:"N" ~doc:"Number of random cases to fuzz.")
+  in
+  let procs =
+    Arg.(
+      value & opt string "1,2"
+      & info [ "procs" ] ~docv:"M,M,..."
+          ~doc:"Processor counts every case is executed on (comma-separated).")
+  in
+  let frames =
+    Arg.(
+      value & opt int 2
+      & info [ "frames" ] ~docv:"N" ~doc:"Hyperperiod frames per execution.")
+  in
+  let jitter_seeds =
+    Arg.(
+      value & opt string "1,2"
+      & info [ "jitter-seeds" ] ~docv:"S,S,..."
+          ~doc:"Execution-time jitter seeds per processor count.")
+  in
+  let permutations =
+    Arg.(
+      value & opt int 2
+      & info [ "permutations" ] ~docv:"N"
+          ~doc:
+            "Adversarially permuted zero-delay runs per case (reorders \
+             simultaneous invocations).")
+  in
+  let no_boundary =
+    Arg.(
+      value & flag
+      & info [ "no-boundary" ]
+          ~doc:"Disable sporadic stamps snapped to server window boundaries.")
+  in
+  let max_periodic =
+    Arg.(
+      value & opt int 6
+      & info [ "max-periodic" ] ~docv:"N" ~doc:"Largest periodic process count drawn.")
+  in
+  let max_sporadic =
+    Arg.(
+      value & opt int 2
+      & info [ "max-sporadic" ] ~docv:"N" ~doc:"Largest sporadic process count drawn.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report counterexamples without minimising them.")
+  in
+  let shrink_budget =
+    Arg.(
+      value & opt int 200
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Oracle invocations the shrinker may spend per counterexample.")
+  in
+  let inject =
+    Arg.(
+      value & opt string "none"
+      & info [ "inject" ] ~docv:"KIND"
+          ~doc:
+            "Sabotage the system-under-test copy of every case with a flipped \
+             functional-priority edge: none, channel-flip, or sporadic-flip. \
+             Self-test mode: exits non-zero unless a bug is caught.")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable campaign report as JSON.")
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ budget $ procs $ frames $ jitter_seeds
+      $ permutations $ no_boundary $ max_periodic $ max_sporadic $ no_shrink
+      $ shrink_budget $ inject $ json_out)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential determinism fuzzing (Props. 2.1 / 4.1): random \
+          networks through the zero-delay reference, the multiprocessor \
+          runtime under jitter, and the timed-automata backend, with \
+          adversarial invocation orders, window-boundary events, and \
+          counterexample shrinking")
+    term
+
 let fmt_cmd =
   let run path =
     let src = load_file path in
@@ -712,7 +856,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            info_cmd; check_cmd; report_cmd; derive_cmd; schedule_cmd;
+            info_cmd; check_cmd; fuzz_cmd; report_cmd; derive_cmd; schedule_cmd;
             exact_cmd; simulate_cmd; buffers_cmd; dimension_cmd; rta_cmd;
             fmt_cmd; dot_cmd;
           ]))

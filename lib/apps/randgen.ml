@@ -24,6 +24,130 @@ let default_params =
     max_burst = 2;
   }
 
+(* --- explicit workload topology (mutation surface for the fuzzer) ------ *)
+
+type chan_spec = { cw : int; cr : int; fifo : bool; rev_fp : bool }
+
+type sporadic_spec = {
+  sp_name : string;
+  sp_user : int;
+  sp_burst : int;
+  sp_min_period : int;
+  sp_higher : bool;
+}
+
+type spec = {
+  label : string;
+  periods : int array;
+  chans : chan_spec list;
+  sporadics : sporadic_spec list;
+}
+
+let periodic_name i = Printf.sprintf "P%d" i
+let sporadic_name i = Printf.sprintf "S%d" i
+let channel_name w r = Printf.sprintf "ch_%s_%s" w r
+
+let spec_of_params p =
+  if p.n_periodic < 1 then invalid_arg "Randgen.network: need >= 1 periodic";
+  if p.periods = [] then invalid_arg "Randgen.network: empty period menu";
+  let prng = Prng.create p.seed in
+  let periods =
+    Array.init p.n_periodic (fun _ -> Prng.pick prng p.periods)
+  in
+  (* channels between forward-ordered periodic pairs *)
+  let chans = ref [] in
+  for i = 0 to p.n_periodic - 1 do
+    for j = i + 1 to p.n_periodic - 1 do
+      if Prng.float prng 1.0 < p.channel_density then
+        chans := { cw = i; cr = j; fifo = Prng.bool prng; rev_fp = false } :: !chans
+    done
+  done;
+  let chans = List.rev !chans in
+  (* sporadic processes: user, burst, min period (multiple of the user's) *)
+  let sporadics =
+    List.init p.n_sporadic (fun s ->
+        let user = Prng.int prng p.n_periodic in
+        let burst = Prng.int_in prng 1 p.max_burst in
+        let factor = Prng.int_in prng 1 3 in
+        let higher = Prng.bool prng in
+        {
+          sp_name = sporadic_name s;
+          sp_user = user;
+          sp_burst = burst;
+          sp_min_period = periods.(user) * factor;
+          sp_higher = higher;
+        })
+  in
+  { label = Printf.sprintf "random%d" p.seed; periods; chans; sporadics }
+
+(* --- mutation hooks ---------------------------------------------------- *)
+
+let flip_channel_fp spec ~writer ~reader =
+  let hit = ref false in
+  let chans =
+    List.map
+      (fun c ->
+        if c.cw = writer && c.cr = reader then begin
+          hit := true;
+          { c with rev_fp = not c.rev_fp }
+        end
+        else c)
+      spec.chans
+  in
+  if !hit then Some { spec with chans } else None
+
+let flip_sporadic_fp spec name =
+  let hit = ref false in
+  let sporadics =
+    List.map
+      (fun s ->
+        if s.sp_name = name then begin
+          hit := true;
+          { s with sp_higher = not s.sp_higher }
+        end
+        else s)
+      spec.sporadics
+  in
+  if !hit then Some { spec with sporadics } else None
+
+let drop_channel spec ~writer ~reader =
+  let chans =
+    List.filter (fun c -> not (c.cw = writer && c.cr = reader)) spec.chans
+  in
+  if List.length chans < List.length spec.chans then Some { spec with chans }
+  else None
+
+let drop_sporadic spec name =
+  let sporadics = List.filter (fun s -> s.sp_name <> name) spec.sporadics in
+  if List.length sporadics < List.length spec.sporadics then
+    Some { spec with sporadics }
+  else None
+
+let drop_periodic spec i =
+  let n = Array.length spec.periods in
+  if i < 0 || i >= n || n <= 1 then None
+  else
+    let remap j = if j > i then j - 1 else j in
+    let periods =
+      Array.init (n - 1) (fun j -> spec.periods.(if j >= i then j + 1 else j))
+    in
+    let chans =
+      List.filter_map
+        (fun c ->
+          if c.cw = i || c.cr = i then None
+          else Some { c with cw = remap c.cw; cr = remap c.cr })
+        spec.chans
+    in
+    let sporadics =
+      List.filter_map
+        (fun s ->
+          if s.sp_user = i then None else Some { s with sp_user = remap s.sp_user })
+        spec.sporadics
+    in
+    Some { spec with periods; chans; sporadics }
+
+let spec_processes spec = Array.length spec.periods + List.length spec.sporadics
+
 (* Generic body: fold all inputs with the job index, write everywhere. *)
 let generic_body ~ins ~outs (ctx : Process.job_ctx) =
   let combine acc c =
@@ -101,37 +225,9 @@ let generic_automaton ~ins ~outs =
   in
   Process.Automaton (A.make ~initial:"start" ~vars ~transitions)
 
-let periodic_name i = Printf.sprintf "P%d" i
-let sporadic_name i = Printf.sprintf "S%d" i
-let channel_name w r = Printf.sprintf "ch_%s_%s" w r
-
-let network p =
-  if p.n_periodic < 1 then invalid_arg "Randgen.network: need >= 1 periodic";
-  if p.periods = [] then invalid_arg "Randgen.network: empty period menu";
-  let prng = Prng.create p.seed in
-  let periods =
-    Array.init p.n_periodic (fun _ -> Prng.pick prng p.periods)
-  in
-  (* channels between forward-ordered periodic pairs *)
-  let channels = ref [] in
-  for i = 0 to p.n_periodic - 1 do
-    for j = i + 1 to p.n_periodic - 1 do
-      if Prng.float prng 1.0 < p.channel_density then
-        channels :=
-          (periodic_name i, periodic_name j, Prng.bool prng) :: !channels
-    done
-  done;
-  let channels = List.rev !channels in
-  (* sporadic processes: user, burst, min period (multiple of the user's) *)
-  let sporadics =
-    List.init p.n_sporadic (fun s ->
-        let user = Prng.int prng p.n_periodic in
-        let burst = Prng.int_in prng 1 p.max_burst in
-        let factor = Prng.int_in prng 1 3 in
-        let higher_than_user = Prng.bool prng in
-        (sporadic_name s, user, burst, periods.(user) * factor, higher_than_user))
-  in
-  let b = Network.Builder.create (Printf.sprintf "random%d" p.seed) in
+let build spec =
+  let n_periodic = Array.length spec.periods in
+  let b = Network.Builder.create spec.label in
   (* in/out channel names per process, to instantiate the generic body *)
   let ins = Hashtbl.create 16 and outs = Hashtbl.create 16 in
   let push tbl key v =
@@ -139,15 +235,17 @@ let network p =
     Hashtbl.replace tbl key (prev @ [ v ])
   in
   List.iter
-    (fun (w, r, _) ->
+    (fun c ->
+      let w = periodic_name c.cw and r = periodic_name c.cr in
       push outs w (channel_name w r);
       push ins r (channel_name w r))
-    channels;
+    spec.chans;
   List.iter
-    (fun (s, user, _, _, _) ->
-      push outs s (channel_name s (periodic_name user));
-      push ins (periodic_name user) (channel_name s (periodic_name user)))
-    sporadics;
+    (fun s ->
+      let u = periodic_name s.sp_user in
+      push outs s.sp_name (channel_name s.sp_name u);
+      push ins u (channel_name s.sp_name u))
+    spec.sporadics;
   (* every third process gets the automaton encoding of the behavior,
      so random workloads also cover the Def. 2.2 execution path *)
   let behavior_of idx name =
@@ -156,44 +254,57 @@ let network p =
     if idx mod 3 = 2 then generic_automaton ~ins ~outs
     else Process.Native (generic_body ~ins ~outs)
   in
-  for i = 0 to p.n_periodic - 1 do
+  for i = 0 to n_periodic - 1 do
     let name = periodic_name i in
     Network.Builder.add_process b
       (Process.make ~name
          ~event:
            (Event.periodic
-              ~period:(Rat.of_int periods.(i))
-              ~deadline:(Rat.of_int periods.(i))
+              ~period:(Rat.of_int spec.periods.(i))
+              ~deadline:(Rat.of_int spec.periods.(i))
               ())
          (behavior_of i name))
   done;
   List.iteri
-    (fun i (name, _, burst, min_period, _) ->
+    (fun i s ->
       Network.Builder.add_process b
-        (Process.make ~name
+        (Process.make ~name:s.sp_name
            ~event:
-             (Event.sporadic ~burst
-                ~min_period:(Rat.of_int min_period)
-                ~deadline:(Rat.of_int (2 * min_period))
+             (Event.sporadic ~burst:s.sp_burst
+                ~min_period:(Rat.of_int s.sp_min_period)
+                ~deadline:(Rat.of_int (2 * s.sp_min_period))
                 ())
-           (behavior_of (i + 1) name)))
-    sporadics;
+           (behavior_of (i + 1) s.sp_name)))
+    spec.sporadics;
   List.iter
-    (fun (w, r, fifo) ->
+    (fun c ->
+      let w = periodic_name c.cw and r = periodic_name c.cr in
       Network.Builder.add_channel b
-        ~kind:(if fifo then Fppn.Channel.Fifo else Fppn.Channel.Blackboard)
+        ~kind:(if c.fifo then Fppn.Channel.Fifo else Fppn.Channel.Blackboard)
         ~writer:w ~reader:r (channel_name w r);
-      Network.Builder.add_priority b w r)
-    channels;
+      if c.rev_fp then Network.Builder.add_priority b r w
+      else Network.Builder.add_priority b w r)
+    spec.chans;
   List.iter
-    (fun (s, user, _, _, higher) ->
-      let u = periodic_name user in
-      Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:s
-        ~reader:u (channel_name s u);
-      if higher then Network.Builder.add_priority b s u
-      else Network.Builder.add_priority b u s)
-    sporadics;
-  Network.Builder.finish_exn b
+    (fun s ->
+      let u = periodic_name s.sp_user in
+      Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard
+        ~writer:s.sp_name ~reader:u
+        (channel_name s.sp_name u);
+      if s.sp_higher then Network.Builder.add_priority b s.sp_name u
+      else Network.Builder.add_priority b u s.sp_name)
+    spec.sporadics;
+  match Network.Builder.finish b with
+  | Ok net -> Ok net
+  | Error errs ->
+    Error
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" Network.pp_error) errs))
+
+let build_exn spec =
+  match build spec with Ok net -> net | Error msg -> invalid_arg msg
+
+let network p = build_exn (spec_of_params p)
 
 let wcet ~scale fallback net name =
   match

@@ -1,12 +1,18 @@
-(** Random FPPN workload generator for stress tests and benchmark
-    sweeps.
+(** Random FPPN workload generator for stress tests, benchmark sweeps
+    and differential fuzzing.
 
     Generated networks always satisfy Def. 2.1 (FP DAG covering every
     channel pair) and the Sec. III-A scheduling subclass (every sporadic
     process has a single periodic user of no larger period, and a
     deadline exceeding the user period).  Process bodies are generic:
     read every input channel, combine with the invocation index, write
-    every output channel — enough to exercise determinism checks. *)
+    every output channel — enough to exercise determinism checks.
+
+    The drawn topology is exposed as a {!spec} value with fine-grained
+    mutation hooks (flip a functional-priority edge, drop a channel or a
+    process), so the fuzzer can inject priority-order bugs into a
+    system-under-test copy and shrink failing workloads structurally
+    without re-rolling the PRNG. *)
 
 type params = {
   seed : int;
@@ -19,6 +25,64 @@ type params = {
 }
 
 val default_params : params
+
+(** {1 Workload topology} *)
+
+type chan_spec = {
+  cw : int;  (** writer periodic index *)
+  cr : int;  (** reader periodic index *)
+  fifo : bool;  (** FIFO channel, else blackboard *)
+  rev_fp : bool;
+      (** reversed functional priority: the FP edge runs reader →
+          writer instead of the default writer → reader *)
+}
+
+type sporadic_spec = {
+  sp_name : string;
+  sp_user : int;  (** periodic index of the user [u(p)] *)
+  sp_burst : int;
+  sp_min_period : int;  (** [T_p], a multiple of the user's period *)
+  sp_higher : bool;  (** FP edge sporadic → user (else user → sporadic) *)
+}
+
+type spec = {
+  label : string;  (** network name *)
+  periods : int array;  (** period of periodic process [P<i>] *)
+  chans : chan_spec list;
+  sporadics : sporadic_spec list;
+}
+
+val spec_of_params : params -> spec
+(** Deterministic in [params.seed]; mutation-free builds of the result
+    equal {!network}[ params]. *)
+
+val build : spec -> (Fppn.Network.t, string) result
+(** [Error] when a mutation broke well-formedness (e.g. a flipped FP
+    edge closing a priority cycle). *)
+
+val build_exn : spec -> Fppn.Network.t
+(** @raise Invalid_argument on ill-formed specs. *)
+
+val spec_processes : spec -> int
+(** Total process count (periodic + sporadic). *)
+
+(** {1 Mutation hooks}
+
+    All return [None] when the referenced element does not exist (or,
+    for {!drop_periodic}, when the last periodic process would vanish).
+    Flips preserve process and channel names, so channel histories of a
+    mutated network remain name-comparable with the original's. *)
+
+val flip_channel_fp : spec -> writer:int -> reader:int -> spec option
+val flip_sporadic_fp : spec -> string -> spec option
+val drop_channel : spec -> writer:int -> reader:int -> spec option
+val drop_sporadic : spec -> string -> spec option
+
+val drop_periodic : spec -> int -> spec option
+(** Removes periodic process [i], its incident channels and the
+    sporadics it serves as user for; higher indices shift down. *)
+
+(** {1 Whole-network convenience API} *)
 
 val network : params -> Fppn.Network.t
 (** Deterministic in [params.seed]. *)

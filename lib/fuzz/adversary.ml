@@ -1,0 +1,80 @@
+module Rat = Rt_util.Rat
+module Prng = Rt_util.Prng
+module Semantics = Fppn.Semantics
+module Event = Fppn.Event
+module Network = Fppn.Network
+module Process = Fppn.Process
+module Derive = Taskgraph.Derive
+
+let permute_simultaneous prng trace =
+  let rec split_group t acc = function
+    | (inv : Semantics.invocation) :: rest when Rat.equal inv.Semantics.time t ->
+      split_group t (inv :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | (inv : Semantics.invocation) :: rest ->
+      let group, rest = split_group inv.Semantics.time [ inv ] rest in
+      let arr = Array.of_list group in
+      Prng.shuffle prng arr;
+      loop (List.rev_append (Array.to_list arr) acc) rest
+  in
+  loop [] trace
+
+(* Greedily extend [acc] with ascending stamps, keeping only those that
+   leave the trace valid for [ev].  Quadratic, but traces are short. *)
+let greedy_valid ev stamps =
+  List.fold_left
+    (fun acc t ->
+      let ext = acc @ [ t ] in
+      if Event.is_valid_sporadic_trace ev ext then ext else acc)
+    [] stamps
+
+let boundary_traces net (d : Derive.t) ~frames ~seed =
+  let h = d.Derive.hyperperiod in
+  let horizon = Rat.mul h (Rat.of_int frames) in
+  let prng = Prng.create seed in
+  let eps = Rat.make 1 1000 in
+  List.map
+    (fun (s : Derive.server_info) ->
+      let proc = Network.process net s.Derive.sporadic in
+      let name = Process.name proc in
+      let ev = Process.event proc in
+      let ts = s.Derive.server_period in
+      let slots = Rat.to_int_exn (Rat.div h ts) in
+      let candidates = ref [] in
+      for frame = 0 to frames - 1 do
+        for slot = 1 to slots do
+          let b =
+            Rat.add
+              (Rat.mul h (Rat.of_int frame))
+              (Rat.mul ts (Rat.of_int (slot - 1)))
+          in
+          List.iter
+            (fun c -> candidates := c :: !candidates)
+            [ b; Rat.add b eps; Rat.sub b eps ]
+        done
+      done;
+      let candidates =
+        List.sort_uniq Rat.compare !candidates
+        |> List.filter (fun t -> Rat.sign t >= 0 && Rat.(t < horizon))
+      in
+      (* a random subset keeps successive cases from probing the same
+         boundaries; greedy filtering keeps the trace (m,T)-valid *)
+      let kept = List.filter (fun _ -> Prng.float prng 1.0 < 0.6) candidates in
+      (name, greedy_valid ev kept))
+    d.Derive.servers
+
+let merge_traces net a b =
+  let names =
+    List.sort_uniq String.compare (List.map fst a @ List.map fst b)
+  in
+  List.map
+    (fun name ->
+      let ev = Process.event (Network.process net (Network.find net name)) in
+      let stamps l = match List.assoc_opt name l with Some s -> s | None -> [] in
+      (* plain sort (not uniq): equal stamps are burst events *)
+      let all = List.sort Rat.compare (stamps a @ stamps b) in
+      (name, greedy_valid ev all))
+    names

@@ -1,0 +1,135 @@
+module Prng = Rt_util.Prng
+module Randgen = Fppn_apps.Randgen
+
+type inject = No_injection | Inject_channel_flip | Inject_sporadic_flip
+
+type config = {
+  seed : int;
+  budget : int;
+  proc_counts : int list;
+  jitter_seeds : int list;
+  frames : int;
+  permutations : int;
+  boundary_snap : bool;
+  max_periodic : int;
+  max_sporadic : int;
+  shrink : bool;
+  shrink_budget : int;
+  inject : inject;
+}
+
+let default_config =
+  {
+    seed = 42;
+    budget = 50;
+    proc_counts = [ 1; 2 ];
+    jitter_seeds = [ 1; 2 ];
+    frames = 2;
+    permutations = 2;
+    boundary_snap = true;
+    max_periodic = 6;
+    max_sporadic = 2;
+    shrink = true;
+    shrink_budget = 200;
+    inject = No_injection;
+  }
+
+let choose_sabotage inject prng spec =
+  match inject with
+  | No_injection -> Oracle.No_sabotage
+  | Inject_channel_flip -> (
+    let arr = Array.of_list spec.Randgen.chans in
+    Prng.shuffle prng arr;
+    let rec pick i =
+      if i >= Array.length arr then Oracle.No_sabotage
+      else
+        let c = arr.(i) in
+        match
+          Randgen.flip_channel_fp spec ~writer:c.Randgen.cw ~reader:c.Randgen.cr
+        with
+        | Some s' when Result.is_ok (Randgen.build s') ->
+          Oracle.Flip_channel_fp { writer = c.Randgen.cw; reader = c.Randgen.cr }
+        | _ -> pick (i + 1)
+    in
+    pick 0)
+  | Inject_sporadic_flip -> (
+    match spec.Randgen.sporadics with
+    | [] -> Oracle.No_sabotage
+    | sps ->
+      Oracle.Flip_sporadic_fp
+        (Prng.pick prng (List.map (fun s -> s.Randgen.sp_name) sps)))
+
+let run ?(log = fun _ -> ()) config =
+  let prng = Prng.create config.seed in
+  let cases_run = ref 0 and skipped = ref 0 and comparisons = ref 0 in
+  let counterexamples = ref [] in
+  for i = 1 to config.budget do
+    let params =
+      {
+        Randgen.default_params with
+        Randgen.seed = Prng.int prng 1_000_000;
+        n_periodic = Prng.int_in prng 2 (max 2 config.max_periodic);
+        n_sporadic = Prng.int_in prng 0 (max 0 config.max_sporadic);
+        channel_density = Prng.float_in prng 0.2 0.8;
+      }
+    in
+    let spec = Randgen.spec_of_params params in
+    let sabotage = choose_sabotage config.inject prng spec in
+    let case =
+      {
+        Oracle.spec;
+        sabotage;
+        trace_seed = Prng.int prng 1_000_000;
+        jitter_seeds = config.jitter_seeds;
+        proc_counts = config.proc_counts;
+        frames = config.frames;
+        permutations = config.permutations;
+        boundary_snap = config.boundary_snap;
+      }
+    in
+    incr cases_run;
+    (match Oracle.check case with
+    | Oracle.Pass { comparisons = c } -> comparisons := !comparisons + c
+    | Oracle.Skip _ -> incr skipped
+    | Oracle.Fail divergence ->
+      let shrunk, divergence, attempts, accepted =
+        if config.shrink then begin
+          let r = Shrink.minimise ~budget:config.shrink_budget case in
+          (* re-check to report the divergence of the minimal case *)
+          let d =
+            match Oracle.check r.Shrink.shrunk with
+            | Oracle.Fail d -> d
+            | _ -> divergence
+          in
+          (r.Shrink.shrunk, d, r.Shrink.attempts, r.Shrink.accepted)
+        end
+        else (case, divergence, 0, 0)
+      in
+      log
+        (Format.asprintf "case %d: %a (shrunk to %d processes)" i
+           Oracle.pp_divergence divergence
+           (Oracle.case_processes shrunk));
+      counterexamples :=
+        {
+          Report.original = case;
+          shrunk;
+          divergence;
+          shrink_attempts = attempts;
+          shrink_accepted = accepted;
+        }
+        :: !counterexamples);
+    if i mod 10 = 0 then
+      log
+        (Printf.sprintf "progress: %d/%d cases, %d divergence(s)" i
+           config.budget
+           (List.length !counterexamples))
+  done;
+  {
+    Report.seed = config.seed;
+    budget = config.budget;
+    cases_run = !cases_run;
+    skipped = !skipped;
+    comparisons = !comparisons;
+    injected = config.inject <> No_injection;
+    counterexamples = List.rev !counterexamples;
+  }

@@ -1,0 +1,39 @@
+(** Budgeted fuzzing loop: draw random workloads, run each through the
+    differential {!Oracle}, shrink any failure with {!Shrink}, collect a
+    {!Report}.  Fully deterministic in [config.seed].
+
+    Injection mode ([inject <> No_injection]) sabotages every case's
+    system-under-test copy with a flipped functional-priority edge — a
+    self-test that the oracle actually has teeth: a healthy oracle
+    catches most observable flips.  Flips that would close an FP cycle
+    are skipped at selection time. *)
+
+type inject = No_injection | Inject_channel_flip | Inject_sporadic_flip
+
+type config = {
+  seed : int;
+  budget : int;  (** number of cases to generate *)
+  proc_counts : int list;
+  jitter_seeds : int list;
+  frames : int;
+  permutations : int;
+  boundary_snap : bool;
+  max_periodic : int;  (** drawn from [2..max_periodic] *)
+  max_sporadic : int;  (** drawn from [0..max_sporadic] *)
+  shrink : bool;
+  shrink_budget : int;
+  inject : inject;
+}
+
+val default_config : config
+(** seed 42, budget 50, M ∈ {1,2}, jitter seeds {1,2}, 2 frames,
+    2 permutations, boundary snapping on, up to 6 periodic + 2 sporadic,
+    shrinking on with budget 200, no injection. *)
+
+val choose_sabotage :
+  inject -> Rt_util.Prng.t -> Fppn_apps.Randgen.spec -> Oracle.sabotage
+(** A buildable sabotage for the spec under the given injection mode;
+    {!Oracle.No_sabotage} when no target is applicable. *)
+
+val run : ?log:(string -> unit) -> config -> Report.t
+(** [log] receives one progress line per divergence and per 10 cases. *)

@@ -1,0 +1,65 @@
+(** The differential determinism oracle.
+
+    A {!case} packages one randomly drawn workload plus every knob that
+    could legally vary without changing observable behavior: processor
+    count, execution-time jitter seed, order of simultaneous
+    invocations, timed-automata vs discrete-event execution.  {!check}
+    executes the zero-delay reference ([Fppn.Semantics]) on the base
+    workload and diffs its channel-history signature (Prop. 2.1)
+    against every other executor:
+
+    - adversarially permuted zero-delay runs ({!Adversary});
+    - [Runtime.Engine] on each processor count × jitter seed, with
+      real-time trace compliance re-checked as a secondary oracle;
+    - the [Timedauto.Translate] backend, once per processor count.
+
+    A {!sabotage} value injects a structural bug — a flipped
+    functional-priority edge — into the system-under-test copy only,
+    turning the oracle into a self-test: a healthy oracle must report a
+    divergence for observable flips.  Sabotage preserves process and
+    channel names, so signatures stay comparable. *)
+
+type sabotage =
+  | No_sabotage
+  | Flip_channel_fp of { writer : int; reader : int }
+      (** reverse the FP edge of the periodic channel [writer → reader]
+          in the SUT copy *)
+  | Flip_sporadic_fp of string
+      (** flip the named sporadic's priority relative to its user —
+          this also flips the Fig. 2 window-boundary rule *)
+
+type case = {
+  spec : Fppn_apps.Randgen.spec;  (** the workload under test *)
+  sabotage : sabotage;
+  trace_seed : int;  (** sporadic traces + permutation orders *)
+  jitter_seeds : int list;
+  proc_counts : int list;
+  frames : int;
+  permutations : int;  (** adversarially permuted zero-delay runs *)
+  boundary_snap : bool;
+      (** merge window-boundary stamps into the sporadic traces *)
+}
+
+val case_processes : case -> int
+(** Process count of the workload (shrinking metric). *)
+
+val sut_spec : case -> Fppn_apps.Randgen.spec option
+(** The system-under-test spec: [spec] with [sabotage] applied.
+    [None] when the sabotage target does not exist. *)
+
+type divergence = {
+  executor : string;  (** which executor disagreed with the reference *)
+  channel : string option;  (** first differing channel, if any *)
+  detail : string;
+}
+
+type verdict =
+  | Pass of { comparisons : int }  (** executor runs diffed, all equal *)
+  | Skip of string  (** case inapplicable (infeasible schedule, …) *)
+  | Fail of divergence
+
+val check : case -> verdict
+(** Deterministic in the case. Executor crashes (unexpected exceptions)
+    are reported as {!Fail}, not propagated. *)
+
+val pp_divergence : Format.formatter -> divergence -> unit

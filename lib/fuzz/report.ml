@@ -1,0 +1,168 @@
+module Randgen = Fppn_apps.Randgen
+
+type counterexample = {
+  original : Oracle.case;
+  shrunk : Oracle.case;
+  divergence : Oracle.divergence;
+  shrink_attempts : int;
+  shrink_accepted : int;
+}
+
+type t = {
+  seed : int;
+  budget : int;
+  cases_run : int;
+  skipped : int;
+  comparisons : int;
+  injected : bool;
+  counterexamples : counterexample list;
+}
+
+let passed t = t.counterexamples = []
+
+(* --- JSON (hand-rolled; no external dependency) ------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+let jlist f l = "[" ^ String.concat "," (List.map f l) ^ "]"
+let jint = string_of_int
+let jbool b = if b then "true" else "false"
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+
+let spec_to_json (s : Randgen.spec) =
+  jobj
+    [
+      ("label", jstr s.Randgen.label);
+      ("periods", jlist jint (Array.to_list s.Randgen.periods));
+      ( "channels",
+        jlist
+          (fun (c : Randgen.chan_spec) ->
+            jobj
+              [
+                ("writer", jint c.Randgen.cw);
+                ("reader", jint c.Randgen.cr);
+                ("fifo", jbool c.Randgen.fifo);
+                ("rev_fp", jbool c.Randgen.rev_fp);
+              ])
+          s.Randgen.chans );
+      ( "sporadics",
+        jlist
+          (fun (sp : Randgen.sporadic_spec) ->
+            jobj
+              [
+                ("name", jstr sp.Randgen.sp_name);
+                ("user", jint sp.Randgen.sp_user);
+                ("burst", jint sp.Randgen.sp_burst);
+                ("min_period", jint sp.Randgen.sp_min_period);
+                ("higher", jbool sp.Randgen.sp_higher);
+              ])
+          s.Randgen.sporadics );
+    ]
+
+let sabotage_to_json = function
+  | Oracle.No_sabotage -> jobj [ ("kind", jstr "none") ]
+  | Oracle.Flip_channel_fp { writer; reader } ->
+    jobj
+      [
+        ("kind", jstr "flip-channel-fp");
+        ("writer", jint writer);
+        ("reader", jint reader);
+      ]
+  | Oracle.Flip_sporadic_fp name ->
+    jobj [ ("kind", jstr "flip-sporadic-fp"); ("name", jstr name) ]
+
+let case_to_json (c : Oracle.case) =
+  jobj
+    [
+      ("spec", spec_to_json c.Oracle.spec);
+      ("sabotage", sabotage_to_json c.Oracle.sabotage);
+      ("trace_seed", jint c.Oracle.trace_seed);
+      ("jitter_seeds", jlist jint c.Oracle.jitter_seeds);
+      ("proc_counts", jlist jint c.Oracle.proc_counts);
+      ("frames", jint c.Oracle.frames);
+      ("permutations", jint c.Oracle.permutations);
+      ("boundary_snap", jbool c.Oracle.boundary_snap);
+    ]
+
+let divergence_to_json (d : Oracle.divergence) =
+  jobj
+    [
+      ("executor", jstr d.Oracle.executor);
+      ( "channel",
+        match d.Oracle.channel with None -> "null" | Some c -> jstr c );
+      ("detail", jstr d.Oracle.detail);
+    ]
+
+let to_json t =
+  jobj
+    [
+      ("seed", jint t.seed);
+      ("budget", jint t.budget);
+      ("cases_run", jint t.cases_run);
+      ("skipped", jint t.skipped);
+      ("comparisons", jint t.comparisons);
+      ("injected", jbool t.injected);
+      ("passed", jbool (passed t));
+      ( "counterexamples",
+        jlist
+          (fun cx ->
+            jobj
+              [
+                ("divergence", divergence_to_json cx.divergence);
+                ("shrunk", case_to_json cx.shrunk);
+                ("original", case_to_json cx.original);
+                ("shrink_attempts", jint cx.shrink_attempts);
+                ("shrink_accepted", jint cx.shrink_accepted);
+              ])
+          t.counterexamples );
+    ]
+
+(* --- pretty printing ---------------------------------------------------- *)
+
+let pp_case ppf (c : Oracle.case) =
+  let s = c.Oracle.spec in
+  Format.fprintf ppf
+    "%d periodic + %d sporadic, %d channel(s), trace seed %d, frames %d, M in {%s}"
+    (Array.length s.Randgen.periods)
+    (List.length s.Randgen.sporadics)
+    (List.length s.Randgen.chans)
+    c.Oracle.trace_seed c.Oracle.frames
+    (String.concat "," (List.map string_of_int c.Oracle.proc_counts))
+
+let pp ppf t =
+  Format.fprintf ppf
+    "fuzz campaign: seed %d, %d/%d case(s) run (%d skipped), %d executor comparison(s)%s@."
+    t.seed t.cases_run t.budget t.skipped t.comparisons
+    (if t.injected then ", sabotage injection ON" else "");
+  (match t.counterexamples with
+  | [] -> Format.fprintf ppf "no divergence found@."
+  | cxs ->
+    Format.fprintf ppf "%d divergence(s):@." (List.length cxs);
+    List.iteri
+      (fun i cx ->
+        Format.fprintf ppf "  #%d %a@." (i + 1) Oracle.pp_divergence
+          cx.divergence;
+        Format.fprintf ppf "     shrunk to: %a (%d processes; %d/%d shrink moves accepted)@."
+          pp_case cx.shrunk
+          (Oracle.case_processes cx.shrunk)
+          cx.shrink_accepted cx.shrink_attempts;
+        Format.fprintf ppf "     original:  %a@." pp_case cx.original)
+      cxs);
+  Format.fprintf ppf "verdict: %s@."
+    (if passed t then "deterministic (no counterexample)"
+     else "DETERMINISM VIOLATION(S) FOUND")

@@ -1,0 +1,33 @@
+(** Campaign results, human- and machine-readable.
+
+    The JSON form serialises each counterexample's full shrunk spec
+    (periods, channels with FP direction, sporadics) plus every oracle
+    knob, so a failure can be replayed exactly without re-rolling any
+    PRNG — shrunk specs are generally not reachable from a [params]
+    seed. *)
+
+type counterexample = {
+  original : Oracle.case;
+  shrunk : Oracle.case;
+  divergence : Oracle.divergence;  (** observed on the shrunk case *)
+  shrink_attempts : int;
+  shrink_accepted : int;
+}
+
+type t = {
+  seed : int;
+  budget : int;
+  cases_run : int;
+  skipped : int;
+  comparisons : int;  (** executor runs diffed across all passing cases *)
+  injected : bool;  (** campaign ran with sabotage injection *)
+  counterexamples : counterexample list;
+}
+
+val passed : t -> bool
+(** No divergences found. *)
+
+val pp : Format.formatter -> t -> unit
+
+val case_to_json : Oracle.case -> string
+val to_json : t -> string

@@ -1,0 +1,98 @@
+module Randgen = Fppn_apps.Randgen
+
+type result = {
+  shrunk : Oracle.case;
+  attempts : int;
+  accepted : int;
+}
+
+(* Candidate moves, biggest expected reduction first.  Every move keeps
+   the sabotage reference valid: moves touching the sabotaged element
+   are not proposed, and dropping a periodic process renumbers the
+   sabotage endpoints along with the spec. *)
+let moves (case : Oracle.case) =
+  let spec = case.spec in
+  let temporal =
+    (match case.proc_counts with
+    | _ :: _ :: _ -> [ { case with proc_counts = [ List.hd case.proc_counts ] } ]
+    | _ -> [])
+    @ (match case.jitter_seeds with
+      | _ :: _ :: _ -> [ { case with jitter_seeds = [ List.hd case.jitter_seeds ] } ]
+      | _ -> [])
+    @ (if case.frames > 1 then [ { case with frames = 1 } ] else [])
+    @
+    if case.permutations > 1 then [ { case with permutations = 1 } ] else []
+  in
+  let drop_sporadics =
+    List.filter_map
+      (fun (s : Randgen.sporadic_spec) ->
+        match case.sabotage with
+        | Oracle.Flip_sporadic_fp n when n = s.Randgen.sp_name -> None
+        | _ ->
+          Option.map
+            (fun spec' -> { case with spec = spec' })
+            (Randgen.drop_sporadic spec s.Randgen.sp_name))
+      spec.Randgen.sporadics
+  in
+  let drop_periodics =
+    List.filter_map
+      (fun i ->
+        let sabotage =
+          match case.sabotage with
+          | Oracle.Flip_channel_fp { writer; reader } ->
+            if writer = i || reader = i then None
+            else
+              Some
+                (Oracle.Flip_channel_fp
+                   {
+                     writer = (if writer > i then writer - 1 else writer);
+                     reader = (if reader > i then reader - 1 else reader);
+                   })
+          | s -> Some s
+        in
+        match sabotage with
+        | None -> None
+        | Some sabotage ->
+          Option.map
+            (fun spec' -> { case with spec = spec'; sabotage })
+            (Randgen.drop_periodic spec i))
+      (List.rev (List.init (Array.length spec.Randgen.periods) Fun.id))
+  in
+  let drop_channels =
+    List.filter_map
+      (fun (c : Randgen.chan_spec) ->
+        match case.sabotage with
+        | Oracle.Flip_channel_fp { writer; reader }
+          when writer = c.Randgen.cw && reader = c.Randgen.cr -> None
+        | _ ->
+          Option.map
+            (fun spec' -> { case with spec = spec' })
+            (Randgen.drop_channel spec ~writer:c.Randgen.cw ~reader:c.Randgen.cr))
+      spec.Randgen.chans
+  in
+  temporal @ drop_sporadics @ drop_periodics @ drop_channels
+
+let minimise ?(budget = 200) case0 =
+  let attempts = ref 0 and accepted = ref 0 in
+  let try_move m =
+    incr attempts;
+    match Oracle.check m with Oracle.Fail _ -> true | _ -> false
+  in
+  let rec improve case =
+    if !attempts >= budget then case
+    else
+      let rec first = function
+        | [] -> None
+        | m :: rest ->
+          if !attempts >= budget then None
+          else if try_move m then Some m
+          else first rest
+      in
+      match first (moves case) with
+      | Some better ->
+        incr accepted;
+        improve better
+      | None -> case
+  in
+  let shrunk = improve case0 in
+  { shrunk; attempts = !attempts; accepted = !accepted }

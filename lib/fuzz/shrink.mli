@@ -1,0 +1,22 @@
+(** Greedy counterexample minimisation.
+
+    Given a failing {!Oracle.case}, repeatedly tries size-reducing
+    moves — collapse the temporal dimensions (frames, jitter seeds,
+    processor counts), drop sporadic processes, drop channels, drop
+    periodic processes — keeping a move only when the shrunk case still
+    {e fails} the oracle (a {!Oracle.Skip} rejects the move).  Moves
+    that would remove or orphan the sabotage target are never proposed,
+    so an injected bug stays reproducible throughout.
+
+    The result is a local minimum: no single remaining move preserves
+    the failure.  Deterministic in the input case. *)
+
+type result = {
+  shrunk : Oracle.case;
+  attempts : int;  (** oracle invocations spent *)
+  accepted : int;  (** moves that kept the failure *)
+}
+
+val minimise : ?budget:int -> Oracle.case -> result
+(** [budget] (default 200) caps oracle invocations.  The input should
+    already fail; otherwise the input is returned unchanged. *)

@@ -1,12 +1,16 @@
-(** Imperative binary-heap priority queue.
+(** Imperative binary-heap priority queue, {e stable}: elements that
+    compare equal under [cmp] pop in insertion order (FIFO).
 
     Backbone of the discrete-event simulators (runtime engine, timed
-    automata) and of the list scheduler's event loop. *)
+    automata) and of the list scheduler's event loop; stability keeps
+    those loops deterministic when distinct payloads share a key, which
+    the differential fuzzing oracle relies on. *)
 
 type 'a t
 
 val create : cmp:('a -> 'a -> int) -> 'a t
-(** Min-queue under [cmp]: {!pop} returns a smallest element. *)
+(** Min-queue under [cmp]: {!pop} returns the smallest element,
+    breaking [cmp] ties by insertion order. *)
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool

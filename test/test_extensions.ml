@@ -458,6 +458,57 @@ let test_checker_flags_unbounded_buffers () =
          && c.Fppn_verify.Checker.name = "FIFO buffer bounds")
        report.Fppn_verify.Checker.checks)
 
+let test_broken_fp_dag_rejected_with_diagnostic () =
+  (* Def. 2.1: every channel pair must be FP-related.  A network whose
+     FP DAG does not cover a channel cannot even be constructed, and the
+     diagnostic must name the channel and both endpoints so the user can
+     add the missing priority edge. *)
+  let b = Network.Builder.create "broken-fp" in
+  let periodic name =
+    Process.make ~name
+      ~event:(Event.periodic ~period:(ms 100) ~deadline:(ms 100) ())
+      (Process.Native (fun _ -> ()))
+  in
+  Network.Builder.add_process b (periodic "W");
+  Network.Builder.add_process b (periodic "R");
+  Network.Builder.add_process b (periodic "X");
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:"W"
+    ~reader:"R" "cfg";
+  Network.Builder.add_channel b ~kind:Fppn.Channel.Blackboard ~writer:"R"
+    ~reader:"X" "out";
+  (* only R -> X is priority-covered; W -> R is left unrelated *)
+  Network.Builder.add_priority b "R" "X";
+  (match Network.Builder.finish b with
+  | Ok _ -> Alcotest.fail "broken FP DAG was accepted"
+  | Error errs ->
+    Alcotest.(check int) "exactly one error" 1 (List.length errs);
+    (match errs with
+    | [ Network.Missing_priority { channel; writer; reader } ] ->
+      Alcotest.(check string) "names the channel" "cfg" channel;
+      Alcotest.(check string) "names the writer" "W" writer;
+      Alcotest.(check string) "names the reader" "R" reader
+    | _ -> Alcotest.fail "expected Missing_priority");
+    let msg = Format.asprintf "%a" Network.pp_error (List.hd errs) in
+    let contains needle =
+      let nl = String.length needle and ml = String.length msg in
+      let rec at i = i + nl <= ml && (String.sub msg i nl = needle || at (i + 1)) in
+      at 0
+    in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "diagnostic mentions %s" needle)
+          true (contains needle))
+      [ "\"cfg\""; "\"W\""; "\"R\"" ]);
+  (* adding the missing edge fixes it *)
+  Network.Builder.add_priority b "W" "R";
+  match Network.Builder.finish b with
+  | Ok _ -> ()
+  | Error errs ->
+    Alcotest.failf "still rejected: %s"
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" Network.pp_error) errs))
+
 let test_checker_reports_subclass_errors () =
   (* sporadic process without a user *)
   let b = Network.Builder.create "nouser" in
@@ -681,6 +732,8 @@ let () =
             test_checker_flags_unbounded_buffers;
           Alcotest.test_case "reports subclass errors" `Quick
             test_checker_reports_subclass_errors;
+          Alcotest.test_case "broken FP DAG rejected" `Quick
+            test_broken_fp_dag_rejected_with_diagnostic;
           Alcotest.test_case "end-to-end latency specs" `Quick
             test_checker_latency_specs;
         ] );

@@ -1,0 +1,345 @@
+(* Tests for the differential fuzzing subsystem: the adversarial
+   stimulus generators, the determinism oracle, the counterexample
+   shrinker and the campaign driver. *)
+
+module Rat = Rt_util.Rat
+module Prng = Rt_util.Prng
+module Event = Fppn.Event
+module Process = Fppn.Process
+module Network = Fppn.Network
+module Semantics = Fppn.Semantics
+module Derive = Taskgraph.Derive
+module Randgen = Fppn_apps.Randgen
+module Adversary = Fppn_fuzz.Adversary
+module Oracle = Fppn_fuzz.Oracle
+module Shrink = Fppn_fuzz.Shrink
+module Campaign = Fppn_fuzz.Campaign
+module Report = Fppn_fuzz.Report
+
+let ms = Rat.of_int
+
+let qprop name ?(count = 100) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* --- adversary --------------------------------------------------------- *)
+
+let prop_permutation_preserves_structure =
+  (* shuffling simultaneous invocations must keep (a) times
+     nondecreasing and (b) the multiset of invocations per time point *)
+  qprop "permute_simultaneous preserves time structure"
+    QCheck2.Gen.(pair (int_range 0 9999) (int_range 1 4))
+    (fun (seed, frames) ->
+      let net = Fppn_apps.Fig1.network () in
+      let trace =
+        Semantics.invocations ~horizon:(Rat.mul (ms 250) (Rat.of_int frames))
+          net
+      in
+      let permuted = Adversary.permute_simultaneous (Prng.create seed) trace in
+      let times inv = List.map (fun i -> i.Semantics.time) inv in
+      let nondecreasing l =
+        let rec go = function
+          | a :: (b :: _ as rest) -> Rat.(a <= b) && go rest
+          | _ -> true
+        in
+        go l
+      in
+      let key i = (Rat.num i.Semantics.time, Rat.den i.Semantics.time, i.Semantics.process) in
+      nondecreasing (times permuted)
+      && List.sort compare (List.map key trace)
+         = List.sort compare (List.map key permuted))
+
+let prop_permutation_invariant_signature =
+  (* Prop. 2.1: the zero-delay signature is invariant under any order of
+     simultaneous invocations *)
+  qprop "zero-delay signature invariant under permutation" ~count:30
+    (QCheck2.Gen.int_range 0 9999)
+    (fun seed ->
+      let net = Fppn_apps.Fig1.network () in
+      let trace = Semantics.invocations ~horizon:(ms 500) net in
+      let reference = Semantics.signature (Semantics.run net trace) in
+      let permuted = Adversary.permute_simultaneous (Prng.create seed) trace in
+      let got = Semantics.signature (Semantics.run net permuted) in
+      List.equal
+        (fun (n1, h1) (n2, h2) ->
+          String.equal n1 n2 && List.equal Fppn.Value.equal h1 h2)
+        reference got)
+
+let sporadic_spec =
+  (* two periodic + one sporadic, all channel pairs FP-covered *)
+  {
+    Randgen.label = "fuzz-sporadic";
+    periods = [| 100; 200 |];
+    chans = [ { Randgen.cw = 0; cr = 1; fifo = false; rev_fp = false } ];
+    sporadics =
+      [
+        {
+          Randgen.sp_name = "S0";
+          sp_user = 0;
+          sp_burst = 1;
+          sp_min_period = 100;
+          sp_higher = true;
+        };
+      ];
+  }
+
+let test_boundary_traces_valid () =
+  let net = Randgen.build_exn sporadic_spec in
+  let d =
+    Derive.derive_exn
+      ~wcet:(Randgen.wcet ~scale:(Rat.make 1 25) (Derive.const_wcet Rat.one) net)
+      net
+  in
+  List.iter
+    (fun seed ->
+      let traces = Adversary.boundary_traces net d ~frames:2 ~seed in
+      List.iter
+        (fun (name, stamps) ->
+          let p = Network.process net (Network.find net name) in
+          Alcotest.(check bool)
+            (Printf.sprintf "trace of %s valid (seed %d)" name seed)
+            true
+            (Event.is_valid_sporadic_trace (Process.event p) stamps);
+          let horizon = Rat.mul d.Derive.hyperperiod (ms 2) in
+          List.iter
+            (fun s ->
+              Alcotest.(check bool) "stamp within horizon" true
+                (Rat.(s >= Rat.zero) && Rat.(s < horizon)))
+            stamps)
+        traces)
+    [ 1; 7; 42 ]
+
+let test_merge_traces_valid () =
+  let net = Randgen.build_exn sporadic_spec in
+  let d =
+    Derive.derive_exn
+      ~wcet:(Randgen.wcet ~scale:(Rat.make 1 25) (Derive.const_wcet Rat.one) net)
+      net
+  in
+  let a = Adversary.boundary_traces net d ~frames:2 ~seed:1 in
+  let b = Adversary.boundary_traces net d ~frames:2 ~seed:2 in
+  let merged = Adversary.merge_traces net a b in
+  List.iter
+    (fun (name, stamps) ->
+      let p = Network.process net (Network.find net name) in
+      Alcotest.(check bool) "merged trace valid" true
+        (Event.is_valid_sporadic_trace (Process.event p) stamps))
+    merged
+
+(* --- oracle ------------------------------------------------------------ *)
+
+let base_case spec sabotage =
+  {
+    Oracle.spec;
+    sabotage;
+    trace_seed = 5;
+    jitter_seeds = [ 1 ];
+    proc_counts = [ 1 ];
+    frames = 2;
+    permutations = 2;
+    boundary_snap = true;
+  }
+
+(* a 3-process chain W -> R -> X; flipping the FP edge of the W->R
+   channel makes R read W's value one job late, observably via X *)
+let chain_spec =
+  {
+    Randgen.label = "fuzz-chain";
+    periods = [| 100; 100; 100 |];
+    chans =
+      [
+        { Randgen.cw = 0; cr = 1; fifo = false; rev_fp = false };
+        { Randgen.cw = 1; cr = 2; fifo = false; rev_fp = false };
+      ];
+    sporadics = [];
+  }
+
+let test_oracle_passes_honest_case () =
+  match Oracle.check (base_case chain_spec Oracle.No_sabotage) with
+  | Oracle.Pass { comparisons } ->
+    Alcotest.(check bool) "made comparisons" true (comparisons > 0)
+  | Oracle.Skip why -> Alcotest.failf "unexpected skip: %s" why
+  | Oracle.Fail d ->
+    Alcotest.failf "unexpected divergence: %s"
+      (Format.asprintf "%a" Oracle.pp_divergence d)
+
+let test_oracle_catches_handcrafted_flip () =
+  let sabotage = Oracle.Flip_channel_fp { writer = 0; reader = 1 } in
+  match Oracle.check (base_case chain_spec sabotage) with
+  | Oracle.Fail d ->
+    Alcotest.(check bool) "divergence names a channel" true
+      (d.Oracle.channel <> None)
+  | Oracle.Pass _ -> Alcotest.fail "flipped FP edge not caught"
+  | Oracle.Skip why -> Alcotest.failf "unexpected skip: %s" why
+
+let test_oracle_deterministic () =
+  let case = base_case chain_spec (Oracle.Flip_channel_fp { writer = 0; reader = 1 }) in
+  let d1 = Oracle.check case and d2 = Oracle.check case in
+  Alcotest.(check bool) "same verdict twice" true (d1 = d2)
+
+(* --- shrinker ----------------------------------------------------------- *)
+
+let test_shrink_reaches_minimal_chain () =
+  (* start from a larger failing case: chain plus extra periodic
+     processes and channels that are irrelevant to the bug *)
+  let spec =
+    {
+      Randgen.label = "fuzz-padded";
+      periods = [| 100; 100; 100; 200; 400 |];
+      chans =
+        [
+          { Randgen.cw = 0; cr = 1; fifo = false; rev_fp = false };
+          { Randgen.cw = 1; cr = 2; fifo = false; rev_fp = false };
+          { Randgen.cw = 2; cr = 3; fifo = true; rev_fp = false };
+          { Randgen.cw = 3; cr = 4; fifo = false; rev_fp = false };
+        ];
+      sporadics =
+        [
+          {
+            Randgen.sp_name = "S0";
+            sp_user = 4;
+            sp_burst = 1;
+            sp_min_period = 400;
+            sp_higher = true;
+          };
+        ];
+    }
+  in
+  let case =
+    {
+      (base_case spec (Oracle.Flip_channel_fp { writer = 0; reader = 1 })) with
+      Oracle.proc_counts = [ 1; 2 ];
+      jitter_seeds = [ 1; 2 ];
+    }
+  in
+  (match Oracle.check case with
+  | Oracle.Fail _ -> ()
+  | _ -> Alcotest.fail "padded case should fail");
+  let r = Shrink.minimise case in
+  Alcotest.(check bool) "some moves accepted" true (r.Shrink.accepted > 0);
+  Alcotest.(check bool) "shrunk to at most 4 processes" true
+    (Oracle.case_processes r.Shrink.shrunk <= 4);
+  (* the shrunk case still fails, and on the sabotaged channel *)
+  (match Oracle.check r.Shrink.shrunk with
+  | Oracle.Fail _ -> ()
+  | _ -> Alcotest.fail "shrunk case no longer fails");
+  (* shrinking is deterministic *)
+  let r' = Shrink.minimise case in
+  Alcotest.(check bool) "shrink deterministic" true
+    (r.Shrink.shrunk = r'.Shrink.shrunk)
+
+let test_shrink_keeps_sabotage_target () =
+  let case =
+    base_case chain_spec (Oracle.Flip_channel_fp { writer = 0; reader = 1 })
+  in
+  let r = Shrink.minimise case in
+  match Oracle.sut_spec r.Shrink.shrunk with
+  | None -> Alcotest.fail "sabotage target was shrunk away"
+  | Some _ -> ()
+
+(* --- campaign ----------------------------------------------------------- *)
+
+let test_honest_campaign_finds_nothing () =
+  let config = { Campaign.default_config with Campaign.budget = 8 } in
+  let report = Campaign.run config in
+  Alcotest.(check bool) "passed" true (Report.passed report);
+  Alcotest.(check int) "all cases run" 8 report.Report.cases_run;
+  Alcotest.(check bool) "made comparisons" true (report.Report.comparisons > 0)
+
+let test_injected_campaign_catches_and_shrinks () =
+  let config =
+    {
+      Campaign.default_config with
+      Campaign.budget = 6;
+      inject = Campaign.Inject_channel_flip;
+    }
+  in
+  let report = Campaign.run config in
+  Alcotest.(check bool) "injection caught" false (Report.passed report);
+  List.iter
+    (fun (cx : Report.counterexample) ->
+      Alcotest.(check bool) "shrunk to at most 4 processes" true
+        (Oracle.case_processes cx.Report.shrunk <= 4);
+      Alcotest.(check bool) "shrunk is no larger than original" true
+        (Oracle.case_processes cx.Report.shrunk
+        <= Oracle.case_processes cx.Report.original))
+    report.Report.counterexamples
+
+let test_campaign_deterministic () =
+  let config =
+    {
+      Campaign.default_config with
+      Campaign.budget = 4;
+      inject = Campaign.Inject_channel_flip;
+    }
+  in
+  let r1 = Campaign.run config and r2 = Campaign.run config in
+  Alcotest.(check int) "same counterexample count"
+    (List.length r1.Report.counterexamples)
+    (List.length r2.Report.counterexamples);
+  Alcotest.(check string) "same json" (Report.to_json r1) (Report.to_json r2)
+
+let test_report_json_shape () =
+  let config =
+    {
+      Campaign.default_config with
+      Campaign.budget = 3;
+      inject = Campaign.Inject_channel_flip;
+    }
+  in
+  let report = Campaign.run config in
+  let json = Report.to_json report in
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec at i = i + nl <= jl && (String.sub json i nl = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "json has %s" needle)
+        true (contains needle))
+    [
+      "\"seed\"";
+      "\"passed\"";
+      "\"counterexamples\"";
+      "\"spec\"";
+      "\"sabotage\"";
+      "\"trace_seed\"";
+    ]
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "adversary",
+        [
+          prop_permutation_preserves_structure;
+          prop_permutation_invariant_signature;
+          Alcotest.test_case "boundary traces valid" `Quick
+            test_boundary_traces_valid;
+          Alcotest.test_case "merged traces valid" `Quick test_merge_traces_valid;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "honest case passes" `Quick
+            test_oracle_passes_honest_case;
+          Alcotest.test_case "handcrafted flip caught" `Quick
+            test_oracle_catches_handcrafted_flip;
+          Alcotest.test_case "deterministic" `Quick test_oracle_deterministic;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "reaches minimal chain" `Quick
+            test_shrink_reaches_minimal_chain;
+          Alcotest.test_case "keeps sabotage target" `Quick
+            test_shrink_keeps_sabotage_target;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "honest campaign passes" `Quick
+            test_honest_campaign_finds_nothing;
+          Alcotest.test_case "injected bug caught and shrunk" `Quick
+            test_injected_campaign_catches_and_shrinks;
+          Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "json report shape" `Quick test_report_json_shape;
+        ] );
+    ]

@@ -95,6 +95,30 @@ let prop_add_associative =
     (fun (a, b, c) ->
       Rat.equal (Rat.add a (Rat.add b c)) (Rat.add (Rat.add a b) c))
 
+let prop_mul_commutative =
+  qprop "mul commutative" (QCheck2.Gen.pair small_rat_gen small_rat_gen)
+    (fun (a, b) -> Rat.equal (Rat.mul a b) (Rat.mul b a))
+
+let prop_mul_associative =
+  qprop "mul associative"
+    (QCheck2.Gen.triple small_rat_gen small_rat_gen small_rat_gen)
+    (fun (a, b, c) ->
+      Rat.equal (Rat.mul a (Rat.mul b c)) (Rat.mul (Rat.mul a b) c))
+
+let prop_identities =
+  qprop "additive and multiplicative identities" small_rat_gen (fun a ->
+      Rat.equal a (Rat.add a Rat.zero)
+      && Rat.equal a (Rat.mul a Rat.one))
+
+let prop_additive_inverse =
+  qprop "a + (-a) = 0" small_rat_gen (fun a ->
+      Rat.equal Rat.zero (Rat.add a (Rat.neg a)))
+
+let prop_multiplicative_inverse =
+  qprop "a * (1/a) = 1 for nonzero a" small_rat_gen (fun a ->
+      if Rat.sign a = 0 then true
+      else Rat.equal Rat.one (Rat.mul a (Rat.div Rat.one a)))
+
 let prop_mul_distributes =
   qprop "mul distributes over add"
     (QCheck2.Gen.triple small_rat_gen small_rat_gen small_rat_gen)
@@ -104,6 +128,24 @@ let prop_mul_distributes =
 let prop_compare_antisym =
   qprop "compare antisymmetric" (QCheck2.Gen.pair small_rat_gen small_rat_gen)
     (fun (a, b) -> Rat.compare a b = -Rat.compare b a)
+
+let prop_compare_total =
+  (* trichotomy: exactly one of <, =, > holds, and = agrees with equal *)
+  qprop "ordering total" (QCheck2.Gen.pair small_rat_gen small_rat_gen)
+    (fun (a, b) ->
+      let c = Rat.compare a b in
+      (c < 0 || c = 0 || c > 0)
+      && (c = 0) = Rat.equal a b
+      && (c = 0) = (Rat.(a <= b) && Rat.(b <= a)))
+
+let prop_compare_transitive =
+  qprop "ordering transitive"
+    (QCheck2.Gen.triple small_rat_gen small_rat_gen small_rat_gen)
+    (fun (a, b, c) ->
+      let sorted = List.sort Rat.compare [ a; b; c ] in
+      match sorted with
+      | [ x; y; z ] -> Rat.(x <= y) && Rat.(y <= z) && Rat.(x <= z)
+      | _ -> false)
 
 let prop_lcm_divides =
   let pos_gen =
@@ -145,8 +187,15 @@ let () =
         [
           prop_add_commutative;
           prop_add_associative;
+          prop_mul_commutative;
+          prop_mul_associative;
+          prop_identities;
+          prop_additive_inverse;
+          prop_multiplicative_inverse;
           prop_mul_distributes;
           prop_compare_antisym;
+          prop_compare_total;
+          prop_compare_transitive;
           prop_lcm_divides;
           prop_floor_bound;
           prop_string_roundtrip;

@@ -227,6 +227,38 @@ let test_boundary_open_right () =
   Alcotest.(check bool) "zero-delay agrees" true
     (eq_sig (Semantics.signature zd) (Engine.signature rt))
 
+let test_boundary_assignment_slots () =
+  (* Fig. 2 at the window edge, checked at the slot-assignment level: an
+     event exactly at b = frame·H is part of the (b-T', b] subset when
+     the sporadic has priority over its user, and of the [b, b+T')
+     subset — the NEXT frame's slot — otherwise. *)
+  let check_case ~sporadic_first ~frames expect_frame =
+    let net = boundary_net ~sporadic_first in
+    let d = Derive.derive_exn ~wcet:(Derive.const_wcet (ms 10)) net in
+    let assigned, unhandled =
+      Engine.sporadic_assignment net d ~frames [ ("S", [ ms 100 ]) ]
+    in
+    let sp = Network.find net "S" in
+    let job = Taskgraph.Graph.find_job d.Derive.graph ~proc:sp ~k:1 in
+    match expect_frame with
+    | Some f ->
+      Alcotest.(check (option rat))
+        "stamp assigned to the expected frame's slot" (Some (ms 100))
+        (Hashtbl.find_opt assigned (job, f));
+      Alcotest.(check (list (pair string rat))) "nothing unhandled" [] unhandled
+    | None ->
+      Alcotest.(check int) "no slot assigned" 0 (Hashtbl.length assigned);
+      Alcotest.(check (list (pair string rat))) "reported beyond horizon"
+        [ ("S", ms 100) ]
+        unhandled
+  in
+  (* closed-right: t=100 belongs to the frame-1 window (0,100] *)
+  check_case ~sporadic_first:true ~frames:2 (Some 1);
+  (* closed-left: t=100 belongs to [100,200), i.e. the frame-2 slot ... *)
+  check_case ~sporadic_first:false ~frames:3 (Some 2);
+  (* ... which with only 2 simulated frames lies beyond the horizon *)
+  check_case ~sporadic_first:false ~frames:2 None
+
 let test_unhandled_horizon_events () =
   let net = boundary_net ~sporadic_first:false in
   let d = Derive.derive_exn ~wcet:(Derive.const_wcet (ms 10)) net in
@@ -353,6 +385,8 @@ let () =
         [
           Alcotest.test_case "boundary closed-right" `Quick test_boundary_closed_right;
           Alcotest.test_case "boundary open-right" `Quick test_boundary_open_right;
+          Alcotest.test_case "boundary slot assignment" `Quick
+            test_boundary_assignment_slots;
           Alcotest.test_case "unhandled horizon events" `Quick
             test_unhandled_horizon_events;
         ] );

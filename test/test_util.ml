@@ -59,6 +59,26 @@ let prop_pqueue_interleaved =
         ops;
       !ok)
 
+let prop_pqueue_stable =
+  (* Equal keys must drain in insertion order: push (key, stamp) pairs
+     ordered only on key; within a key the stamps are an increasing run. *)
+  qprop "pqueue stable under duplicate keys"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 5))
+    (fun keys ->
+      let cmp (a, _) (b, _) = Int.compare a b in
+      let q = Pqueue.create ~cmp in
+      List.iteri (fun i k -> Pqueue.push q (k, i)) keys;
+      let drained = Pqueue.drain q in
+      (* same multiset, keys nondecreasing, stamps increasing within a key *)
+      let rec ordered = function
+        | (k, i) :: ((k', i') :: _ as rest) ->
+          k <= k' && (k <> k' || i < i') && ordered rest
+        | _ -> true
+      in
+      List.sort compare drained
+      = List.sort compare (List.mapi (fun i k -> (k, i)) keys)
+      && ordered drained)
+
 (* --- Bitset ---------------------------------------------------------- *)
 
 let test_bitset_basic () =
@@ -325,6 +345,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_pqueue_basic;
           prop_pqueue_sorts;
           prop_pqueue_interleaved;
+          prop_pqueue_stable;
         ] );
       ( "bitset",
         [
