@@ -7,6 +7,14 @@
    Props. 2.1/4.1, plus the ablations called out in DESIGN.md; then runs
    Bechamel micro-benchmarks of every pipeline stage.
 
+   Every section renders into its own buffer, so independent sections
+   are computed concurrently on a Rt_util.Pool of domains (--jobs N) and
+   printed in their fixed order; the timing-sensitive sections (the
+   transitive-reduction ablation and the Bechamel micro-benchmarks) stay
+   sequential.  --json FILE switches to the perf-regression harness: it
+   times the hot pipeline stages at jobs=1 and jobs=N and writes the
+   medians as JSON (see EXPERIMENTS.md, "Performance").
+
    The printed "paper" column quotes the published value; "measured" is
    what this reproduction obtains.  Absolute times differ from the
    MPPA-256/i7 testbeds; the comparisons of interest are the shapes
@@ -14,6 +22,7 @@
    deadlines). *)
 
 module Rat = Rt_util.Rat
+module Pool = Rt_util.Pool
 module Table = Rt_util.Table
 module Gantt = Rt_util.Gantt
 module V = Fppn.Value
@@ -35,10 +44,21 @@ module Translate = Timedauto.Translate
 
 let ms = Rat.of_int
 
-let section title =
-  Printf.printf "\n%s\n%s\n%s\n" (String.make 74 '=') title (String.make 74 '=')
+let section buf title =
+  Printf.bprintf buf "\n%s\n%s\n%s\n" (String.make 74 '=') title
+    (String.make 74 '=')
 
-let subsection title = Printf.printf "\n--- %s ---\n" title
+let subsection buf title = Printf.bprintf buf "\n--- %s ---\n" title
+
+let bline buf s =
+  Buffer.add_string buf s;
+  Buffer.add_char buf '\n'
+
+let table buf ?aligns ~header rows =
+  Buffer.add_string buf (Table.render ?aligns ~header rows)
+
+let gantt buf ~width ~t_min ~t_max rows =
+  Buffer.add_string buf (Gantt.render ~width ~t_min ~t_max rows)
 
 let fstr f = Printf.sprintf "%.3f" f
 
@@ -56,13 +76,13 @@ let schedule_or_fallback ?(heuristic = Priority.Alap_edf) ~n_procs g =
 (* E1: Fig. 1 network -> Fig. 3 task graph                              *)
 (* ------------------------------------------------------------------ *)
 
-let e1_fig3 () =
-  section "E1  Task-graph derivation: Fig. 1 network -> Fig. 3 task graph";
+let e1_fig3 buf =
+  section buf "E1  Task-graph derivation: Fig. 1 network -> Fig. 3 task graph";
   let net = Fppn_apps.Fig1.network () in
   let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet net in
   let g = d.Derive.graph in
-  subsection "derived jobs (A_i, D_i, C_i) — compare with Fig. 3";
-  Table.print
+  subsection buf "derived jobs (A_i, D_i, C_i) — compare with Fig. 3";
+  table buf
     ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left ]
     ~header:[ "job"; "A_i"; "D_i"; "C_i"; "kind" ]
     (Array.to_list
@@ -76,12 +96,14 @@ let e1_fig3 () =
               (if j.Job.is_server then "server (sporadic)" else "periodic");
             ])
           (Graph.jobs g)));
-  subsection "precedence edges after transitive reduction";
+  subsection buf "precedence edges after transitive reduction";
   List.iter
     (fun (u, v) ->
-      Printf.printf "  %s -> %s\n" (Job.label (Graph.job g u)) (Job.label (Graph.job g v)))
+      Printf.bprintf buf "  %s -> %s\n"
+        (Job.label (Graph.job g u))
+        (Job.label (Graph.job g v)))
     (Graph.edges g);
-  subsection "summary (paper vs measured)";
+  subsection buf "summary (paper vs measured)";
   let redundant_removed =
     let find lbl =
       let rec scan i =
@@ -91,7 +113,7 @@ let e1_fig3 () =
     in
     not (Graph.has_edge g (find "InputA[1]") (find "NormA[1]"))
   in
-  Table.print
+  table buf
     ~header:[ "quantity"; "paper"; "measured" ]
     [
       [ "hyperperiod H"; "200 ms"; Rat.to_string d.Derive.hyperperiod ^ " ms" ];
@@ -106,28 +128,29 @@ let e1_fig3 () =
 (* E2: Fig. 4 static schedule on two processors                         *)
 (* ------------------------------------------------------------------ *)
 
-let e2_fig4 () =
-  section "E2  Static schedule for the Fig. 3 task graph on M=2 (Fig. 4)";
+let e2_fig4 pool buf =
+  section buf "E2  Static schedule for the Fig. 3 task graph on M=2 (Fig. 4)";
   let net = Fppn_apps.Fig1.network () in
   let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet net in
   let g = d.Derive.graph in
-  let attempts, best = List_scheduler.auto ~n_procs:2 g in
+  let attempts, best = List_scheduler.auto ~pool ~n_procs:2 g in
   List.iter
     (fun (a : List_scheduler.attempt) ->
-      Printf.printf "  %-20s feasible=%-5b makespan=%s ms\n"
+      Printf.bprintf buf "  %-20s feasible=%-5b makespan=%s ms\n"
         (Priority.to_string a.List_scheduler.heuristic)
         a.List_scheduler.feasible
         (Rat.to_string a.List_scheduler.makespan))
     attempts;
   match best with
-  | None -> print_endline "  !! no feasible schedule found (unexpected)"
+  | None -> bline buf "  !! no feasible schedule found (unexpected)"
   | Some a ->
     let s = a.List_scheduler.schedule in
-    subsection
+    subsection buf
       (Printf.sprintf "chosen schedule (%s) — one 200 ms frame, as Fig. 4"
          (Priority.to_string a.List_scheduler.heuristic));
-    Gantt.print ~width:66 ~t_min:0.0 ~t_max:200.0 (Static_schedule.to_gantt_rows g s);
-    Printf.printf "  feasible: %b; makespan %s ms (frame 200 ms)\n"
+    gantt buf ~width:66 ~t_min:0.0 ~t_max:200.0
+      (Static_schedule.to_gantt_rows g s);
+    Printf.bprintf buf "  feasible: %b; makespan %s ms (frame 200 ms)\n"
       (Static_schedule.is_feasible g s)
       (Rat.to_string (Static_schedule.makespan g s))
 
@@ -135,8 +158,8 @@ let e2_fig4 () =
 (* E3: FFT streaming benchmark (Fig. 5, Fig. 6, Sec. V-A numbers)       *)
 (* ------------------------------------------------------------------ *)
 
-let e3_fft () =
-  section "E3  FFT streaming benchmark (Figs. 5-6, Sec. V-A)";
+let e3_fft pool buf =
+  section buf "E3  FFT streaming benchmark (Figs. 5-6, Sec. V-A)";
   let p = Fppn_apps.Fft.default_params in
   let net = Fppn_apps.Fft.network p in
   let d = Derive.derive_exn ~wcet:(Fppn_apps.Fft.wcet_map p) net in
@@ -155,7 +178,7 @@ let e3_fft () =
     { Platform.first_frame = ms 41; steady_frame = ms 20; per_access = Rat.zero }
   in
   let frames = 25 in
-  let run_fft ~n_procs =
+  let run_fft n_procs =
     let sched, _feasible = schedule_or_fallback ~n_procs g in
     let config =
       { (Engine.default_config ~frames ~n_procs ()) with
@@ -164,9 +187,13 @@ let e3_fft () =
     in
     Engine.run net d sched config
   in
-  let r1 = run_fft ~n_procs:1 and r2 = run_fft ~n_procs:2 in
-  subsection "summary (paper vs measured)";
-  Table.print
+  let r1, r2 =
+    match Pool.map_list ~chunk:1 pool run_fft [ 1; 2 ] with
+    | [ r1; r2 ] -> (r1, r2)
+    | _ -> assert false
+  in
+  subsection buf "summary (paper vs measured)";
+  table buf
     ~header:[ "quantity"; "paper"; "measured" ]
     [
       [ "processes / jobs per frame"; "14"; string_of_int (Graph.n_jobs g) ];
@@ -179,7 +206,7 @@ let e3_fft () =
         "0"; string_of_int r2.Engine.stats.Exec_trace.misses ];
       [ "frame overhead modelled"; "41 ms first / 20 ms steady"; "same" ];
     ];
-  subsection "M=2 steady-state frame (Fig. 6 analogue; frame 1, 200-400 ms)";
+  subsection buf "M=2 steady-state frame (Fig. 6 analogue; frame 1, 200-400 ms)";
   let rows =
     Exec_trace.to_gantt_rows ~runtime_row:r2.Engine.overhead_segments
       (List.filter (fun (r : Exec_trace.record) -> r.Exec_trace.frame = 1) r2.Engine.trace)
@@ -194,14 +221,14 @@ let e3_fft () =
               row.Gantt.segments })
       rows
   in
-  Gantt.print ~width:66 ~t_min:200.0 ~t_max:400.0 rows
+  gantt buf ~width:66 ~t_min:200.0 ~t_max:400.0 rows
 
 (* ------------------------------------------------------------------ *)
 (* E4: FMS avionics case study (Fig. 7, Sec. V-B numbers)               *)
 (* ------------------------------------------------------------------ *)
 
-let e4_fms () =
-  section "E4  FMS avionics case study (Fig. 7, Sec. V-B)";
+let e4_fms pool buf =
+  section buf "E4  FMS avionics case study (Fig. 7, Sec. V-B)";
   let net40 = Fppn_apps.Fms.original () in
   let d40 = Derive.derive_exn ~wcet:Fppn_apps.Fms.wcet net40 in
   let net = Fppn_apps.Fms.reduced () in
@@ -229,7 +256,9 @@ let e4_fms () =
     in
     (Engine.run net d sched config, feasible)
   in
-  let results = List.map (fun m -> (m, run_fms ~n_procs:m)) [ 1; 2; 4 ] in
+  let results =
+    Pool.map_list ~chunk:1 pool (fun m -> (m, run_fms ~n_procs:m)) [ 1; 2; 4 ]
+  in
   (* functional equivalence with the rate-monotonic uniprocessor
      prototype, "verified by testing" in the paper *)
   let zd = Semantics.run net (Semantics.invocations ~sporadic:traces ~horizon net) in
@@ -239,8 +268,8 @@ let e4_fms () =
         Uniproc_fp.sporadic = traces }
   in
   let equivalent = eq_sig (Semantics.signature zd) (Uniproc_fp.signature up) in
-  subsection "summary (paper vs measured)";
-  Table.print
+  subsection buf "summary (paper vs measured)";
+  table buf
     ~header:[ "quantity"; "paper"; "measured" ]
     ([
        [ "processes (periodic + sporadic)"; "12 (5+7)";
@@ -265,7 +294,7 @@ let e4_fms () =
               (if feasible then "" else " (fallback schedule)");
           ])
         results);
-  subsection
+  subsection buf
     "M=2 execution, first second of the 10 s frame (the extended version's \
      Gantt)";
   (let sched2, _ = schedule_or_fallback ~n_procs:2 g in
@@ -282,9 +311,9 @@ let e4_fms () =
              List.filter (fun (s : Gantt.segment) -> s.Gantt.finish <= 1000.0) row.Gantt.segments })
        (Exec_trace.to_gantt_rows r2.Engine.trace)
    in
-   Gantt.print ~width:66 ~t_min:0.0 ~t_max:1000.0 rows);
-  subsection "per-M schedule quality";
-  Table.print
+   gantt buf ~width:66 ~t_min:0.0 ~t_max:1000.0 rows);
+  subsection buf "per-M schedule quality";
+  table buf
     ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
     ~header:[ "M"; "makespan (ms)"; "executed"; "skipped ('false' slots)" ]
     (List.map
@@ -302,8 +331,8 @@ let e4_fms () =
 (* E5: determinism across interpreters (Props. 2.1 and 4.1)             *)
 (* ------------------------------------------------------------------ *)
 
-let e5_determinism () =
-  section "E5  Deterministic execution (Props. 2.1 / 4.1)";
+let e5_determinism pool buf =
+  section buf "E5  Deterministic execution (Props. 2.1 / 4.1)";
   let net = Fppn_apps.Fig1.network () in
   let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet net in
   let frames = 4 in
@@ -315,7 +344,7 @@ let e5_determinism () =
       (Semantics.invocations ~sporadic:[ ("CoefB", coefb) ] ~horizon net)
   in
   let zd_sig = Semantics.signature zd in
-  let engine_check ~n_procs ~seed =
+  let engine_check ~n_procs ~seed () =
     let sched, _ = schedule_or_fallback ~n_procs d.Derive.graph in
     let config =
       { (Engine.default_config ~frames ~n_procs ()) with
@@ -325,7 +354,7 @@ let e5_determinism () =
     in
     eq_sig zd_sig (Engine.signature (Engine.run net d sched config))
   in
-  let ta_check ~n_procs ~seed =
+  let ta_check ~n_procs ~seed () =
     let sched, _ = schedule_or_fallback ~n_procs d.Derive.graph in
     let config =
       { (Engine.default_config ~frames ~n_procs ()) with
@@ -337,8 +366,9 @@ let e5_determinism () =
       (Translate.signature (Translate.execute (Translate.build net d sched config)))
   in
   let rows =
-    List.map
-      (fun (label, ok) -> [ label; (if ok then "identical" else "DIFFERS") ])
+    Pool.map_list ~chunk:1 pool
+      (fun (label, check) ->
+        [ label; (if check () then "identical" else "DIFFERS") ])
       [
         ("zero-delay vs static-order runtime, M=2, jitter seed 1", engine_check ~n_procs:2 ~seed:1);
         ("zero-delay vs static-order runtime, M=2, jitter seed 42", engine_check ~n_procs:2 ~seed:42);
@@ -348,7 +378,7 @@ let e5_determinism () =
         ("zero-delay vs timed-automata backend, M=4, jitter seed 9", ta_check ~n_procs:4 ~seed:9);
       ]
   in
-  Table.print
+  table buf
     ~header:[ "comparison (Fig. 1 app, 4 frames, sporadic CoefB)"; "channel histories" ]
     rows
 
@@ -356,8 +386,8 @@ let e5_determinism () =
 (* E6: schedule-priority heuristic ablation (Sec. III-B)                *)
 (* ------------------------------------------------------------------ *)
 
-let e6_heuristics () =
-  section "E6  Ablation: schedule-priority heuristics (Sec. III-B)";
+let e6_heuristics pool buf =
+  section buf "E6  Ablation: schedule-priority heuristics (Sec. III-B)";
   let cases =
     let fig1 = Fppn_apps.Fig1.network () in
     let fft = Fppn_apps.Fft.network Fppn_apps.Fft.default_params in
@@ -383,7 +413,7 @@ let e6_heuristics () =
   in
   let header = "workload" :: List.map Priority.to_string Priority.all in
   let rows =
-    List.map
+    Pool.map_list ~chunk:1 pool
       (fun (name, d, n_procs) ->
         name
         :: List.map
@@ -398,15 +428,15 @@ let e6_heuristics () =
              Priority.all)
       cases
   in
-  Table.print ~header rows;
-  print_endline "  (cell = feasibility + makespan in ms under that heuristic)";
+  table buf ~header rows;
+  bline buf "  (cell = feasibility + makespan in ms under that heuristic)";
   (* the Sec. III-B remark: a sub-optimal SP can be repaired by search *)
-  subsection "stochastic SP repair (ref. [8]) starting from FIFO on fig1 (M=2)";
+  subsection buf "stochastic SP repair (ref. [8]) starting from FIFO on fig1 (M=2)";
   let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet (Fppn_apps.Fig1.network ()) in
   let g = d.Derive.graph in
   let base = List_scheduler.schedule_with ~heuristic:Priority.Fifo_arrival ~n_procs:2 g in
   let o = Sched.Optimizer.improve ~seed:7 ~iterations:600 ~start:Priority.Fifo_arrival ~n_procs:2 g in
-  Table.print
+  table buf
     ~header:[ "schedule"; "feasible"; "makespan ms" ]
     [
       [ "fifo heuristic"; string_of_bool (Static_schedule.is_feasible g base);
@@ -420,9 +450,9 @@ let e6_heuristics () =
 (* E7: job-granularity sweep (Sec. V-A closing remark)                  *)
 (* ------------------------------------------------------------------ *)
 
-let e7_granularity () =
-  section "E7  Granularity sweep: overhead impact vs job grain (Sec. V-A)";
-  print_endline
+let e7_granularity pool buf =
+  section buf "E7  Granularity sweep: overhead impact vs job grain (Sec. V-A)";
+  bline buf
     "  The FFT is scaled: period and WCET grow together (same intrinsic\n\
     \  load 0.93) while the 41/20 ms runtime overhead stays fixed, so the\n\
     \  relative overhead shrinks as jobs get coarser.";
@@ -430,7 +460,7 @@ let e7_granularity () =
     { Platform.first_frame = ms 41; steady_frame = ms 20; per_access = Rat.zero }
   in
   let rows =
-    List.map
+    Pool.map_list ~chunk:1 pool
       (fun (label, period_ms, wcet) ->
         let p = { Fppn_apps.Fft.n = 8; period_ms; wcet } in
         let net = Fppn_apps.Fft.network p in
@@ -465,13 +495,13 @@ let e7_granularity () =
         ("4x", 800, Rat.make 266 5);
       ]
   in
-  Table.print
+  table buf
     ~aligns:
       [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
     ~header:
       [ "grain"; "period ms"; "wcet ms"; "load+overhead"; "misses M=1"; "misses M=2" ]
     rows;
-  print_endline
+  bline buf
     "  Expected shape: fine grain -> overhead dominates, M=1 misses;\n\
     \  coarse grain -> load+overhead drops below 1 and M=1 suffices."
 
@@ -479,9 +509,9 @@ let e7_granularity () =
 (* E8: why FPPN — global EDF is not deterministic                       *)
 (* ------------------------------------------------------------------ *)
 
-let e8_nondeterminism () =
-  section "E8  Motivation check: naive global EDF is not deterministic (Sec. I)";
-  print_endline
+let e8_nondeterminism pool buf =
+  section buf "E8  Motivation check: naive global EDF is not deterministic (Sec. I)";
+  bline buf
     "  The same Fig. 1 workload, same inputs, same event stamps, executed\n\
     \  with 8 different execution-time jitter seeds.  Global preemptive EDF\n\
     \  (no functional priorities, no precedence synchronization) lets the\n\
@@ -497,7 +527,7 @@ let e8_nondeterminism () =
          [] signatures)
   in
   let edf_sigs =
-    List.map
+    Pool.map_list ~chunk:1 pool
       (fun seed ->
         let cfg =
           { (Runtime.Global_edf.default_config ~wcet:Fppn_apps.Fig1.wcet
@@ -512,7 +542,7 @@ let e8_nondeterminism () =
   let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet net in
   let sched, _ = schedule_or_fallback ~n_procs:2 d.Derive.graph in
   let fppn_sigs =
-    List.map
+    Pool.map_list ~chunk:1 pool
       (fun seed ->
         let cfg =
           { (Engine.default_config ~frames:5 ~n_procs:2 ()) with
@@ -522,22 +552,21 @@ let e8_nondeterminism () =
         Engine.signature (Engine.run net d sched cfg))
       seeds
   in
-  Table.print
+  table buf
     ~header:[ "runtime"; "distinct channel histories over 8 jitter seeds" ]
     [
       [ "global EDF (M=2)"; string_of_int (distinct edf_sigs) ];
       [ "FPPN static-order (M=2)"; string_of_int (distinct fppn_sigs) ];
     ];
-  print_endline
-    "  (1 = deterministic; >1 = outputs depend on execution timing)"
+  bline buf "  (1 = deterministic; >1 = outputs depend on execution timing)"
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end latency (the Sec. I motivation)                           *)
 (* ------------------------------------------------------------------ *)
 
-let latency_analysis () =
-  section "End-to-end latency: deterministic reaction times";
-  print_endline
+let latency_analysis buf =
+  section buf "End-to-end latency: deterministic reaction times";
+  bline buf
     "  Because the task graph fixes which source job each sink job reads,\n\
     \  end-to-end reaction times are well defined; under WCET execution they\n\
     \  give a bound that jittered runs can only improve on.";
@@ -567,7 +596,7 @@ let latency_analysis () =
     Runtime.Latency.analyse dfms.Derive.graph ~source:"SensorInput"
       ~sink:"Performance" rfms.Engine.trace
   in
-  Table.print
+  table buf
     ~header:[ "chain"; "execution"; "max reaction ms"; "mean ms"; "max age ms" ]
     [
       [ "fig1 InputA->OutputA (M=2)"; "WCET";
@@ -588,14 +617,14 @@ let latency_analysis () =
 (* Classical response-time analysis vs simulation                       *)
 (* ------------------------------------------------------------------ *)
 
-let rta_section () =
-  section "Uniprocessor response-time analysis (ref. [9]) vs simulation";
-  print_endline
+let rta_section buf =
+  section buf "Uniprocessor response-time analysis (ref. [9]) vs simulation";
+  bline buf
     "  The analytic rate-monotonic bound must dominate every simulated\n\
     \  response of the preemptive uniprocessor baseline.";
   List.iter
     (fun (name, net, wcet, horizon) ->
-      subsection name;
+      subsection buf name;
       let entries = Sched.Rta.analyse ~wcet net in
       let up =
         Uniproc_fp.run net (Uniproc_fp.default_config ~wcet ~horizon)
@@ -610,7 +639,7 @@ let rta_section () =
           in
           Hashtbl.replace observed r.Uniproc_fp.process (Rat.max prev resp))
         up.Uniproc_fp.records;
-      Table.print
+      table buf
         ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
         ~header:[ "process"; "analytic bound ms"; "simulated max ms"; "deadline ms" ]
         (List.map
@@ -638,12 +667,12 @@ let rta_section () =
 (* Buffer sizing (Prop. 2.1 applied to FIFO occupancy)                  *)
 (* ------------------------------------------------------------------ *)
 
-let buffer_sizing () =
-  section "Buffer sizing: FIFO occupancy bounds from the reference run";
+let buffer_sizing buf =
+  section buf "Buffer sizing: FIFO occupancy bounds from the reference run";
   let report name net ~sporadic ~inputs =
-    subsection name;
+    subsection buf name;
     let r = Fppn.Buffer_analysis.analyse ~hyperperiods:4 ?sporadic ?inputs net in
-    Format.printf "%a" Fppn.Buffer_analysis.pp r
+    Buffer.add_string buf (Format.asprintf "%a" Fppn.Buffer_analysis.pp r)
   in
   report "fig1" (Fppn_apps.Fig1.network ())
     ~sporadic:None
@@ -656,8 +685,8 @@ let buffer_sizing () =
 (* Processor dimensioning                                               *)
 (* ------------------------------------------------------------------ *)
 
-let dimensioning () =
-  section "Processor dimensioning (Prop. 3.1 lower bound vs list scheduler)";
+let dimensioning pool buf =
+  section buf "Processor dimensioning (Prop. 3.1 lower bound vs list scheduler)";
   let p = Fppn_apps.Fft.default_params in
   let cases =
     [
@@ -673,9 +702,9 @@ let dimensioning () =
           (Fppn_apps.Automotive.network ()) );
     ]
   in
-  Table.print
+  table buf
     ~header:[ "workload"; "ceil(load)"; "processors found"; "makespan ms" ]
-    (List.map
+    (Pool.map_list ~chunk:1 pool
        (fun (name, d) ->
          let v = Sched.Dimension.min_processors d.Derive.graph in
          match v.Sched.Dimension.found with
@@ -689,7 +718,7 @@ let dimensioning () =
          | None ->
            [ name; string_of_int v.Sched.Dimension.lower_bound; "none"; "-" ])
        cases);
-  print_endline
+  bline buf
     "  FFT: one core is not enough once the overhead job is accounted for,\n\
     \  two suffice — the Sec. V-A conclusion."
 
@@ -697,8 +726,8 @@ let dimensioning () =
 (* Ablation: transitive reduction                                       *)
 (* ------------------------------------------------------------------ *)
 
-let ablation_reduction () =
-  section "Ablation  Transitive reduction of the derived task graph";
+let ablation_reduction buf =
+  section buf "Ablation  Transitive reduction of the derived task graph";
   let rows =
     List.map
       (fun (name, net, wcet) ->
@@ -723,7 +752,7 @@ let ablation_reduction () =
         ("fms", Fppn_apps.Fms.reduced (), Fppn_apps.Fms.wcet);
       ]
   in
-  Table.print
+  table buf
     ~aligns:
       [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
     ~header:
@@ -735,9 +764,9 @@ let ablation_reduction () =
 (* Heuristic optimality gap vs exact branch-and-bound (footnote 5)      *)
 (* ------------------------------------------------------------------ *)
 
-let exact_gap () =
-  section "Optimality gap: list scheduling vs exact branch-and-bound (fn. 5)";
-  print_endline
+let exact_gap pool buf =
+  section buf "Optimality gap: list scheduling vs exact branch-and-bound (fn. 5)";
+  bline buf
     "  Footnote 5 contrasts scalable list scheduling with exact but\n\
     \  less-scalable search.  On graphs small enough to solve exactly, the\n\
     \  ALAP-EDF heuristic's makespan is compared with the proved optimum.";
@@ -761,8 +790,10 @@ let exact_gap () =
              2 ))
          [ 101; 202; 303 ]
   in
+  (* cases run concurrently; each solve stays sequential so its node
+     count is reproducible *)
   let rows =
-    List.map
+    Pool.map_list ~chunk:1 pool
       (fun (name, g, m) ->
         let s = List_scheduler.schedule_with ~heuristic:Priority.Alap_edf ~n_procs:m g in
         let heuristic_makespan = Static_schedule.makespan g s in
@@ -787,7 +818,7 @@ let exact_gap () =
         ])
       cases
   in
-  Table.print
+  table buf
     ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
     ~header:[ "graph"; "jobs"; "heuristic ms"; "optimal ms"; "gap"; "B&B nodes" ]
     rows
@@ -796,9 +827,9 @@ let exact_gap () =
 (* Scheduler capacity study on random workloads                         *)
 (* ------------------------------------------------------------------ *)
 
-let capacity_study () =
-  section "Scheduler capacity: feasibility rate vs utilization and processors";
-  print_endline
+let capacity_study pool buf =
+  section buf "Scheduler capacity: feasibility rate vs utilization and processors";
+  bline buf
     "  100 random FPPNs per cell (2-8 periodic + 0-3 sporadic processes);\n\
     \  per-process WCET = scale * T_p.  A cell reports how many workloads\n\
     \  the heuristic portfolio schedules feasibly on M processors.";
@@ -820,7 +851,7 @@ let capacity_study () =
       seeds
   in
   let rows =
-    List.map
+    Pool.map_list ~chunk:1 pool
       (fun (label, scale) ->
         let gs = graphs scale in
         label
@@ -828,9 +859,10 @@ let capacity_study () =
              (fun m ->
                let feasible =
                  List.length
-                   (List.filter
-                      (fun g -> snd (List_scheduler.auto ~n_procs:m g) <> None)
-                      gs)
+                   (List.filter Fun.id
+                      (Pool.map_list pool
+                         (fun g -> snd (List_scheduler.auto ~n_procs:m g) <> None)
+                         gs))
                in
                Printf.sprintf "%d%%" feasible)
              [ 1; 2; 4 ])
@@ -841,8 +873,8 @@ let capacity_study () =
         ("scale 1/4", Rat.make 1 4);
       ]
   in
-  Table.print ~header:[ "per-process utilization"; "M=1"; "M=2"; "M=4" ] rows;
-  print_endline
+  table buf ~header:[ "per-process utilization"; "M=1"; "M=2"; "M=4" ] rows;
+  bline buf
     "  Feasibility falls as utilization grows and recovers with processors\n\
     \  — until precedence chains, not capacity, become the binding constraint."
 
@@ -850,9 +882,9 @@ let capacity_study () =
 (* Future work implemented: mixed-criticality execution                 *)
 (* ------------------------------------------------------------------ *)
 
-let mixed_criticality () =
-  section "Future work: mixed-critical scheduling (Sec. VI)";
-  print_endline
+let mixed_criticality buf =
+  section buf "Future work: mixed-critical scheduling (Sec. VI)";
+  bline buf
     "  Dual-criticality demo (examples/mixed_criticality.ml): a HI control\n\
     \  chain shares two cores with LO best-effort processes.  True durations\n\
     \  are jittered up to the conservative C_HI budgets, so some frames\n\
@@ -903,12 +935,12 @@ let mixed_criticality () =
         ("occasional overruns (uniform up to C_HI)", Exec_time.uniform ~seed:3 ~min_fraction:0.3);
       ]
   in
-  Table.print
+  table buf
     ~header:
       [ "true-duration regime"; "degraded frames /50"; "LO jobs dropped";
         "HI misses"; "HI outputs /50" ]
     rows;
-  print_endline
+  bline buf
     "  The HI chain never misses and always produces its output; LO work is\n\
     \  shed exactly in the degraded frames."
 
@@ -916,8 +948,8 @@ let mixed_criticality () =
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
-let microbenchmarks () =
-  section "Micro-benchmarks (Bechamel, OLS on monotonic clock)";
+let microbenchmarks buf =
+  section buf "Micro-benchmarks (Bechamel, OLS on monotonic clock)";
   let open Bechamel in
   let fig1_net = Fppn_apps.Fig1.network () in
   let fig1_d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet fig1_net in
@@ -997,28 +1029,275 @@ let microbenchmarks () =
       in
       rows := [ name; pretty ] :: !rows)
     results;
-  Table.print
+  table buf
     ~aligns:[ Table.Left; Table.Right ]
     ~header:[ "benchmark"; "time/run" ]
     (List.sort (fun a b -> compare (List.hd a) (List.hd b)) !rows)
 
-let () =
+(* ------------------------------------------------------------------ *)
+(* Experiment driver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments pool =
   print_endline "FPPN experiment harness — reproduction of Poplavko et al., DATE 2015";
-  e1_fig3 ();
-  e2_fig4 ();
-  e3_fft ();
-  e4_fms ();
-  e5_determinism ();
-  e6_heuristics ();
-  e7_granularity ();
-  e8_nondeterminism ();
-  latency_analysis ();
-  rta_section ();
-  buffer_sizing ();
-  dimensioning ();
-  exact_gap ();
-  capacity_study ();
-  ablation_reduction ();
-  mixed_criticality ();
-  microbenchmarks ();
+  (* all paper-reproduction sections are pure in their inputs, so they
+     render concurrently; printing keeps the fixed order below *)
+  let rendered =
+    Pool.map_list ~chunk:1 pool
+      (fun f ->
+        let buf = Buffer.create 4096 in
+        f buf;
+        Buffer.contents buf)
+      [
+        e1_fig3;
+        e2_fig4 pool;
+        e3_fft pool;
+        e4_fms pool;
+        e5_determinism pool;
+        e6_heuristics pool;
+        e7_granularity pool;
+        e8_nondeterminism pool;
+        latency_analysis;
+        rta_section;
+        buffer_sizing;
+        dimensioning pool;
+        exact_gap pool;
+        capacity_study pool;
+      ]
+  in
+  List.iter print_string rendered;
+  (* timing-sensitive sections run after the pool is quiet *)
+  List.iter
+    (fun f ->
+      let buf = Buffer.create 4096 in
+      f buf;
+      print_string (Buffer.contents buf))
+    [ ablation_reduction; mixed_criticality; microbenchmarks ];
   print_endline "\nDone. See EXPERIMENTS.md for the paper-vs-measured discussion."
+
+(* ------------------------------------------------------------------ *)
+(* Perf-regression harness (--json)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Hot pipeline stages timed at jobs=1 and jobs=N; medians land in a
+   JSON file so successive commits can be diffed.  The jobs=1 numbers
+   double as the Rat-sensitive scalar baselines (list scheduling, exact
+   search and the engine all run on Rat arithmetic). *)
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let jfloat f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
+let jvariant ~jobs (runs, med) =
+  Printf.sprintf "{\"jobs\": %d, \"runs\": [%s], \"median\": %s}" jobs
+    (String.concat ", " (List.map jfloat runs))
+    (jfloat med)
+
+let safe_div a b = if b > 0.0 then a /. b else nan
+
+let run_perf ~pool ~smoke path =
+  let jobs = Pool.jobs pool in
+  let reps = if smoke then 1 else 3 in
+  Printf.printf "perf harness: %d repetition(s) per stage, jobs=1 vs jobs=%d%s\n"
+    reps jobs
+    (if smoke then " (smoke)" else "");
+  let measure f =
+    let rec go i acc =
+      if i >= reps then List.rev acc else go (i + 1) (f () :: acc)
+    in
+    let runs = go 0 [] in
+    (runs, median runs)
+  in
+  (* stage 1: fuzz campaign throughput, cases/s from the report's own
+     wall clock — the same timing source the report exposes *)
+  let fuzz_config =
+    { Fppn_fuzz.Campaign.default_config with budget = (if smoke then 6 else 40) }
+  in
+  let last1 = ref None and lastn = ref None in
+  let fuzz_rate keep jobs =
+    let r = Fppn_fuzz.Campaign.run ~jobs fuzz_config in
+    keep := Some r;
+    Fppn_fuzz.Report.cases_per_s r
+  in
+  let fuzz1 = measure (fun () -> fuzz_rate last1 1) in
+  let fuzzn = measure (fun () -> fuzz_rate lastn jobs) in
+  let fuzz_deterministic =
+    match (!last1, !lastn) with
+    | Some a, Some b ->
+      String.equal
+        (Fppn_fuzz.Report.to_json (Fppn_fuzz.Report.normalize_timing a))
+        (Fppn_fuzz.Report.to_json (Fppn_fuzz.Report.normalize_timing b))
+    | _ -> false
+  in
+  Printf.printf "  fuzz-campaign: %.1f cases/s (jobs=1) vs %.1f cases/s (jobs=%d), %s\n"
+    (snd fuzz1) (snd fuzzn) jobs
+    (if fuzz_deterministic then "reports identical" else "REPORTS DIFFER");
+  (* stage 2: heuristic-portfolio list scheduling on the 812-job FMS *)
+  let fms_g =
+    (Derive.derive_exn ~wcet:Fppn_apps.Fms.wcet (Fppn_apps.Fms.reduced ()))
+      .Derive.graph
+  in
+  let auto1 =
+    measure (fun () ->
+        snd (timed (fun () -> ignore (List_scheduler.auto ~n_procs:2 fms_g))))
+  in
+  let auton =
+    measure (fun () ->
+        snd (timed (fun () -> ignore (List_scheduler.auto ~pool ~n_procs:2 fms_g))))
+  in
+  Printf.printf "  list-auto-fms-m2: %.3f s (jobs=1) vs %.3f s (jobs=%d)\n"
+    (snd auto1) (snd auton) jobs;
+  (* stage 3: exact branch and bound on a random graph *)
+  let exact_g =
+    let params =
+      { Fppn_apps.Randgen.default_params with
+        seed = 101; n_periodic = 4; n_sporadic = 1 }
+    in
+    let net = Fppn_apps.Randgen.network params in
+    let wcet =
+      Fppn_apps.Randgen.wcet ~scale:(Rat.make 1 8) (Derive.const_wcet Rat.one)
+        net
+    in
+    (Derive.derive_exn ~wcet net).Derive.graph
+  in
+  let node_budget = if smoke then 20_000 else 300_000 in
+  let exact1 =
+    measure (fun () ->
+        snd
+          (timed (fun () ->
+               ignore (Sched.Exact.solve ~node_budget ~n_procs:2 exact_g))))
+  in
+  let exactn =
+    measure (fun () ->
+        snd
+          (timed (fun () ->
+               ignore (Sched.Exact.solve ~pool ~node_budget ~n_procs:2 exact_g))))
+  in
+  Printf.printf "  exact-solve-random-m2: %.3f s (jobs=1) vs %.3f s (jobs=%d)\n"
+    (snd exact1) (snd exactn) jobs;
+  (* stage 4: engine simulation throughput (jobs executed per second);
+     the engine itself is sequential — this is the scalar Rat baseline *)
+  let fig1 = Fppn_apps.Fig1.network () in
+  let fig1_d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet fig1 in
+  let fig1_sched, _ = schedule_or_fallback ~n_procs:2 fig1_d.Derive.graph in
+  let frames = if smoke then 8 else 40 in
+  let engine1 =
+    measure (fun () ->
+        let r, dt =
+          timed (fun () ->
+              Engine.run fig1 fig1_d fig1_sched
+                (Engine.default_config ~frames ~n_procs:2 ()))
+        in
+        safe_div (float_of_int r.Engine.stats.Exec_trace.executed) dt)
+  in
+  Printf.printf "  engine-sim-fig1-m2: %.0f jobs/s (jobs=1, %d frames)\n"
+    (snd engine1) frames;
+  let stage ~name ~metric ~higher_is_better ?speedup ?extra variants =
+    let fields =
+      [
+        Printf.sprintf "\"name\": \"%s\"" name;
+        Printf.sprintf "\"metric\": \"%s\"" metric;
+        Printf.sprintf "\"higher_is_better\": %b" higher_is_better;
+      ]
+      @ List.map (fun (key, v) -> Printf.sprintf "\"%s\": %s" key v) variants
+      @ (match speedup with
+        | None -> []
+        | Some s -> [ Printf.sprintf "\"speedup\": %s" (jfloat s) ])
+      @ match extra with None -> [] | Some kvs -> kvs
+    in
+    "    {" ^ String.concat ", " fields ^ "}"
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"schema\": \"fppn-bench/1\",";
+        Printf.sprintf "  \"smoke\": %b," smoke;
+        Printf.sprintf "  \"jobs\": %d," jobs;
+        Printf.sprintf "  \"recommended_domains\": %d," (Pool.default_jobs ());
+        Printf.sprintf "  \"repetitions\": %d," reps;
+        "  \"stages\": [";
+        String.concat ",\n"
+          [
+            stage ~name:"fuzz-campaign" ~metric:"cases_per_s"
+              ~higher_is_better:true
+              ~speedup:(safe_div (snd fuzzn) (snd fuzz1))
+              ~extra:
+                [ Printf.sprintf "\"deterministic\": %b" fuzz_deterministic ]
+              [
+                ("jobs1", jvariant ~jobs:1 fuzz1);
+                ("jobsN", jvariant ~jobs fuzzn);
+              ];
+            stage ~name:"list-auto-fms-m2" ~metric:"seconds"
+              ~higher_is_better:false
+              ~speedup:(safe_div (snd auto1) (snd auton))
+              [
+                ("jobs1", jvariant ~jobs:1 auto1);
+                ("jobsN", jvariant ~jobs auton);
+              ];
+            stage ~name:"exact-solve-random-m2" ~metric:"seconds"
+              ~higher_is_better:false
+              ~speedup:(safe_div (snd exact1) (snd exactn))
+              [
+                ("jobs1", jvariant ~jobs:1 exact1);
+                ("jobsN", jvariant ~jobs exactn);
+              ];
+            stage ~name:"engine-sim-fig1-m2" ~metric:"jobs_per_s"
+              ~higher_is_better:true
+              [ ("jobs1", jvariant ~jobs:1 engine1) ];
+          ];
+        "  ]";
+        "}";
+        "";
+      ]
+  in
+  Runtime.Export.write_file path json;
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--jobs N] [--json FILE] [--smoke]\n\
+     \  --jobs N     worker domains for parallel sections/sweeps\n\
+     \               (default: recommended domain count)\n\
+     \  --json FILE  run the perf-regression harness and write FILE\n\
+     \  --smoke      tiny budgets / single repetition (with --json)";
+  exit 2
+
+let () =
+  let jobs = ref (Pool.default_jobs ()) in
+  let json_out = ref None in
+  let smoke = ref false in
+  let argc = Array.length Sys.argv in
+  let rec parse i =
+    if i < argc then
+      match Sys.argv.(i) with
+      | "--jobs" when i + 1 < argc ->
+        (match int_of_string_opt Sys.argv.(i + 1) with
+        | Some n when n >= 1 -> jobs := n
+        | _ -> usage ());
+        parse (i + 2)
+      | "--json" when i + 1 < argc ->
+        json_out := Some Sys.argv.(i + 1);
+        parse (i + 2)
+      | "--smoke" ->
+        smoke := true;
+        parse (i + 1)
+      | _ -> usage ()
+  in
+  parse 1;
+  Pool.with_pool ~jobs:!jobs (fun pool ->
+      match !json_out with
+      | Some path -> run_perf ~pool ~smoke:!smoke path
+      | None -> run_experiments pool)

@@ -672,7 +672,7 @@ let report_cmd =
 
 let fuzz_cmd =
   let run seed budget procs frames jitter_seeds permutations no_boundary
-      max_periodic max_sporadic no_shrink shrink_budget inject json_out =
+      max_periodic max_sporadic no_shrink shrink_budget inject json_out jobs =
     let parse_ints what s =
       try List.map int_of_string (String.split_on_char ',' s)
       with _ ->
@@ -705,7 +705,11 @@ let fuzz_cmd =
         inject;
       }
     in
-    let report = Fppn_fuzz.Campaign.run ~log:print_endline config in
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs must be at least 1\n";
+      exit 2
+    end;
+    let report = Fppn_fuzz.Campaign.run ~log:print_endline ~jobs config in
     Format.printf "%a" Fppn_fuzz.Report.pp report;
     Option.iter
       (fun path ->
@@ -798,11 +802,21 @@ let fuzz_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the machine-readable campaign report as JSON.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Rt_util.Pool.default_jobs ())
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains checking oracle cases in parallel (default: the \
+             recommended domain count).  The report is identical for every \
+             N apart from wall-clock fields.")
+  in
   let term =
     Term.(
       const run $ seed_arg $ budget $ procs $ frames $ jitter_seeds
       $ permutations $ no_boundary $ max_periodic $ max_sporadic $ no_shrink
-      $ shrink_budget $ inject $ json_out)
+      $ shrink_budget $ inject $ json_out $ jobs)
   in
   Cmd.v
     (Cmd.info "fuzz"

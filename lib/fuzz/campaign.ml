@@ -1,4 +1,5 @@
 module Prng = Rt_util.Prng
+module Pool = Rt_util.Pool
 module Randgen = Fppn_apps.Randgen
 
 type inject = No_injection | Inject_channel_flip | Inject_sporadic_flip
@@ -59,11 +60,13 @@ let choose_sabotage inject prng spec =
       Oracle.Flip_sporadic_fp
         (Prng.pick prng (List.map (fun s -> s.Randgen.sp_name) sps)))
 
-let run ?(log = fun _ -> ()) config =
+let run ?(log = fun _ -> ()) ?(jobs = 1) config =
+  let t_start = Unix.gettimeofday () in
   let prng = Prng.create config.seed in
-  let cases_run = ref 0 and skipped = ref 0 and comparisons = ref 0 in
-  let counterexamples = ref [] in
-  for i = 1 to config.budget do
+  (* Phase 1: draw every case sequentially, in campaign order — the
+     PRNG stream is exactly the one the sequential loop consumed, since
+     the oracle never touches the campaign PRNG. *)
+  let draw_case () =
     let params =
       {
         Randgen.default_params with
@@ -75,55 +78,80 @@ let run ?(log = fun _ -> ()) config =
     in
     let spec = Randgen.spec_of_params params in
     let sabotage = choose_sabotage config.inject prng spec in
-    let case =
-      {
-        Oracle.spec;
-        sabotage;
-        trace_seed = Prng.int prng 1_000_000;
-        jitter_seeds = config.jitter_seeds;
-        proc_counts = config.proc_counts;
-        frames = config.frames;
-        permutations = config.permutations;
-        boundary_snap = config.boundary_snap;
-      }
-    in
-    incr cases_run;
-    (match Oracle.check case with
-    | Oracle.Pass { comparisons = c } -> comparisons := !comparisons + c
-    | Oracle.Skip _ -> incr skipped
-    | Oracle.Fail divergence ->
-      let shrunk, divergence, attempts, accepted =
-        if config.shrink then begin
-          let r = Shrink.minimise ~budget:config.shrink_budget case in
-          (* re-check to report the divergence of the minimal case *)
-          let d =
-            match Oracle.check r.Shrink.shrunk with
-            | Oracle.Fail d -> d
-            | _ -> divergence
-          in
-          (r.Shrink.shrunk, d, r.Shrink.attempts, r.Shrink.accepted)
-        end
-        else (case, divergence, 0, 0)
-      in
-      log
-        (Format.asprintf "case %d: %a (shrunk to %d processes)" i
-           Oracle.pp_divergence divergence
-           (Oracle.case_processes shrunk));
-      counterexamples :=
-        {
-          Report.original = case;
-          shrunk;
-          divergence;
-          shrink_attempts = attempts;
-          shrink_accepted = accepted;
-        }
-        :: !counterexamples);
-    if i mod 10 = 0 then
-      log
-        (Printf.sprintf "progress: %d/%d cases, %d divergence(s)" i
-           config.budget
-           (List.length !counterexamples))
-  done;
+    {
+      Oracle.spec;
+      sabotage;
+      trace_seed = Prng.int prng 1_000_000;
+      jitter_seeds = config.jitter_seeds;
+      proc_counts = config.proc_counts;
+      frames = config.frames;
+      permutations = config.permutations;
+      boundary_snap = config.boundary_snap;
+    }
+  in
+  let rec draw i acc =
+    if i >= config.budget then Array.of_list (List.rev acc)
+    else draw (i + 1) (draw_case () :: acc)
+  in
+  let cases = draw 0 [] in
+  (* Phase 2: run the oracle on every case, on the pool.  Each case is
+     self-contained (own seeds), so parallel verdicts are identical to
+     sequential ones; results are merged in case order by the pool. *)
+  let timed_check case =
+    let t0 = Unix.gettimeofday () in
+    let verdict = Oracle.check case in
+    (verdict, Unix.gettimeofday () -. t0)
+  in
+  let verdicts =
+    if jobs <= 1 then Array.map timed_check cases
+    else
+      Pool.with_pool ~jobs (fun pool -> Pool.parallel_map pool timed_check cases)
+  in
+  (* Phase 3: fold the verdicts in case order; shrinking a failing case
+     stays sequential (its oracle re-runs are search, not sweep). *)
+  let cases_run = ref 0 and skipped = ref 0 and comparisons = ref 0 in
+  let counterexamples = ref [] in
+  Array.iteri
+    (fun idx (verdict, _) ->
+      let i = idx + 1 in
+      let case = cases.(idx) in
+      incr cases_run;
+      (match verdict with
+      | Oracle.Pass { comparisons = c } -> comparisons := !comparisons + c
+      | Oracle.Skip _ -> incr skipped
+      | Oracle.Fail divergence ->
+        let shrunk, divergence, attempts, accepted =
+          if config.shrink then begin
+            let r = Shrink.minimise ~budget:config.shrink_budget case in
+            (* re-check to report the divergence of the minimal case *)
+            let d =
+              match Oracle.check r.Shrink.shrunk with
+              | Oracle.Fail d -> d
+              | _ -> divergence
+            in
+            (r.Shrink.shrunk, d, r.Shrink.attempts, r.Shrink.accepted)
+          end
+          else (case, divergence, 0, 0)
+        in
+        log
+          (Format.asprintf "case %d: %a (shrunk to %d processes)" i
+             Oracle.pp_divergence divergence
+             (Oracle.case_processes shrunk));
+        counterexamples :=
+          {
+            Report.original = case;
+            shrunk;
+            divergence;
+            shrink_attempts = attempts;
+            shrink_accepted = accepted;
+          }
+          :: !counterexamples);
+      if i mod 10 = 0 then
+        log
+          (Printf.sprintf "progress: %d/%d cases, %d divergence(s)" i
+             config.budget
+             (List.length !counterexamples)))
+    verdicts;
   {
     Report.seed = config.seed;
     budget = config.budget;
@@ -131,5 +159,8 @@ let run ?(log = fun _ -> ()) config =
     skipped = !skipped;
     comparisons = !comparisons;
     injected = config.inject <> No_injection;
+    jobs = max 1 jobs;
+    case_times_s = Array.map snd verdicts;
+    wall_time_s = Unix.gettimeofday () -. t_start;
     counterexamples = List.rev !counterexamples;
   }

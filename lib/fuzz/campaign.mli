@@ -35,5 +35,12 @@ val choose_sabotage :
 (** A buildable sabotage for the spec under the given injection mode;
     {!Oracle.No_sabotage} when no target is applicable. *)
 
-val run : ?log:(string -> unit) -> config -> Report.t
-(** [log] receives one progress line per divergence and per 10 cases. *)
+val run : ?log:(string -> unit) -> ?jobs:int -> config -> Report.t
+(** [log] receives one progress line per divergence and per 10 cases.
+
+    [jobs] (default 1) runs the oracle cases on a {!Rt_util.Pool} of
+    that many domains.  Cases are drawn up front in campaign order and
+    results are merged in that order, so the report is identical to the
+    sequential one apart from its wall-clock fields
+    ({!Report.normalize_timing}); shrinking of failing cases stays
+    sequential. *)

@@ -15,10 +15,24 @@ type t = {
   skipped : int;
   comparisons : int;
   injected : bool;
+  jobs : int;
+  case_times_s : float array;
+  wall_time_s : float;
   counterexamples : counterexample list;
 }
 
 let passed t = t.counterexamples = []
+
+let cases_per_s t =
+  if t.wall_time_s > 0.0 then float_of_int t.cases_run /. t.wall_time_s else 0.0
+
+let normalize_timing t =
+  {
+    t with
+    jobs = 1;
+    case_times_s = Array.map (fun _ -> 0.0) t.case_times_s;
+    wall_time_s = 0.0;
+  }
 
 (* --- JSON (hand-rolled; no external dependency) ------------------------ *)
 
@@ -41,6 +55,7 @@ let jstr s = "\"" ^ json_escape s ^ "\""
 let jlist f l = "[" ^ String.concat "," (List.map f l) ^ "]"
 let jint = string_of_int
 let jbool b = if b then "true" else "false"
+let jfloat f = Printf.sprintf "%.6f" f
 let jobj fields =
   "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
 
@@ -118,6 +133,11 @@ let to_json t =
       ("comparisons", jint t.comparisons);
       ("injected", jbool t.injected);
       ("passed", jbool (passed t));
+      ("jobs", jint t.jobs);
+      ("wall_time_ms", jfloat (t.wall_time_s *. 1000.0));
+      ("cases_per_s", jfloat (cases_per_s t));
+      ( "case_times_ms",
+        jlist jfloat (List.map (fun s -> s *. 1000.0) (Array.to_list t.case_times_s)) );
       ( "counterexamples",
         jlist
           (fun cx ->
@@ -149,6 +169,9 @@ let pp ppf t =
     "fuzz campaign: seed %d, %d/%d case(s) run (%d skipped), %d executor comparison(s)%s@."
     t.seed t.cases_run t.budget t.skipped t.comparisons
     (if t.injected then ", sabotage injection ON" else "");
+  if t.wall_time_s > 0.0 then
+    Format.fprintf ppf "throughput: %.1f cases/s (%d job(s), %.2f s wall)@."
+      (cases_per_s t) t.jobs t.wall_time_s;
   (match t.counterexamples with
   | [] -> Format.fprintf ppf "no divergence found@."
   | cxs ->

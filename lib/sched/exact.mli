@@ -23,10 +23,23 @@ type result = {
 }
 
 val solve :
-  ?node_budget:int -> n_procs:int -> Taskgraph.Graph.t -> result
+  ?pool:Rt_util.Pool.t ->
+  ?node_budget:int ->
+  n_procs:int ->
+  Taskgraph.Graph.t ->
+  result
 (** Default budget: 2_000_000 nodes.  Deadline-infeasible branches are
     pruned, so [schedule = None && optimal = true] proves that no
-    feasible schedule exists on [n_procs] processors. *)
+    feasible schedule exists on [n_procs] processors.
+
+    [pool] (when it has more than one domain) fans the root's branches
+    out over the pool: each top-level child searches its subtree with a
+    private state, pruning against a shared atomic incumbent makespan.
+    When the search exhausts, the reported [makespan] and [optimal] flag
+    equal the sequential ones; the witness [schedule] and the [nodes]
+    count may differ (ties and budget cut-offs depend on the
+    interleaving).  Without a pool, or with a 1-domain pool, the search
+    is exactly the sequential algorithm. *)
 
 val optimality_gap :
   ?node_budget:int ->

@@ -105,17 +105,19 @@ type attempt = {
   makespan : Rat.t;
 }
 
-let auto ?(heuristics = Priority.all) ~n_procs g =
+let auto ?pool ?(heuristics = Priority.all) ~n_procs g =
+  let attempt heuristic =
+    let s = schedule_with ~heuristic ~n_procs g in
+    {
+      heuristic;
+      schedule = s;
+      feasible = Static_schedule.is_feasible g s;
+      makespan = Static_schedule.makespan g s;
+    }
+  in
   let attempts =
-    List.map
-      (fun heuristic ->
-        let s = schedule_with ~heuristic ~n_procs g in
-        {
-          heuristic;
-          schedule = s;
-          feasible = Static_schedule.is_feasible g s;
-          makespan = Static_schedule.makespan g s;
-        })
-      heuristics
+    match pool with
+    | None -> List.map attempt heuristics
+    | Some pool -> Rt_util.Pool.map_list ~chunk:1 pool attempt heuristics
   in
   (attempts, List.find_opt (fun a -> a.feasible) attempts)

@@ -31,10 +31,15 @@ type attempt = {
 }
 
 val auto :
+  ?pool:Rt_util.Pool.t ->
   ?heuristics:Priority.heuristic list ->
   n_procs:int ->
   Taskgraph.Graph.t ->
   attempt list * attempt option
 (** Tries every heuristic (default {!Priority.all}) and returns all
     attempts plus the chosen one: the first feasible schedule, by
-    heuristic order; [None] if none is feasible. *)
+    heuristic order; [None] if none is feasible.
+
+    [pool] evaluates the heuristics concurrently; each heuristic is
+    independent and the attempt list keeps heuristic order, so the
+    result is identical to the sequential one. *)

@@ -1,0 +1,183 @@
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let jobs t = t.jobs
+
+(* Workers sleep on [cond] when the queue is empty.  Every enqueue and
+   every chunk-set completion broadcasts, so sleeping workers and
+   helping callers re-check their predicates; spurious wakeups are
+   harmless. *)
+let worker_loop pool =
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    let rec next () =
+      match Queue.take_opt pool.queue with
+      | Some task ->
+        Mutex.unlock pool.mutex;
+        task ()
+      | None ->
+        if pool.closed then begin
+          Mutex.unlock pool.mutex;
+          running := false
+        end
+        else begin
+          Condition.wait pool.cond pool.mutex;
+          next ()
+        end
+    in
+    next ()
+  done
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let pool =
+    {
+      jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let ws = pool.workers in
+  pool.closed <- true;
+  pool.workers <- [];
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join ws
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Record the failure with the smallest input index, so the exception
+   the caller sees does not depend on scheduling. *)
+let record_error errors i e bt =
+  let rec go () =
+    let cur = Atomic.get errors in
+    let better = match cur with None -> true | Some (j, _, _) -> i < j in
+    if better && not (Atomic.compare_and_set errors cur (Some (i, e, bt))) then
+      go ()
+  in
+  go ()
+
+(* The heart of every combinator: run [body i] for [i = 0 .. n-1],
+   chunked over up to [pool.jobs] concurrent work units.  The caller
+   runs one unit itself, then helps drain the shared queue until all
+   units of this call have finished. *)
+let run_indexed pool ~chunk n body =
+  let next = Atomic.make 0 in
+  let errors = Atomic.make None in
+  let unit_body () =
+    let continue = ref true in
+    while !continue do
+      if Atomic.get errors <> None then continue := false
+      else begin
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n then continue := false
+        else
+          let stop = min n (start + chunk) in
+          for i = start to stop - 1 do
+            try body i
+            with e -> record_error errors i e (Printexc.get_raw_backtrace ())
+          done
+      end
+    done
+  in
+  let units = min pool.jobs ((n + chunk - 1) / chunk) in
+  let pending = Atomic.make units in
+  let finish_one () =
+    if Atomic.fetch_and_add pending (-1) = 1 then begin
+      Mutex.lock pool.mutex;
+      Condition.broadcast pool.cond;
+      Mutex.unlock pool.mutex
+    end
+  in
+  Mutex.lock pool.mutex;
+  if pool.closed then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool: pool is shut down"
+  end;
+  for _ = 2 to units do
+    Queue.push
+      (fun () ->
+        unit_body ();
+        finish_one ())
+      pool.queue
+  done;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  unit_body ();
+  finish_one ();
+  (* Help with queued tasks (possibly other calls' units) while our
+     units drain; blocking only when there is nothing to steal. *)
+  Mutex.lock pool.mutex;
+  let rec wait () =
+    if Atomic.get pending > 0 then begin
+      match Queue.take_opt pool.queue with
+      | Some task ->
+        Mutex.unlock pool.mutex;
+        task ();
+        Mutex.lock pool.mutex;
+        wait ()
+      | None ->
+        Condition.wait pool.cond pool.mutex;
+        wait ()
+    end
+  in
+  wait ();
+  Mutex.unlock pool.mutex;
+  match Atomic.get errors with
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let default_chunk pool n = max 1 (n / (4 * pool.jobs))
+
+let parallel_for ?chunk pool n body =
+  if n <= 0 then ()
+  else if pool.jobs = 1 || n = 1 then
+    for i = 0 to n - 1 do
+      body i
+    done
+  else
+    let chunk = match chunk with Some c -> max 1 c | None -> default_chunk pool n in
+    run_indexed pool ~chunk n body
+
+let parallel_map ?chunk pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if pool.jobs = 1 || n = 1 then begin
+    (* exact sequential path: left-to-right applications *)
+    let res = Array.make n (f arr.(0)) in
+    for i = 1 to n - 1 do
+      res.(i) <- f arr.(i)
+    done;
+    res
+  end
+  else begin
+    let results = Array.make n None in
+    let chunk = match chunk with Some c -> max 1 c | None -> default_chunk pool n in
+    run_indexed pool ~chunk n (fun i -> results.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ?chunk pool f l =
+  Array.to_list (parallel_map ?chunk pool f (Array.of_list l))

@@ -1,0 +1,58 @@
+(** Fixed-size domain pool with order-preserving parallel combinators.
+
+    The pool owns [jobs - 1] worker domains (the caller is the
+    [jobs]-th participant), all pulling chunks of work from a shared
+    queue.  Results are merged {e in input order}, so every combinator
+    is observably deterministic regardless of worker count or
+    interleaving — and [jobs = 1] never spawns a domain and executes
+    the exact sequential code path (a plain left-to-right loop), so
+    callers are bit-for-bit compatible with their pre-pool behavior.
+
+    Blocked callers {e help}: while waiting for their own chunks they
+    drain other tasks from the shared queue, so nested [parallel_map]
+    calls from inside a worker cannot deadlock. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains.  [jobs]
+    is clamped to at least 1.  Shut the pool down with {!shutdown} (or
+    use {!with_pool}) — worker domains are only reclaimed then. *)
+
+val jobs : t -> int
+(** Parallelism degree the pool was created with (including the
+    calling domain). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: a sensible default for CPU-
+    bound work on this host. *)
+
+val shutdown : t -> unit
+(** Joins all worker domains.  Idempotent.  Submitting work after
+    shutdown raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down
+    afterwards, also on exceptions. *)
+
+val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f arr] is [Array.map f arr] with the
+    applications distributed over the pool in index chunks of size
+    [chunk] (default: input size over [4 * jobs], at least 1).
+    Results are positioned by input index, so the output is identical
+    to the sequential map for any deterministic [f].
+
+    If one or more applications raise, the exception raised for the
+    {e smallest} input index is re-raised in the caller (after all
+    in-flight chunks have drained); remaining chunks are abandoned.
+    With [jobs = 1] the applications run left to right in the calling
+    domain and the first exception propagates immediately. *)
+
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!parallel_map} over a list, preserving order. *)
+
+val parallel_for : ?chunk:int -> t -> int -> (int -> unit) -> unit
+(** [parallel_for pool n body] runs [body i] for [i = 0 .. n-1] on the
+    pool.  [body] must only perform index-disjoint writes (e.g. into
+    cell [i] of a preallocated array) for the result to be
+    deterministic.  Exceptions behave as in {!parallel_map}. *)

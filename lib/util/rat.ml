@@ -33,37 +33,80 @@ let make num den =
     let g = gcd_int num den in
     if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
 
+let make_normalized num den =
+  if den <= 0 then
+    invalid_arg "Rat.make_normalized: denominator must be positive";
+  { num; den }
+
 let of_int n = { num = n; den = 1 }
 let zero = of_int 0
 let one = of_int 1
 let num t = t.num
 let den t = t.den
 
+(* Engine and scheduler inner loops are dominated by [add]/[compare] on
+   values that are usually integers or share a denominator, so those
+   cases skip the generic gcd renormalization entirely.  The generic
+   case uses the classic two-small-gcd scheme (Knuth 4.5.1): for
+   normalized inputs the intermediate results are already coprime where
+   claimed, so no final [make] pass is needed. *)
 let add a b =
-  let g = gcd_int a.den b.den in
-  let da = a.den / g and db = b.den / g in
-  (* a.num/a.den + b.num/b.den = (a.num*db + b.num*da) / (a.den*db) *)
-  make (check_add (check_mul a.num db) (check_mul b.num da)) (check_mul a.den db)
+  if a.den = b.den then begin
+    let s = check_add a.num b.num in
+    if a.den = 1 then { num = s; den = 1 }
+    else
+      let g = gcd_int s a.den in
+      if g = 1 then { num = s; den = a.den }
+      else { num = s / g; den = a.den / g }
+  end
+  else
+    let g = gcd_int a.den b.den in
+    if g = 1 then
+      (* coprime denominators: num is coprime to den by construction *)
+      {
+        num = check_add (check_mul a.num b.den) (check_mul b.num a.den);
+        den = check_mul a.den b.den;
+      }
+    else
+      let da = a.den / g and db = b.den / g in
+      let t = check_add (check_mul a.num db) (check_mul b.num da) in
+      (* gcd(t, lcm) = gcd(t, g): only the shared factor can survive *)
+      let g2 = gcd_int t g in
+      { num = t / g2; den = check_mul da (b.den / g2) }
 
 let neg a = { a with num = -a.num }
 let sub a b = add a (neg b)
 
 let mul a b =
-  (* cross-cancel before multiplying to delay overflow *)
-  let g1 = gcd_int a.num b.den and g2 = gcd_int b.num a.den in
-  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
-  make
-    (check_mul (a.num / g1) (b.num / g2))
-    (check_mul (a.den / g2) (b.den / g1))
+  if a.den = 1 && b.den = 1 then { num = check_mul a.num b.num; den = 1 }
+  else begin
+    (* cross-cancel before multiplying to delay overflow; for
+       normalized inputs the cancelled product is in lowest terms *)
+    let g1 = gcd_int a.num b.den and g2 = gcd_int b.num a.den in
+    let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+    {
+      num = check_mul (a.num / g1) (b.num / g2);
+      den = check_mul (a.den / g2) (b.den / g1);
+    }
+  end
 
 let div a b =
-  if b.num = 0 then raise Division_by_zero else mul a { num = b.den; den = b.num }
+  (* the reciprocal must stay normalized (positive denominator) now
+     that [mul] constructs its result directly *)
+  if b.num = 0 then raise Division_by_zero
+  else if b.num < 0 then mul a { num = -b.den; den = -b.num }
+  else mul a { num = b.den; den = b.num }
 
 let abs a = { a with num = Stdlib.abs a.num }
 
 let compare a b =
-  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den *)
-  Stdlib.compare (check_mul a.num b.den) (check_mul b.num a.den)
+  if a.den = b.den then Stdlib.compare a.num b.num
+  else
+    let sa = Stdlib.compare a.num 0 and sb = Stdlib.compare b.num 0 in
+    if sa <> sb then Stdlib.compare sa sb
+    else
+      (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den *)
+      Stdlib.compare (check_mul a.num b.den) (check_mul b.num a.den)
 
 let equal a b = a.num = b.num && a.den = b.den
 let sign a = Stdlib.compare a.num 0

@@ -18,6 +18,14 @@ val make : int -> int -> t
 (** [make num den] is the normalized rational [num/den].
     @raise Division_by_zero if [den = 0]. *)
 
+val make_normalized : int -> int -> t
+(** [make_normalized num den] is [num/den] {e without} the gcd
+    renormalization pass — the caller promises that [den > 0], that
+    [num] and [den] are coprime, and that [num = 0] implies [den = 1].
+    Violating the promise silently breaks {!equal}/{!compare}; when in
+    doubt use {!make}.
+    @raise Invalid_argument if [den <= 0]. *)
+
 val of_int : int -> t
 val zero : t
 val one : t

@@ -276,7 +276,37 @@ let test_campaign_deterministic () =
   Alcotest.(check int) "same counterexample count"
     (List.length r1.Report.counterexamples)
     (List.length r2.Report.counterexamples);
-  Alcotest.(check string) "same json" (Report.to_json r1) (Report.to_json r2)
+  (* wall-clock fields vary between runs; everything else must not *)
+  Alcotest.(check string) "same json"
+    (Report.to_json (Report.normalize_timing r1))
+    (Report.to_json (Report.normalize_timing r2))
+
+let test_campaign_parallel_equals_sequential () =
+  (* the whole point of the pool: jobs must be unobservable apart from
+     wall-clock fields, for passing and failing campaigns alike *)
+  List.iter
+    (fun inject ->
+      let config =
+        { Campaign.default_config with Campaign.budget = 6; inject }
+      in
+      let seq = Campaign.run ~jobs:1 config in
+      let par = Campaign.run ~jobs:4 config in
+      Alcotest.(check int) "jobs recorded" 4 par.Report.jobs;
+      Alcotest.(check string) "jobs=4 report equals jobs=1"
+        (Report.to_json (Report.normalize_timing seq))
+        (Report.to_json (Report.normalize_timing par)))
+    [ Campaign.No_injection; Campaign.Inject_channel_flip ]
+
+let test_campaign_records_case_times () =
+  let config = { Campaign.default_config with Campaign.budget = 5 } in
+  let report = Campaign.run config in
+  Alcotest.(check int) "one timing per case" report.Report.cases_run
+    (Array.length report.Report.case_times_s);
+  Array.iter
+    (fun t -> Alcotest.(check bool) "case time nonnegative" true (t >= 0.0))
+    report.Report.case_times_s;
+  Alcotest.(check bool) "wall time positive" true (report.Report.wall_time_s > 0.0);
+  Alcotest.(check bool) "throughput positive" true (Report.cases_per_s report > 0.0)
 
 let test_report_json_shape () =
   let config =
@@ -340,6 +370,10 @@ let () =
           Alcotest.test_case "injected bug caught and shrunk" `Quick
             test_injected_campaign_catches_and_shrinks;
           Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "parallel equals sequential" `Quick
+            test_campaign_parallel_equals_sequential;
+          Alcotest.test_case "per-case timings recorded" `Quick
+            test_campaign_records_case_times;
           Alcotest.test_case "json report shape" `Quick test_report_json_shape;
         ] );
     ]

@@ -74,6 +74,13 @@ let test_overflow () =
   Alcotest.check_raises "add overflow" Rat.Overflow (fun () ->
       ignore (Rat.add big big))
 
+let test_make_normalized () =
+  check_rat "make_normalized 3 2" (Rat.make 3 2) (Rat.make_normalized 3 2);
+  check_rat "make_normalized -7 1" (Rat.of_int (-7)) (Rat.make_normalized (-7) 1);
+  Alcotest.check_raises "den must be positive"
+    (Invalid_argument "Rat.make_normalized: denominator must be positive")
+    (fun () -> ignore (Rat.make_normalized 1 0))
+
 (* --- properties ----------------------------------------------------- *)
 
 let small_rat_gen =
@@ -168,6 +175,66 @@ let prop_string_roundtrip =
   qprop "to_string/of_string roundtrip" small_rat_gen (fun a ->
       Rat.equal a (Rat.of_string (Rat.to_string a)))
 
+(* --- fast-path equivalence ------------------------------------------ *)
+
+(* add/sub/mul/compare special-case integers, equal denominators and
+   coprime denominators; each must agree with the textbook
+   cross-multiplication formulas (safe here: operands stay small) *)
+
+let ref_add a b =
+  Rat.make
+    ((Rat.num a * Rat.den b) + (Rat.num b * Rat.den a))
+    (Rat.den a * Rat.den b)
+
+let ref_mul a b = Rat.make (Rat.num a * Rat.num b) (Rat.den a * Rat.den b)
+
+let ref_compare a b =
+  Stdlib.compare (Rat.num a * Rat.den b) (Rat.num b * Rat.den a)
+
+let is_normalized r =
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  Rat.den r > 0
+  && (Rat.num r <> 0 || Rat.den r = 1)
+  && gcd (abs (Rat.num r)) (Rat.den r) = 1
+
+let int_rat_gen = QCheck2.Gen.(map Rat.of_int (int_range (-1000) 1000))
+
+let mixed_pair_gen =
+  (* biased towards the fast paths: integers and equal denominators *)
+  QCheck2.Gen.(
+    oneof
+      [
+        pair small_rat_gen small_rat_gen;
+        pair int_rat_gen int_rat_gen;
+        pair int_rat_gen small_rat_gen;
+        map3
+          (fun n1 n2 d -> (Rat.make n1 d, Rat.make n2 d))
+          (int_range (-1000) 1000) (int_range (-1000) 1000) (int_range 1 1000);
+      ])
+
+let prop_add_matches_reference =
+  qprop "add fast paths match reference" mixed_pair_gen (fun (a, b) ->
+      let s = Rat.add a b in
+      Rat.equal s (ref_add a b) && is_normalized s)
+
+let prop_sub_matches_reference =
+  qprop "sub fast paths match reference" mixed_pair_gen (fun (a, b) ->
+      let d = Rat.sub a b in
+      Rat.equal d (ref_add a (Rat.neg b)) && is_normalized d)
+
+let prop_mul_matches_reference =
+  qprop "mul fast paths match reference" mixed_pair_gen (fun (a, b) ->
+      let p = Rat.mul a b in
+      Rat.equal p (ref_mul a b) && is_normalized p)
+
+let prop_compare_matches_reference =
+  qprop "compare fast paths match reference" mixed_pair_gen (fun (a, b) ->
+      Stdlib.compare (Rat.compare a b) 0 = Stdlib.compare (ref_compare a b) 0)
+
+let prop_make_normalized_roundtrip =
+  qprop "make_normalized roundtrips normalized parts" small_rat_gen (fun a ->
+      Rat.equal a (Rat.make_normalized (Rat.num a) (Rat.den a)))
+
 let () =
   Alcotest.run "rat"
     [
@@ -182,6 +249,7 @@ let () =
           Alcotest.test_case "to_int" `Quick test_to_int;
           Alcotest.test_case "of_string" `Quick test_of_string;
           Alcotest.test_case "overflow" `Quick test_overflow;
+          Alcotest.test_case "make_normalized" `Quick test_make_normalized;
         ] );
       ( "properties",
         [
@@ -199,5 +267,10 @@ let () =
           prop_lcm_divides;
           prop_floor_bound;
           prop_string_roundtrip;
+          prop_add_matches_reference;
+          prop_sub_matches_reference;
+          prop_mul_matches_reference;
+          prop_compare_matches_reference;
+          prop_make_normalized_roundtrip;
         ] );
     ]

@@ -169,6 +169,18 @@ let test_auto_fig1 () =
     Alcotest.(check bool) "fits in the frame" true
       Rat.(a.List_scheduler.makespan <= ms 200)
 
+let test_auto_parallel_equals_sequential () =
+  (* evaluating the heuristic portfolio on a pool must not change the
+     attempt list or the chosen schedule *)
+  let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet (Fppn_apps.Fig1.network ()) in
+  let g = d.Derive.graph in
+  let seq_attempts, seq_best = List_scheduler.auto ~n_procs:2 g in
+  Rt_util.Pool.with_pool ~jobs:4 (fun pool ->
+      let par_attempts, par_best = List_scheduler.auto ~pool ~n_procs:2 g in
+      Alcotest.(check bool) "same attempts in same order" true
+        (seq_attempts = par_attempts);
+      Alcotest.(check bool) "same chosen attempt" true (seq_best = par_best))
+
 (* --- priority optimizer ----------------------------------------------------- *)
 
 let test_optimizer_never_worse () =
@@ -253,6 +265,31 @@ let test_exact_detects_infeasibility () =
   Alcotest.(check bool) "exhausted" true r.Sched.Exact.optimal;
   Alcotest.(check bool) "no feasible schedule exists" true
     (r.Sched.Exact.schedule = None)
+
+let test_exact_parallel_same_optimum () =
+  (* the parallel fan-out must prove the same optimal makespan (the
+     witness schedule and node count may legitimately differ) *)
+  Rt_util.Pool.with_pool ~jobs:4 (fun pool ->
+      List.iter
+        (fun g ->
+          let seq = Sched.Exact.solve ~n_procs:2 g in
+          let par = Sched.Exact.solve ~pool ~n_procs:2 g in
+          Alcotest.(check bool) "both exhaust" true
+            (seq.Sched.Exact.optimal && par.Sched.Exact.optimal);
+          Alcotest.(check (option (testable Rat.pp Rat.equal))) "same optimum"
+            seq.Sched.Exact.makespan par.Sched.Exact.makespan;
+          match par.Sched.Exact.schedule with
+          | Some s ->
+            Alcotest.(check bool) "parallel witness feasible" true
+              (Static_schedule.is_feasible g s)
+          | None ->
+            Alcotest.(check bool) "no schedule iff sequential agrees" true
+              (seq.Sched.Exact.schedule = None))
+        [
+          chain3 ();
+          (Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet (Fppn_apps.Fig1.network ()))
+            .Derive.graph;
+        ])
 
 let test_exact_respects_budget () =
   let params =
@@ -374,6 +411,8 @@ let () =
           Alcotest.test_case "priority decides" `Quick
             test_list_scheduling_priority_decides;
           Alcotest.test_case "auto on fig1 (Fig. 4)" `Quick test_auto_fig1;
+          Alcotest.test_case "auto on a pool" `Quick
+            test_auto_parallel_equals_sequential;
         ] );
       ( "exact",
         [
@@ -381,6 +420,8 @@ let () =
           Alcotest.test_case "fig1 optimum" `Quick test_exact_beats_or_matches_heuristics;
           Alcotest.test_case "proves infeasibility" `Quick test_exact_detects_infeasibility;
           Alcotest.test_case "node budget" `Quick test_exact_respects_budget;
+          Alcotest.test_case "parallel fan-out" `Quick
+            test_exact_parallel_same_optimum;
         ] );
       ( "optimizer",
         [
