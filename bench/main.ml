@@ -1103,31 +1103,281 @@ let jvariant ~jobs (runs, med) =
 
 let safe_div a b = if b > 0.0 then a /. b else nan
 
-let run_perf ~pool ~smoke path =
+(* --- minimal JSON reader for --gate ------------------------------------ *)
+(* Only what the perf harness itself emits: objects, arrays, strings
+   without exotic escapes, numbers, booleans, null.  Hand-rolled because
+   the repo deliberately has no JSON dependency. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Malformed of string
+
+  let parse text =
+    let n = String.length text in
+    let pos = ref 0 in
+    let fail msg = raise (Malformed (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some text.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && text.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub text !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match text.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+            incr pos;
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match text.[!pos] with
+               | '"' -> Buffer.add_char b '"'
+               | '\\' -> Buffer.add_char b '\\'
+               | '/' -> Buffer.add_char b '/'
+               | 'n' -> Buffer.add_char b '\n'
+               | 't' -> Buffer.add_char b '\t'
+               | 'u' ->
+                 (* the harness never emits multibyte escapes; keep the
+                    raw sequence rather than decoding UTF-16 *)
+                 if !pos + 4 >= n then fail "truncated \\u escape"
+                 else begin
+                   Buffer.add_string b (String.sub text (!pos - 1) 6);
+                   pos := !pos + 4
+                 end
+               | c -> Buffer.add_char b c);
+            incr pos;
+            go ()
+          | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match text.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub text start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              members ((k, v) :: acc)
+            | Some '}' ->
+              incr pos;
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              elements (v :: acc)
+            | Some ']' ->
+              incr pos;
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> number ()
+      | None -> fail "unexpected end of input"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let to_float = function Num f -> Some f | _ -> None
+  let to_bool = function Bool b -> Some b | _ -> None
+  let to_string = function Str s -> Some s | _ -> None
+end
+
+(* How a stage's numbers may be compared across harness runs:
+   rates (cases/s, jobs/s) are budget-invariant, [`Seconds_stable]
+   stages time the same workload under --smoke and full runs, and
+   [`Seconds_budgeted] stages shrink their workload under --smoke, so
+   their absolute times only compare against a baseline of the same
+   kind. *)
+let run_gate ~smoke
+    ~(stages :
+       (string
+       * [ `Rate | `Seconds_stable | `Seconds_budgeted ]
+       * (float list * float))
+       list) baseline_path =
+  let text =
+    try In_channel.with_open_text baseline_path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "gate: cannot read baseline: %s\n" msg;
+      exit 2
+  in
+  let base =
+    try Json.parse text
+    with Json.Malformed msg ->
+      Printf.eprintf "gate: %s is not valid JSON: %s\n" baseline_path msg;
+      exit 2
+  in
+  let base_smoke =
+    Option.bind (Json.member "smoke" base) Json.to_bool
+    |> Option.value ~default:false
+  in
+  let base_stages =
+    match Json.member "stages" base with Some (Json.Arr l) -> l | _ -> []
+  in
+  let find_stage name =
+    List.find_opt
+      (fun s ->
+        match Option.bind (Json.member "name" s) Json.to_string with
+        | Some n -> String.equal n name
+        | None -> false)
+      base_stages
+  in
+  let tolerance = 0.20 in
+  let failures = ref 0 in
+  Printf.printf "gate: comparing against %s (tolerance %d%%)\n" baseline_path
+    (int_of_float (tolerance *. 100.0));
+  List.iter
+    (fun (name, kind, (runs, _median)) ->
+      let comparable =
+        match kind with
+        | `Rate | `Seconds_stable -> true
+        | `Seconds_budgeted -> base_smoke = smoke
+      in
+      match find_stage name with
+      | None -> Printf.printf "  %-24s SKIP (not in baseline)\n" name
+      | Some _ when not comparable ->
+        Printf.printf "  %-24s SKIP (budget differs between smoke and full runs)\n"
+          name
+      | Some s -> (
+        let base_median =
+          Option.bind (Json.member "jobs1" s) (Json.member "median")
+          |> Fun.flip Option.bind Json.to_float
+        in
+        match base_median with
+        | None | Some 0.0 ->
+          Printf.printf "  %-24s SKIP (no jobs1 median in baseline)\n" name
+        | Some b ->
+          (* best run, not median: a single slow outlier in a small
+             sample must not fail the gate *)
+          let higher = kind = `Rate in
+          let best =
+            List.fold_left (if higher then Float.max else Float.min)
+              (List.hd runs) (List.tl runs)
+          in
+          let ratio = if higher then best /. b else b /. best in
+          let ok = ratio >= 1.0 -. tolerance in
+          if not ok then incr failures;
+          Printf.printf "  %-24s %s baseline %.3f, best %.3f (%.2fx)\n" name
+            (if ok then "ok  " else "FAIL")
+            b best (best /. b)))
+    stages;
+  if !failures > 0 then begin
+    Printf.printf "gate: %d stage(s) regressed beyond %d%%\n" !failures
+      (int_of_float (tolerance *. 100.0));
+    exit 1
+  end
+  else print_endline "gate: no perf regression"
+
+let run_perf ~pool ~smoke ?gate ~jobs_requested path =
   let jobs = Pool.jobs pool in
   let reps = if smoke then 1 else 3 in
   Printf.printf "perf harness: %d repetition(s) per stage, jobs=1 vs jobs=%d%s\n"
     reps jobs
     (if smoke then " (smoke)" else "");
-  let measure f =
-    let rec go i acc =
-      if i >= reps then List.rev acc else go (i + 1) (f () :: acc)
-    in
+  let measure_n n f =
+    let rec go i acc = if i >= n then List.rev acc else go (i + 1) (f () :: acc) in
     let runs = go 0 [] in
     (runs, median runs)
   in
+  let measure f = measure_n reps f in
+  (* Rate stages feed the regression gate, so they keep the same
+     workload in smoke and full modes (their rates stay comparable
+     across baselines) and always sample three runs — the gate takes
+     the best, which a 1-CPU container's noise would otherwise fail. *)
+  let measure_rate f = measure_n 3 f in
   (* stage 1: fuzz campaign throughput, cases/s from the report's own
      wall clock — the same timing source the report exposes *)
-  let fuzz_config =
-    { Fppn_fuzz.Campaign.default_config with budget = (if smoke then 6 else 40) }
-  in
+  let fuzz_config = { Fppn_fuzz.Campaign.default_config with budget = 40 } in
   let last1 = ref None and lastn = ref None in
   let fuzz_rate keep jobs =
     let r = Fppn_fuzz.Campaign.run ~jobs fuzz_config in
     keep := Some r;
     Fppn_fuzz.Report.cases_per_s r
   in
-  let fuzz1 = measure (fun () -> fuzz_rate last1 1) in
+  let fuzz1 = measure_rate (fun () -> fuzz_rate last1 1) in
   let fuzzn = measure (fun () -> fuzz_rate lastn jobs) in
   let fuzz_deterministic =
     match (!last1, !lastn) with
@@ -1183,14 +1433,15 @@ let run_perf ~pool ~smoke path =
   in
   Printf.printf "  exact-solve-random-m2: %.3f s (jobs=1) vs %.3f s (jobs=%d)\n"
     (snd exact1) (snd exactn) jobs;
-  (* stage 4: engine simulation throughput (jobs executed per second);
-     the engine itself is sequential — this is the scalar Rat baseline *)
+  (* stage 4: engine simulation throughput (jobs executed per second)
+     through the compiled tick core — constant durations and no
+     sporadic stamps, so the steady-frame replay path is exercised *)
   let fig1 = Fppn_apps.Fig1.network () in
   let fig1_d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet fig1 in
   let fig1_sched, _ = schedule_or_fallback ~n_procs:2 fig1_d.Derive.graph in
-  let frames = if smoke then 8 else 40 in
+  let frames = 40 in
   let engine1 =
-    measure (fun () ->
+    measure_rate (fun () ->
         let r, dt =
           timed (fun () ->
               Engine.run fig1 fig1_d fig1_sched
@@ -1222,6 +1473,7 @@ let run_perf ~pool ~smoke path =
         "  \"schema\": \"fppn-bench/1\",";
         Printf.sprintf "  \"smoke\": %b," smoke;
         Printf.sprintf "  \"jobs\": %d," jobs;
+        Printf.sprintf "  \"jobs_requested\": %d," jobs_requested;
         Printf.sprintf "  \"recommended_domains\": %d," (Pool.default_jobs ());
         Printf.sprintf "  \"repetitions\": %d," reps;
         "  \"stages\": [";
@@ -1260,7 +1512,17 @@ let run_perf ~pool ~smoke path =
       ]
   in
   Runtime.Export.write_file path json;
-  Printf.printf "wrote %s\n" path
+  Printf.printf "wrote %s\n" path;
+  Option.iter
+    (run_gate ~smoke
+       ~stages:
+         [
+           ("fuzz-campaign", `Rate, fuzz1);
+           ("list-auto-fms-m2", `Seconds_stable, auto1);
+           ("exact-solve-random-m2", `Seconds_budgeted, exact1);
+           ("engine-sim-fig1-m2", `Rate, engine1);
+         ])
+    gate
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
@@ -1268,17 +1530,20 @@ let run_perf ~pool ~smoke path =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--jobs N] [--json FILE] [--smoke]\n\
-     \  --jobs N     worker domains for parallel sections/sweeps\n\
-     \               (default: recommended domain count)\n\
-     \  --json FILE  run the perf-regression harness and write FILE\n\
-     \  --smoke      tiny budgets / single repetition (with --json)";
+    "usage: main.exe [--jobs N] [--json FILE] [--smoke] [--gate BASELINE]\n\
+     \  --jobs N        worker domains for parallel sections/sweeps\n\
+     \                  (default: recommended domain count; capped at it)\n\
+     \  --json FILE     run the perf-regression harness and write FILE\n\
+     \  --smoke         tiny budgets / single repetition (with --json)\n\
+     \  --gate BASELINE after --json, fail if any stage regressed more\n\
+     \                  than 20% against the BASELINE json";
   exit 2
 
 let () =
   let jobs = ref (Pool.default_jobs ()) in
   let json_out = ref None in
   let smoke = ref false in
+  let gate = ref None in
   let argc = Array.length Sys.argv in
   let rec parse i =
     if i < argc then
@@ -1294,10 +1559,18 @@ let () =
       | "--smoke" ->
         smoke := true;
         parse (i + 1)
+      | "--gate" when i + 1 < argc ->
+        gate := Some Sys.argv.(i + 1);
+        parse (i + 2)
       | _ -> usage ()
   in
   parse 1;
-  Pool.with_pool ~jobs:!jobs (fun pool ->
+  let jobs_requested = !jobs in
+  let effective = Pool.clamp_jobs jobs_requested in
+  if effective <> jobs_requested then
+    Printf.printf "note: --jobs %d capped at %d (recommended domain count)\n"
+      jobs_requested effective;
+  Pool.with_pool ~jobs:effective (fun pool ->
       match !json_out with
-      | Some path -> run_perf ~pool ~smoke:!smoke path
+      | Some path -> run_perf ~pool ~smoke:!smoke ?gate:!gate ~jobs_requested path
       | None -> run_experiments pool)

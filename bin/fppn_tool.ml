@@ -709,7 +709,14 @@ let fuzz_cmd =
       Printf.eprintf "--jobs must be at least 1\n";
       exit 2
     end;
-    let report = Fppn_fuzz.Campaign.run ~log:print_endline ~jobs config in
+    let effective = Rt_util.Pool.clamp_jobs jobs in
+    if effective <> jobs then
+      Printf.printf "note: --jobs %d capped at %d (recommended domain count)\n"
+        jobs effective;
+    let report =
+      Fppn_fuzz.Campaign.run ~log:print_endline ~jobs:effective
+        ~jobs_requested:jobs config
+    in
     Format.printf "%a" Fppn_fuzz.Report.pp report;
     Option.iter
       (fun path ->
@@ -809,8 +816,9 @@ let fuzz_cmd =
       & info [ "jobs" ] ~docv:"N"
           ~doc:
             "Worker domains checking oracle cases in parallel (default: the \
-             recommended domain count).  The report is identical for every \
-             N apart from wall-clock fields.")
+             recommended domain count; requests above it are capped, and \
+             both counts are recorded in the report).  The report is \
+             identical for every N apart from wall-clock fields.")
   in
   let term =
     Term.(

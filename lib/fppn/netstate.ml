@@ -2,27 +2,37 @@ type input_feed = string -> int -> Value.t
 
 let no_inputs _ _ = Value.Absent
 
-let feed_of_list feeds channel k =
-  match List.assoc_opt channel feeds with
-  | None -> Value.Absent
-  | Some samples -> (
-    match List.nth_opt samples (k - 1) with
-    | Some v -> v
-    | None -> Value.Absent)
+(* compile each feed list to an array once; looking up sample [k] is
+   then O(1) instead of an O(k) [List.nth] per access *)
+let feed_of_list feeds =
+  let compiled =
+    List.map (fun (c, samples) -> (c, Array.of_list samples)) feeds
+  in
+  fun channel k ->
+    match List.assoc_opt channel compiled with
+    | None -> Value.Absent
+    | Some samples ->
+      if k >= 1 && k <= Array.length samples then samples.(k - 1)
+      else Value.Absent
 
 type route =
   | Internal of Channel.t
   | Ext_input
   | Ext_output of Channel.t
 
+(* A process touches a handful of channels, so per-process parallel
+   name/route arrays resolved once at [create] beat hashing a
+   (proc, name) pair on every access: routing in [run_job] becomes a
+   short scan over strings that usually differ in the first character. *)
 type t = {
   net : Network.t;
   instances : Instance.t array;
   chan_states : (string * Channel.t) list; (* internal, sorted by name *)
   out_states : (string * Channel.t) list; (* external outputs, sorted *)
-  (* (proc, channel) -> route, for read and write directions *)
-  read_routes : (int * string, route) Hashtbl.t;
-  write_routes : (int * string, route) Hashtbl.t;
+  read_names : string array array; (* per process *)
+  read_targets : route array array;
+  write_names : string array array;
+  write_targets : route array array;
 }
 
 let create net =
@@ -45,30 +55,59 @@ let create net =
          (fun io -> (io.Network.io_name, Channel.create Channel.Fifo))
          (Network.outputs net))
   in
-  let read_routes = Hashtbl.create 32 and write_routes = Hashtbl.create 32 in
+  let n = Network.n_processes net in
+  let reads = Array.make n [] and writes = Array.make n [] in
   List.iter
     (fun c ->
       let state = List.assoc c.Network.ch_name chan_states in
       let r = Network.find net c.Network.reader
       and w = Network.find net c.Network.writer in
-      Hashtbl.replace read_routes (r, c.Network.ch_name) (Internal state);
-      Hashtbl.replace write_routes (w, c.Network.ch_name) (Internal state))
+      reads.(r) <- (c.Network.ch_name, Internal state) :: reads.(r);
+      writes.(w) <- (c.Network.ch_name, Internal state) :: writes.(w))
     (Network.channels net);
   List.iter
     (fun io ->
       let owner = Network.find net io.Network.owner in
       match io.Network.dir with
-      | Network.In -> Hashtbl.replace read_routes (owner, io.Network.io_name) Ext_input
+      | Network.In ->
+        reads.(owner) <- (io.Network.io_name, Ext_input) :: reads.(owner)
       | Network.Out ->
         let state = List.assoc io.Network.io_name out_states in
-        Hashtbl.replace write_routes (owner, io.Network.io_name) (Ext_output state))
+        writes.(owner) <-
+          (io.Network.io_name, Ext_output state) :: writes.(owner))
     (Network.inputs net @ Network.outputs net);
-  { net; instances; chan_states; out_states; read_routes; write_routes }
+  let names table = Array.map (fun l -> Array.of_list (List.map fst l)) table in
+  let targets table =
+    Array.map (fun l -> Array.of_list (List.map snd l)) table
+  in
+  {
+    net;
+    instances;
+    chan_states;
+    out_states;
+    read_names = names reads;
+    read_targets = targets reads;
+    write_names = names writes;
+    write_targets = targets writes;
+  }
+
+let find_route names targets c =
+  let n = Array.length names in
+  let rec scan i =
+    if i >= n then None
+    else if String.equal (Array.unsafe_get names i) c then
+      Some (Array.unsafe_get targets i)
+    else scan (i + 1)
+  in
+  scan 0
 
 let network t = t.net
 let instance t i = t.instances.(i)
 
-let run_job ?(recorder = fun _ -> ()) ?(inputs = no_inputs) t ~proc ~now =
+(* [recorder] stays optional all the way down so the unrecorded path
+   never even allocates the [Trace.action] values — each construction is
+   guarded by the option match, which matters in simulation hot loops *)
+let run_job ?recorder ?(inputs = no_inputs) t ~proc ~now =
   let inst = t.instances.(proc) in
   let pname = Process.name (Instance.process inst) in
   let k = Instance.job_count inst + 1 in
@@ -78,23 +117,31 @@ let run_job ?(recorder = fun _ -> ()) ?(inputs = no_inputs) t ~proc ~now =
   in
   let read c =
     let v =
-      match Hashtbl.find_opt t.read_routes (proc, c) with
+      match find_route t.read_names.(proc) t.read_targets.(proc) c with
       | Some (Internal state) -> Channel.read state
       | Some Ext_input -> inputs c k
       | Some (Ext_output _) | None -> unknown "read" c
     in
-    recorder (Trace.Read { process = pname; k; channel = c; value = v });
+    (match recorder with
+    | Some r -> r (Trace.Read { process = pname; k; channel = c; value = v })
+    | None -> ());
     v
   in
   let write c v =
-    (match Hashtbl.find_opt t.write_routes (proc, c) with
+    (match find_route t.write_names.(proc) t.write_targets.(proc) c with
     | Some (Internal state) | Some (Ext_output state) -> Channel.write state v
     | Some Ext_input | None -> unknown "write" c);
-    recorder (Trace.Write { process = pname; k; channel = c; value = v })
+    match recorder with
+    | Some r -> r (Trace.Write { process = pname; k; channel = c; value = v })
+    | None -> ()
   in
-  recorder (Trace.Job_start { process = pname; k });
+  (match recorder with
+  | Some r -> r (Trace.Job_start { process = pname; k })
+  | None -> ());
   Instance.run_job inst ~now ~read ~write;
-  recorder (Trace.Job_end { process = pname; k })
+  match recorder with
+  | Some r -> r (Trace.Job_end { process = pname; k })
+  | None -> ()
 
 let skip_job t ~proc = Instance.skip_job t.instances.(proc)
 
@@ -108,7 +155,7 @@ let run_job_deferred ?(recorder = fun _ -> ()) ?(inputs = no_inputs) t ~proc ~no
   in
   let read c =
     let v =
-      match Hashtbl.find_opt t.read_routes (proc, c) with
+      match find_route t.read_names.(proc) t.read_targets.(proc) c with
       | Some (Internal state) -> Channel.read state
       | Some Ext_input -> inputs c k
       | Some (Ext_output _) | None -> unknown "read" c
@@ -118,7 +165,7 @@ let run_job_deferred ?(recorder = fun _ -> ()) ?(inputs = no_inputs) t ~proc ~no
   in
   let buffered = ref [] in
   let write c v =
-    (match Hashtbl.find_opt t.write_routes (proc, c) with
+    (match find_route t.write_names.(proc) t.write_targets.(proc) c with
     | Some (Internal state) | Some (Ext_output state) ->
       buffered := (state, c, v) :: !buffered
     | Some Ext_input | None -> unknown "write" c);

@@ -41,12 +41,23 @@ let invocations ?(sporadic = []) ~horizon net =
         stamps;
       per_process.(p) <- stamps)
     sporadic;
-  let all = ref [] in
-  for p = n - 1 downto 0 do
-    all := List.map (fun time -> { time; process = p }) per_process.(p) @ !all
+  (* merge in one array: concatenate per-process runs (ascending
+     process index), then one stable sort by time — stability keeps
+     per-process job order within equal stamps *)
+  let total =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 per_process
+  in
+  let all = Array.make total { time = Rat.zero; process = 0 } in
+  let i = ref 0 in
+  for p = 0 to n - 1 do
+    List.iter
+      (fun time ->
+        all.(!i) <- { time; process = p };
+        incr i)
+      per_process.(p)
   done;
-  (* stable sort keeps per-process job order within equal stamps *)
-  List.stable_sort (fun a b -> Rat.compare a.time b.time) !all
+  Array.stable_sort (fun a b -> Rat.compare a.time b.time) all;
+  Array.to_list all
 
 type input_feed = Netstate.input_feed
 
@@ -77,16 +88,30 @@ let run ?(inputs = no_inputs) net event_trace =
   let state = Netstate.create net in
   let trace = ref [] in
   let recorder a = trace := a :: !trace in
+  (* order simultaneous jobs by functional priority.  Ranks are a
+     permutation of [0, n), so a counting sort over reusable buckets
+     replaces the per-bucket comparison sort; dropping each process
+     into its rank's bucket and sweeping ranks ascending is stable, so
+     same-process burst jobs keep invocation order *)
+  let n = Network.n_processes net in
+  let rank = Array.init n (Network.fp_rank net) in
+  let buckets = Array.make n [] in
+  let by_priority procs =
+    List.iter (fun p -> buckets.(rank.(p)) <- p :: buckets.(rank.(p))) procs;
+    let out = ref [] in
+    for r = n - 1 downto 0 do
+      match buckets.(r) with
+      | [] -> ()
+      | ps ->
+        out := List.rev_append ps !out;
+        buckets.(r) <- []
+    done;
+    !out
+  in
   List.iter
     (fun (time, procs) ->
       recorder (Trace.Wait time);
-      (* order simultaneous jobs by functional priority; the sort is
-         stable, so same-process burst jobs keep invocation order *)
-      let ordered =
-        List.stable_sort
-          (fun p q -> Int.compare (Network.fp_rank net p) (Network.fp_rank net q))
-          procs
-      in
+      let ordered = by_priority procs in
       List.iter (fun p -> Netstate.run_job ~recorder ~inputs state ~proc:p ~now:time) ordered)
     (group_by_time event_trace);
   let job_counts =

@@ -60,7 +60,8 @@ let choose_sabotage inject prng spec =
       Oracle.Flip_sporadic_fp
         (Prng.pick prng (List.map (fun s -> s.Randgen.sp_name) sps)))
 
-let run ?(log = fun _ -> ()) ?(jobs = 1) config =
+let run ?(log = fun _ -> ()) ?(jobs = 1) ?jobs_requested config =
+  let jobs_requested = Option.value jobs_requested ~default:jobs in
   let t_start = Unix.gettimeofday () in
   let prng = Prng.create config.seed in
   (* Phase 1: draw every case sequentially, in campaign order — the
@@ -160,6 +161,7 @@ let run ?(log = fun _ -> ()) ?(jobs = 1) config =
     comparisons = !comparisons;
     injected = config.inject <> No_injection;
     jobs = max 1 jobs;
+    jobs_requested = max 1 jobs_requested;
     case_times_s = Array.map snd verdicts;
     wall_time_s = Unix.gettimeofday () -. t_start;
     counterexamples = List.rev !counterexamples;

@@ -35,7 +35,8 @@ val choose_sabotage :
 (** A buildable sabotage for the spec under the given injection mode;
     {!Oracle.No_sabotage} when no target is applicable. *)
 
-val run : ?log:(string -> unit) -> ?jobs:int -> config -> Report.t
+val run :
+  ?log:(string -> unit) -> ?jobs:int -> ?jobs_requested:int -> config -> Report.t
 (** [log] receives one progress line per divergence and per 10 cases.
 
     [jobs] (default 1) runs the oracle cases on a {!Rt_util.Pool} of
@@ -43,4 +44,8 @@ val run : ?log:(string -> unit) -> ?jobs:int -> config -> Report.t
     results are merged in that order, so the report is identical to the
     sequential one apart from its wall-clock fields
     ({!Report.normalize_timing}); shrinking of failing cases stays
-    sequential. *)
+    sequential.
+
+    [jobs_requested] (default [jobs]) is recorded in the report for
+    provenance when a CLI clamped the user's request with
+    {!Rt_util.Pool.clamp_jobs}; the campaign itself never clamps. *)

@@ -16,6 +16,7 @@ type t = {
   comparisons : int;
   injected : bool;
   jobs : int;
+  jobs_requested : int;
   case_times_s : float array;
   wall_time_s : float;
   counterexamples : counterexample list;
@@ -30,6 +31,7 @@ let normalize_timing t =
   {
     t with
     jobs = 1;
+    jobs_requested = 1;
     case_times_s = Array.map (fun _ -> 0.0) t.case_times_s;
     wall_time_s = 0.0;
   }
@@ -134,6 +136,7 @@ let to_json t =
       ("injected", jbool t.injected);
       ("passed", jbool (passed t));
       ("jobs", jint t.jobs);
+      ("jobs_requested", jint t.jobs_requested);
       ("wall_time_ms", jfloat (t.wall_time_s *. 1000.0));
       ("cases_per_s", jfloat (cases_per_s t));
       ( "case_times_ms",
@@ -170,8 +173,12 @@ let pp ppf t =
     t.seed t.cases_run t.budget t.skipped t.comparisons
     (if t.injected then ", sabotage injection ON" else "");
   if t.wall_time_s > 0.0 then
-    Format.fprintf ppf "throughput: %.1f cases/s (%d job(s), %.2f s wall)@."
-      (cases_per_s t) t.jobs t.wall_time_s;
+    Format.fprintf ppf "throughput: %.1f cases/s (%d job(s)%s, %.2f s wall)@."
+      (cases_per_s t) t.jobs
+      (if t.jobs_requested <> t.jobs then
+         Printf.sprintf " of %d requested" t.jobs_requested
+       else "")
+      t.wall_time_s;
   (match t.counterexamples with
   | [] -> Format.fprintf ppf "no divergence found@."
   | cxs ->

@@ -22,6 +22,10 @@ type t = {
   comparisons : int;  (** executor runs diffed across all passing cases *)
   injected : bool;  (** campaign ran with sabotage injection *)
   jobs : int;  (** parallelism the campaign ran with *)
+  jobs_requested : int;
+      (** parallelism asked for before any CLI clamping — equals [jobs]
+          unless the requested count exceeded
+          {!Rt_util.Pool.recommended_domains} *)
   case_times_s : float array;
       (** per-case oracle wall time, indexed by case order — the single
           timing source shared with the bench harness *)
@@ -36,10 +40,11 @@ val cases_per_s : t -> float
 (** Campaign throughput; [0.] when no time was recorded. *)
 
 val normalize_timing : t -> t
-(** The report with all wall-clock fields zeroed and [jobs] reset to 1
-    — everything that may legitimately differ between two runs of the
-    same campaign config.  Two campaigns with the same config must
-    produce equal normalized reports regardless of [jobs]. *)
+(** The report with all wall-clock fields zeroed and [jobs] /
+    [jobs_requested] reset to 1 — everything that may legitimately
+    differ between two runs of the same campaign config.  Two campaigns
+    with the same config must produce equal normalized reports
+    regardless of [jobs]. *)
 
 val pp : Format.formatter -> t -> unit
 

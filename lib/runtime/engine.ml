@@ -1,4 +1,5 @@
 module Rat = Rt_util.Rat
+module Timebase = Rt_util.Timebase
 module Pqueue = Rt_util.Pqueue
 module Network = Fppn.Network
 module Process = Fppn.Process
@@ -103,9 +104,10 @@ type proc_state = {
       (** job id + its record-in-progress while busy *)
 }
 
-let run net derived sched config =
+(* Validation + sporadic-window assignment shared by both interpreter
+   cores. *)
+let prologue net (derived : Derive.t) sched config =
   let g = derived.Derive.graph in
-  let h = derived.Derive.hyperperiod in
   let n = Graph.n_jobs g in
   if config.frames <= 0 then invalid_arg "Engine.run: frames must be positive";
   if Static_schedule.n_jobs sched <> n then
@@ -123,16 +125,32 @@ let run net derived sched config =
         invalid_arg
           (Printf.sprintf "Engine.run: %S is periodic, not sporadic" name))
     config.sporadic;
-  let assigned, unhandled_events =
-    assign_sporadic_events net derived ~frames:config.frames ~hyperperiod:h
-      config.sporadic
-  in
+  assign_sporadic_events net derived ~frames:config.frames
+    ~hyperperiod:derived.Derive.hyperperiod config.sporadic
+
+let overhead_segments_of config ~frame_base ~overhead_end =
+  List.filter_map
+    (fun frame ->
+      let from = frame_base frame and till = overhead_end frame in
+      if Rat.(till > from) then Some (frame, from, till) else None)
+    (List.init config.frames Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Reference core: exact rational arithmetic, polling fixpoint.         *)
+(*                                                                      *)
+(* This is the seed interpreter, kept verbatim as the semantic ground   *)
+(* truth the compiled tick core is differentially tested against.       *)
+(* ------------------------------------------------------------------ *)
+
+let exec_rat net (derived : Derive.t) sched config ~assigned ~unhandled_events =
+  let g = derived.Derive.graph in
+  let h = derived.Derive.hyperperiod in
   let state = Netstate.create net in
   let n_procs = config.platform.Platform.n_procs in
   let procs =
     Array.init n_procs (fun p ->
         {
-          order = Array.of_list (Static_schedule.jobs_on sched p);
+          order = Static_schedule.order_on sched p;
           frame = 0;
           pos = 0;
           busy_until = None;
@@ -141,6 +159,7 @@ let run net derived sched config =
   in
   (* completions.(job) = number of frames in which the job has completed
      (executed or skipped); job j of frame f is done iff > f *)
+  let n = Graph.n_jobs g in
   let completions = Array.make n 0 in
   let records = ref [] in
   let events = Pqueue.create ~cmp:Rat.compare in
@@ -264,7 +283,9 @@ let run net derived sched config =
     if changed then fixpoint ()
   in
   let rec loop () =
-    match Pqueue.pop events with
+    (* blocked processors re-push [earliest] on every poll; coalescing
+       the duplicates here skips the no-op fixpoint per duplicate *)
+    match Pqueue.pop_distinct events with
     | None -> ()
     | Some t ->
       if Rat.(t >= !now) then begin
@@ -287,21 +308,546 @@ let run net derived sched config =
             if c <> 0 then c else Int.compare a.job b.job)
       !records
   in
-  let overhead_segments =
-    List.filter_map
-      (fun frame ->
-        let from = frame_base frame and till = overhead_end frame in
-        if Rat.(till > from) then Some (frame, from, till) else None)
-      (List.init config.frames Fun.id)
-  in
   {
     trace;
     channel_history = Netstate.channel_history state;
     output_history = Netstate.output_history state;
     stats = Exec_trace.stats trace;
     unhandled_events;
-    overhead_segments;
+    overhead_segments = overhead_segments_of config ~frame_base ~overhead_end;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Compiled core: integer tick timeline, wake-list scheduling.          *)
+(*                                                                      *)
+(* Setup maps every model time onto the common-denominator tick grid    *)
+(* of a [Timebase]; the event loop then runs on machine integers, and   *)
+(* a completion re-examines only the processors registered on the       *)
+(* completed job's wake list instead of polling all of them.  The       *)
+(* transition order of the reference fixpoint (ascending processor      *)
+(* index per sweep, sweeps repeated until quiescent) is replicated      *)
+(* exactly, so execution-time PRNG draws, channel operations and trace  *)
+(* records are bit-identical to [exec_rat]'s.                           *)
+(* ------------------------------------------------------------------ *)
+
+type tick_plan = {
+  tb : Timebase.t;
+  h_t : int;  (* hyperperiod *)
+  first_t : int;  (* frame overheads *)
+  steady_t : int;
+  per_access_t : int;
+  arr_t : int array;  (* per job: phase within the frame *)
+  dl_rel_t : int array;  (* per job: relative deadline of its process *)
+  wcet_t : int array;  (* per job: WCET, the whole duration under Constant *)
+  is_server : bool array;
+  proc_of : int array;  (* per job: scheduled processor *)
+  stamp_t : (int * int, int) Hashtbl.t;  (* (job, frame) -> event ticks *)
+  const_exec : bool;  (* durations come from [wcet_t], never sampled *)
+  pbits : int;  (* event encoding: (tick lsl pbits) lor proc *)
+}
+
+(* Ticks stay below 2^55 ([Timebase]'s magnitude cap) and a finish time
+   adds at most one more bit, so a processor index up to 6 bits packs
+   with the tick into one immediate int — the event queue then never
+   allocates. *)
+let max_pbits = 6
+
+type tick_record = {
+  tr_job : int;
+  tr_frame : int;
+  tr_invoked : int;
+  tr_start : int;
+  tr_finish : int;
+  tr_deadline : int;
+  tr_skipped : bool;
+}
+
+type tick_proc = {
+  t_order : int array;
+  mutable t_frame : int;
+  mutable t_pos : int;
+  mutable t_busy : bool;
+  mutable t_finish : int;  (* valid while [t_busy] *)
+  mutable t_run : tick_record;  (* record-in-progress while busy *)
+  mutable t_missing : int;  (* wake-list registrations outstanding *)
+}
+
+let dummy_record =
+  {
+    tr_job = -1;
+    tr_frame = 0;
+    tr_invoked = 0;
+    tr_start = 0;
+    tr_finish = 0;
+    tr_deadline = 0;
+    tr_skipped = false;
+  }
+
+(* Compile the run onto a tick grid, or [None] when any time cannot be
+   represented (unpredictable execution-time model, common-denominator
+   overflow, horizon too large) — the caller then uses the exact
+   rational core, so compilation failures degrade, never crash. *)
+let tick_compile net (derived : Derive.t) sched config ~assigned =
+  let g = derived.Derive.graph in
+  let n = Graph.n_jobs g in
+  let jobs = Graph.jobs g in
+  let n_procs = config.platform.Platform.n_procs in
+  let rec bits_for k acc = if k <= 1 then acc else bits_for (k lsr 1) (acc + 1) in
+  let pbits = bits_for n_procs 0 + if n_procs land (n_procs - 1) = 0 then 0 else 1 in
+  if pbits > max_pbits then None
+  else
+  let wcets = Array.to_list (Array.map (fun j -> j.Job.wcet) jobs) in
+  match Exec_time.tick_extras config.exec ~wcets with
+  | None -> None
+  | Some extras -> (
+    match
+      let ov = config.platform.Platform.overhead in
+      let times =
+        derived.Derive.hyperperiod :: ov.Platform.first_frame
+        :: ov.Platform.steady_frame :: ov.Platform.per_access
+        :: Hashtbl.fold (fun _ stamp acc -> stamp :: acc) assigned []
+        @ extras @ wcets
+        @ Array.to_list (Array.map (fun j -> j.Job.arrival) jobs)
+        @ List.init (Network.n_processes net) (fun p ->
+              Process.deadline (Network.process net p))
+      in
+      let horizon =
+        Rat.mul derived.Derive.hyperperiod (Rat.of_int config.frames)
+      in
+      Timebase.create ~horizon times
+    with
+    | exception Rat.Overflow -> None
+    | None -> None
+    | Some tb -> (
+      let ov = config.platform.Platform.overhead in
+      match
+        let tk = Timebase.ticks tb in
+        let stamp_t = Hashtbl.create (Hashtbl.length assigned) in
+        Hashtbl.iter (fun key s -> Hashtbl.replace stamp_t key (tk s)) assigned;
+        {
+          tb;
+          h_t = tk derived.Derive.hyperperiod;
+          first_t = tk ov.Platform.first_frame;
+          steady_t = tk ov.Platform.steady_frame;
+          per_access_t = tk ov.Platform.per_access;
+          arr_t = Array.map (fun j -> tk j.Job.arrival) jobs;
+          dl_rel_t =
+            Array.map
+              (fun j -> tk (Process.deadline (Network.process net j.Job.proc)))
+              jobs;
+          wcet_t = Array.map (fun j -> tk j.Job.wcet) jobs;
+          is_server = Array.map (fun j -> j.Job.is_server) jobs;
+          proc_of = Array.init n (Static_schedule.proc sched);
+          stamp_t;
+          const_exec = Exec_time.is_constant config.exec;
+          pbits;
+        }
+      with
+      | plan -> Some plan
+      | exception (Timebase.Inexact | Rat.Overflow) -> None))
+
+let exec_ticks net (derived : Derive.t) sched config ~assigned:_
+    ~unhandled_events plan =
+  let g = derived.Derive.graph in
+  let n = Graph.n_jobs g in
+  let frames = config.frames in
+  let n_procs = config.platform.Platform.n_procs in
+  let state = Netstate.create net in
+  let procs =
+    Array.init n_procs (fun p ->
+        {
+          t_order = Static_schedule.order_on sched p;
+          t_frame = 0;
+          t_pos = 0;
+          t_busy = false;
+          t_finish = 0;
+          t_run = dummy_record;
+          t_missing = 0;
+        })
+  in
+  let completions = Array.make n 0 in
+  (* per job: compiled predecessor array and registered waiters
+     [(proc, frame-needed)]; a completion walks only its own waiters *)
+  let preds = Array.init n (fun j -> Array.of_list (Graph.preds g j)) in
+  let waiters = Array.make n [] in
+  (* every job yields exactly one record per frame, so the buffer size
+     is known up front — no list cells, and the final sort is in-place *)
+  let recs = Array.make (n * frames) dummy_record in
+  let nrecs = ref 0 in
+  let push_record r =
+    recs.(!nrecs) <- r;
+    incr nrecs
+  in
+  (* events are (tick lsl pbits) lor proc — immediate ints, so pushes
+     never allocate; unpacking is a shift and a mask *)
+  let events = Pqueue.create ~cmp:Int.compare in
+  let pbits = plan.pbits in
+  let pmask = (1 lsl pbits) - 1 in
+  let push_event tick p = Pqueue.push events ((tick lsl pbits) lor p) in
+  let now = ref 0 in
+  let hot = Array.make n_procs false in
+  (* Steady-state replay: with constant durations, no sporadic stamps
+     and zero per-access cost, the schedule of any frame >= 1 whose
+     window is self-contained is frame 1's shifted by a hyperperiod
+     multiple.  Frames 0-1 run through the event loop; if both stay
+     inside their windows the remaining frames replay frame 1's
+     captured call sequence with no queue, fixpoint or sort at all. *)
+  let replay_candidate =
+    plan.const_exec && plan.per_access_t = 0
+    && Hashtbl.length plan.stamp_t = 0
+    && frames > 2
+  in
+  let tpl = Array.make (if replay_candidate then n else 0) dummy_record in
+  let tpl_n = ref 0 in
+  let capture ps r =
+    if replay_candidate && ps.t_frame = 1 && !tpl_n < n then begin
+      tpl.(!tpl_n) <- r;
+      incr tpl_n
+    end
+  in
+  let wake job =
+    match waiters.(job) with
+    | [] -> ()
+    | ws ->
+      let c = completions.(job) in
+      waiters.(job) <-
+        List.filter
+          (fun (p, frame) ->
+            if c > frame then begin
+              let ps = procs.(p) in
+              ps.t_missing <- ps.t_missing - 1;
+              if ps.t_missing = 0 then hot.(p) <- true;
+              false
+            end
+            else true)
+          ws
+  in
+  let step_order ps =
+    ps.t_pos <- ps.t_pos + 1;
+    if ps.t_pos >= Array.length ps.t_order then begin
+      ps.t_pos <- 0;
+      ps.t_frame <- ps.t_frame + 1
+    end
+  in
+  (* one attempt to make progress on processor [p]; true if state
+     changed — mirrors [exec_rat]'s [advance] transition for transition *)
+  let try_advance p ps =
+    if ps.t_busy then
+      if ps.t_finish <= !now then begin
+        let job = ps.t_run.tr_job in
+        completions.(job) <- completions.(job) + 1;
+        (* t_run.tr_finish was already final at start time *)
+        push_record ps.t_run;
+        ps.t_busy <- false;
+        ps.t_run <- dummy_record;
+        step_order ps;
+        wake job;
+        true
+      end
+      else false
+    else if ps.t_frame >= frames || Array.length ps.t_order = 0 then false
+    else begin
+      let job = ps.t_order.(ps.t_pos) in
+      let base = ps.t_frame * plan.h_t in
+      let invocation = base + plan.arr_t.(job) in
+      let oh_end =
+        base + if ps.t_frame = 0 then plan.first_t else plan.steady_t
+      in
+      let earliest = if invocation > oh_end then invocation else oh_end in
+      if earliest > !now then begin
+        push_event earliest p;
+        false
+      end
+      else if ps.t_missing > 0 then false
+      else begin
+        (* count unfinished predecessors and register on their wake
+           lists; nothing to poll until the last one completes *)
+        let missing = ref 0 in
+        let pr = preds.(job) in
+        for i = 0 to Array.length pr - 1 do
+          let q = pr.(i) in
+          if completions.(q) <= ps.t_frame then begin
+            incr missing;
+            waiters.(q) <- (p, ps.t_frame) :: waiters.(q)
+          end
+        done;
+        if !missing > 0 then begin
+          ps.t_missing <- !missing;
+          false
+        end
+        else begin
+          let stamp =
+            if plan.is_server.(job) then (
+              match Hashtbl.find_opt plan.stamp_t (job, ps.t_frame) with
+              | Some s -> s
+              | None -> min_int)
+            else invocation
+          in
+          if stamp = min_int then begin
+            (* 'false' job: skip without executing *)
+            let r =
+              {
+                tr_job = job;
+                tr_frame = ps.t_frame;
+                tr_invoked = invocation;
+                tr_start = !now;
+                tr_finish = !now;
+                tr_deadline = invocation + plan.dl_rel_t.(job);
+                tr_skipped = true;
+              }
+            in
+            push_record r;
+            capture ps r;
+            completions.(job) <- completions.(job) + 1;
+            step_order ps;
+            wake job;
+            true
+          end
+          else begin
+            let j = Graph.job g job in
+            let accesses = ref 0 in
+            (if plan.per_access_t = 0 then
+               (* accesses don't cost time: the unrecorded path skips
+                  every trace allocation inside [run_job] *)
+               Netstate.run_job ~inputs:config.inputs state ~proc:j.Job.proc
+                 ~now:(Timebase.of_ticks plan.tb stamp)
+             else begin
+               let recorder = function
+                 | Fppn.Trace.Read _ | Fppn.Trace.Write _ -> incr accesses
+                 | _ -> ()
+               in
+               Netstate.run_job ~recorder ~inputs:config.inputs state
+                 ~proc:j.Job.proc
+                 ~now:(Timebase.of_ticks plan.tb stamp)
+             end);
+            let duration =
+              (if plan.const_exec then plan.wcet_t.(job)
+               else Timebase.ticks plan.tb (Exec_time.sample config.exec j))
+              + (plan.per_access_t * !accesses)
+            in
+            let finish = !now + duration in
+            ps.t_busy <- true;
+            ps.t_finish <- finish;
+            ps.t_run <-
+              {
+                tr_job = job;
+                tr_frame = ps.t_frame;
+                tr_invoked = stamp;
+                tr_start = !now;
+                tr_finish = finish;
+                tr_deadline = stamp + plan.dl_rel_t.(job);
+                tr_skipped = false;
+              };
+            capture ps ps.t_run;
+            push_event finish p;
+            true
+          end
+        end
+      end
+    end
+  in
+  (* sweeps over the hot set in ascending processor index, repeated
+     until quiescent — the reference fixpoint restricted to processors
+     that can actually transition *)
+  let rec rounds () =
+    let changed = ref false in
+    for p = 0 to n_procs - 1 do
+      if hot.(p) then begin
+        hot.(p) <- false;
+        if try_advance p procs.(p) then begin
+          changed := true;
+          hot.(p) <- true
+        end
+      end
+    done;
+    if !changed then rounds ()
+  in
+  let process ev =
+    let t = ev lsr pbits in
+    if t >= !now then begin
+      now := t;
+      hot.(ev land pmask) <- true;
+      (* drain every event of this instant so one sweep sees them all *)
+      let rec batch () =
+        match Pqueue.peek events with
+        | Some ev' when ev' lsr pbits = t ->
+          ignore (Pqueue.pop events);
+          hot.(ev' land pmask) <- true;
+          batch ()
+        | _ -> ()
+      in
+      batch ();
+      rounds ()
+    end
+  in
+  let rec run_all () =
+    match Pqueue.pop events with
+    | None -> ()
+    | Some ev ->
+      process ev;
+      run_all ()
+  in
+  (* process events strictly before [limit] ticks, leaving the rest
+     queued *)
+  let rec run_until limit =
+    match Pqueue.peek events with
+    | Some ev when ev lsr pbits < limit ->
+      ignore (Pqueue.pop events);
+      process ev;
+      run_until limit
+    | _ -> ()
+  in
+  let cmp_rec a b =
+    let c = Int.compare a.tr_start b.tr_start in
+    if c <> 0 then c
+    else
+      let c = Int.compare plan.proc_of.(a.tr_job) plan.proc_of.(b.tr_job) in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.tr_frame b.tr_frame in
+        if c <> 0 then c else Int.compare a.tr_job b.tr_job
+  in
+  let presorted = ref false in
+  (* frames 0 and 1 each ran wholly inside their own window, and every
+     processor stands idle at the frame-2 boundary: the engine state
+     there (and at every later boundary, inductively) matches the
+     frame-1 boundary shifted by the hyperperiod, so each remaining
+     frame is frame 1's captured sequence shifted in time. *)
+  let steady_state_ok () =
+    !tpl_n = n
+    && !nrecs = 2 * n
+    && Array.for_all
+         (fun ps ->
+           Array.length ps.t_order = 0
+           || ((not ps.t_busy) && ps.t_frame = 2 && ps.t_missing = 0))
+         procs
+    &&
+    let ok = ref true in
+    for i = 0 to !nrecs - 1 do
+      let r = recs.(i) in
+      let bound = (r.tr_frame + 1) * plan.h_t in
+      if r.tr_finish >= bound then ok := false
+    done;
+    !ok
+  in
+  let replay () =
+    (* frames 0-1 sit in completion order; their starts all precede
+       frame 2's, so sorting just this prefix keeps [recs] globally
+       sorted as replay appends pre-sorted frames after it *)
+    let head = Array.sub recs 0 !nrecs in
+    Array.sort cmp_rec head;
+    Array.blit head 0 recs 0 !nrecs;
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> cmp_rec tpl.(a) tpl.(b)) order;
+    let body_proc =
+      Array.map
+        (fun e -> if e.tr_skipped then -1 else (Graph.job g e.tr_job).Job.proc)
+        tpl
+    in
+    for f = 2 to frames - 1 do
+      let shift = (f - 1) * plan.h_t in
+      (* job bodies first, in frame 1's call order — the channel
+         read/write sequence is what makes results bit-identical *)
+      for i = 0 to n - 1 do
+        if body_proc.(i) >= 0 then
+          Netstate.run_job ~inputs:config.inputs state ~proc:body_proc.(i)
+            ~now:(Timebase.of_ticks plan.tb (tpl.(i).tr_invoked + shift))
+      done;
+      for k = 0 to n - 1 do
+        let e = tpl.(order.(k)) in
+        push_record
+          {
+            e with
+            tr_frame = f;
+            tr_invoked = e.tr_invoked + shift;
+            tr_start = e.tr_start + shift;
+            tr_finish = e.tr_finish + shift;
+            tr_deadline = e.tr_deadline + shift;
+          }
+      done
+    done;
+    presorted := true
+  in
+  Array.fill hot 0 n_procs true;
+  rounds ();
+  (if replay_candidate then begin
+     run_until (2 * plan.h_t);
+     if steady_state_ok () then replay () else run_all ()
+   end
+   else run_all ());
+  let m = !nrecs in
+  let sorted = if m = Array.length recs then recs else Array.sub recs 0 m in
+  if not !presorted then Array.sort cmp_rec sorted;
+  (* stats over the integer records, and job labels formatted once per
+     job id — not once per record, which made [Printf.sprintf] the
+     single hottest call of short simulations *)
+  let labels = Array.init (Graph.n_jobs g) (fun j -> Job.label (Graph.job g j)) in
+  let executed = ref 0
+  and skipped = ref 0
+  and misses = ref 0
+  and max_resp = ref 0
+  and max_frame = ref (-1) in
+  for i = 0 to m - 1 do
+    let r = sorted.(i) in
+    if r.tr_skipped then incr skipped
+    else begin
+      incr executed;
+      if r.tr_finish > r.tr_deadline then incr misses;
+      let resp = r.tr_finish - r.tr_invoked in
+      if resp > !max_resp then max_resp := resp;
+      if r.tr_frame > !max_frame then max_frame := r.tr_frame
+    end
+  done;
+  let rat = Timebase.of_ticks plan.tb in
+  let trace = ref [] in
+  for i = m - 1 downto 0 do
+    let r = sorted.(i) in
+    trace :=
+      {
+        Exec_trace.job = r.tr_job;
+        label = labels.(r.tr_job);
+        frame = r.tr_frame;
+        proc = plan.proc_of.(r.tr_job);
+        invoked = rat r.tr_invoked;
+        start = rat r.tr_start;
+        finish = rat r.tr_finish;
+        deadline = rat r.tr_deadline;
+        skipped = r.tr_skipped;
+      }
+      :: !trace
+  done;
+  let trace = !trace in
+  let h = derived.Derive.hyperperiod in
+  let frame_base frame = Rat.mul h (Rat.of_int frame) in
+  let overhead_end frame =
+    Rat.add (frame_base frame) (Platform.frame_overhead config.platform ~frame)
+  in
+  {
+    trace;
+    channel_history = Netstate.channel_history state;
+    output_history = Netstate.output_history state;
+    stats =
+      {
+        Exec_trace.executed = !executed;
+        skipped = !skipped;
+        misses = !misses;
+        max_response = rat !max_resp;
+        frames = !max_frame + 1;
+      };
+    unhandled_events;
+    overhead_segments = overhead_segments_of config ~frame_base ~overhead_end;
+  }
+
+let run net derived sched config =
+  let assigned, unhandled_events = prologue net derived sched config in
+  match tick_compile net derived sched config ~assigned with
+  | Some plan ->
+    exec_ticks net derived sched config ~assigned ~unhandled_events plan
+  | None -> exec_rat net derived sched config ~assigned ~unhandled_events
+
+let run_reference net derived sched config =
+  let assigned, unhandled_events = prologue net derived sched config in
+  exec_rat net derived sched config ~assigned ~unhandled_events
 
 let signature r =
   List.sort

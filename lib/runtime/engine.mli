@@ -52,9 +52,18 @@ type result = {
 
 val run :
   Fppn.Network.t -> Taskgraph.Derive.t -> Sched.Static_schedule.t -> config -> result
-(** @raise Invalid_argument if the schedule does not cover the derived
+(** Runs on the compiled integer-tick core whenever every model time
+    fits a common {!Rt_util.Timebase} grid, falling back to the exact
+    rational interpreter otherwise; both produce bit-identical results.
+    @raise Invalid_argument if the schedule does not cover the derived
     graph, if [frames <= 0], or if a sporadic trace violates its
     generator's [(m,T)] constraint. *)
+
+val run_reference :
+  Fppn.Network.t -> Taskgraph.Derive.t -> Sched.Static_schedule.t -> config -> result
+(** {!run} forced onto the exact rational interpreter core — the
+    semantic ground truth the compiled tick core is differentially
+    tested against.  Raises as {!run}. *)
 
 val sporadic_assignment :
   Fppn.Network.t ->

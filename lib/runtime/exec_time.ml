@@ -20,10 +20,31 @@ let scaled fraction =
 
 let profile f = Profile f
 
+let is_constant = function Constant -> true | _ -> false
+
 let quantized_fraction wcet fraction =
   (* wcet * round(fraction * 1000) / 1000, keeping denominators small *)
   let milli = int_of_float (Float.round (fraction *. 1000.0)) in
   Rat.mul wcet (Rat.make milli 1000)
+
+let tick_extras t ~wcets =
+  match t with
+  | Constant -> Some []
+  (* [quantized_fraction] yields wcet·milli/1000, whose denominator
+     always divides den(wcet)·1000 — covering that product per distinct
+     WCET makes every possible sample land on the tick grid *)
+  | Uniform _ | Scaled _ -> (
+    try
+      Some
+        (List.map
+           (fun w ->
+             let d = Rat.den w in
+             if d > max_int / 1000 then raise Rat.Overflow
+             else Rat.make 1 (d * 1000))
+           wcets)
+    with Rat.Overflow -> None)
+  (* arbitrary user function: durations are not predictable at setup *)
+  | Profile _ -> None
 
 let sample t (job : Taskgraph.Job.t) =
   match t with

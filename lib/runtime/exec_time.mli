@@ -27,3 +27,14 @@ val profile : (string -> Rt_util.Rat.t) -> t
 
 val sample : t -> Taskgraph.Job.t -> Rt_util.Rat.t
 (** Duration of one job instance.  Stateful for {!uniform}. *)
+
+val is_constant : t -> bool
+(** [true] iff {!sample} always returns the job's WCET ({!constant}) —
+    lets compiled engines use a precomputed duration table. *)
+
+val tick_extras : t -> wcets:Rt_util.Rat.t list -> Rt_util.Rat.t list option
+(** Rationals whose denominators cover every duration {!sample} can
+    return for jobs drawn from [wcets], for seeding a
+    {!Rt_util.Timebase}.  [None] when durations are unpredictable at
+    setup ({!profile}) — callers must then stay on the exact rational
+    path. *)

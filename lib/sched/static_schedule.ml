@@ -4,7 +4,11 @@ module Job = Taskgraph.Job
 
 type entry = { proc : int; start : Rat.t }
 
-type t = { n_procs : int; entries : entry array }
+type t = {
+  n_procs : int;
+  entries : entry array;
+  orders : int array array; (* per processor: job ids by (start, id) *)
+}
 
 let make ~n_procs entries =
   if Array.length entries = 0 then
@@ -17,7 +21,22 @@ let make ~n_procs entries =
       if Rat.sign e.start < 0 then
         invalid_arg "Static_schedule.make: negative start time")
     entries;
-  { n_procs; entries }
+  let orders =
+    Array.init n_procs (fun p ->
+        let ids = ref [] in
+        for i = Array.length entries - 1 downto 0 do
+          if entries.(i).proc = p then ids := i :: !ids
+        done;
+        let arr = Array.of_list !ids in
+        (* ids are ascending already, so sorting by start stays stable *)
+        Array.sort
+          (fun a b ->
+            let c = Rat.compare entries.(a).start entries.(b).start in
+            if c <> 0 then c else Int.compare a b)
+          arr;
+        arr)
+  in
+  { n_procs; entries; orders }
 
 let n_procs t = t.n_procs
 let n_jobs t = Array.length t.entries
@@ -34,16 +53,39 @@ let makespan g t =
   done;
   !best
 
-let jobs_on t p =
-  let ids = ref [] in
-  for i = n_jobs t - 1 downto 0 do
-    if t.entries.(i).proc = p then ids := i :: !ids
-  done;
-  List.stable_sort
-    (fun a b ->
-      let c = Rat.compare t.entries.(a).start t.entries.(b).start in
-      if c <> 0 then c else Int.compare a b)
-    !ids
+let jobs_on t p = Array.to_list t.orders.(p)
+
+let order_on t p = Array.copy t.orders.(p)
+
+let starts_in_ticks t tb =
+  let n = n_jobs t in
+  let out = Array.make n 0 in
+  let rec fill i =
+    if i >= n then Some out
+    else
+      match Rt_util.Timebase.ticks_opt tb t.entries.(i).start with
+      | Some k ->
+        out.(i) <- k;
+        fill (i + 1)
+      | None -> None
+  in
+  fill 0
+
+let makespan_ticks g t tb =
+  match starts_in_ticks t tb with
+  | None -> None
+  | Some starts ->
+    let best = ref 0 in
+    let rec scan i =
+      if i >= n_jobs t then Some !best
+      else
+        match Rt_util.Timebase.ticks_opt tb (Graph.job g i).Job.wcet with
+        | None -> None
+        | Some w ->
+          if starts.(i) + w > !best then best := starts.(i) + w;
+          scan (i + 1)
+    in
+    scan 0
 
 type violation =
   | Arrival of int

@@ -10,6 +10,12 @@ type t = {
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
+let recommended_domains = default_jobs
+
+(* Oversubscribing domains is a reliable slowdown (BENCH.json recorded a
+   0.37x "speedup" at jobs=4 on a 1-domain box), so user-facing tools
+   clamp their --jobs to what the host can actually run in parallel. *)
+let clamp_jobs requested = Stdlib.max 1 (Stdlib.min requested (default_jobs ()))
 
 let jobs t = t.jobs
 

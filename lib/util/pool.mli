@@ -27,6 +27,17 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: a sensible default for CPU-
     bound work on this host. *)
 
+val recommended_domains : unit -> int
+(** Alias of {!default_jobs}: the largest worker count this host can
+    run without oversubscription. *)
+
+val clamp_jobs : int -> int
+(** [clamp_jobs requested] caps a requested parallelism degree to
+    [recommended_domains ()] (and raises it to at least 1).  CLI tools
+    apply it to their [--jobs] so a generous default cannot slow a
+    narrow machine down; the library combinators accept any [jobs]
+    unclamped. *)
+
 val shutdown : t -> unit
 (** Joins all worker domains.  Idempotent.  Submitting work after
     shutdown raises [Invalid_argument]. *)

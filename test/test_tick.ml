@@ -1,0 +1,186 @@
+(* Differential tests for the compiled tick-time engine core.
+
+   [Engine.run] compiles the simulation onto an integer tick grid when
+   it can; [Engine.run_reference] is the exact rational interpreter the
+   seed shipped with.  The two must agree bit-for-bit: same trace
+   records (rationals reconstructed from ticks are structurally equal)
+   and same channel/output histories, over random workloads covering
+   sporadic servers, execution-time jitter and multiple processors. *)
+
+module Rat = Rt_util.Rat
+module Timebase = Rt_util.Timebase
+module Engine = Runtime.Engine
+module Exec_time = Runtime.Exec_time
+module Derive = Taskgraph.Derive
+module List_scheduler = Sched.List_scheduler
+module Randgen = Fppn_apps.Randgen
+
+let qprop name ?(count = 100) ?print gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ?print gen f)
+
+let ms n = Rat.of_int n
+
+(* --- differential: tick engine == rational reference ----------------- *)
+
+type case = {
+  seed : int;
+  n_periodic : int;
+  n_sporadic : int;
+  n_procs : int;
+  frames : int;
+  exec_kind : int;  (* 0 constant, 1 uniform, 2 scaled *)
+}
+
+let case_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 99999 in
+    let* n_periodic = int_range 1 6 in
+    let* n_sporadic = int_range 0 2 in
+    let* n_procs = int_range 1 3 in
+    let* frames = int_range 1 4 in
+    let+ exec_kind = int_range 0 2 in
+    { seed; n_periodic; n_sporadic; n_procs; frames; exec_kind })
+
+let case_print c =
+  Printf.sprintf
+    "{seed=%d; periodic=%d; sporadic=%d; procs=%d; frames=%d; exec=%d}" c.seed
+    c.n_periodic c.n_sporadic c.n_procs c.frames c.exec_kind
+
+(* fresh per run: [Exec_time.uniform] carries PRNG state, and sharing
+   one value across both engines would entangle their draw sequences *)
+let exec_of c =
+  match c.exec_kind with
+  | 0 -> Exec_time.constant
+  | 1 -> Exec_time.uniform ~seed:(c.seed + 1) ~min_fraction:0.25
+  | _ -> Exec_time.scaled 0.5
+
+let wcet_scale = Rat.make 1 25
+
+let run_both c =
+  let net =
+    Randgen.network
+      {
+        Randgen.default_params with
+        seed = c.seed;
+        n_periodic = c.n_periodic;
+        n_sporadic = c.n_sporadic;
+      }
+  in
+  let wcet = Randgen.wcet ~scale:wcet_scale (Derive.const_wcet Rat.one) net in
+  match Derive.derive ~wcet net with
+  | Error _ -> None
+  | Ok d -> (
+    match snd (List_scheduler.auto ~n_procs:c.n_procs d.Derive.graph) with
+    | None -> None
+    | Some a ->
+      let sched = a.List_scheduler.schedule in
+      let horizon = Rat.mul d.Derive.hyperperiod (Rat.of_int c.frames) in
+      let sporadic =
+        Randgen.random_traces ~seed:(c.seed + 7) ~horizon ~density:0.5 net
+      in
+      let config () =
+        {
+          (Engine.default_config ~frames:c.frames ~n_procs:c.n_procs ()) with
+          Engine.exec = exec_of c;
+          sporadic;
+        }
+      in
+      let tick = Engine.run net d sched (config ()) in
+      let reference = Engine.run_reference net d sched (config ()) in
+      Some (tick, reference))
+
+let prop_differential =
+  qprop "tick engine bit-identical to rational reference" ~count:120
+    ~print:case_print case_gen
+    (fun c ->
+      match run_both c with
+      | None -> true (* infeasible draw: nothing to compare *)
+      | Some (tick, reference) ->
+        List.equal
+          (fun (a : Runtime.Exec_trace.record) b -> a = b)
+          tick.Engine.trace reference.Engine.trace
+        && Engine.signature tick = Engine.signature reference
+        && tick.Engine.stats = reference.Engine.stats
+        && tick.Engine.unhandled_events = reference.Engine.unhandled_events)
+
+(* The profile model hides durations behind a closure, so tick
+   compilation must decline and the fallback must still be the exact
+   reference semantics. *)
+let test_profile_fallback () =
+  let net = Fppn_apps.Fig1.network () in
+  let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet net in
+  let sched =
+    match snd (List_scheduler.auto ~n_procs:2 d.Derive.graph) with
+    | Some a -> a.List_scheduler.schedule
+    | None -> Alcotest.fail "fig1 unschedulable"
+  in
+  let config =
+    {
+      (Engine.default_config ~frames:3 ~n_procs:2 ()) with
+      Engine.exec = Exec_time.profile (fun _ -> ms 1);
+    }
+  in
+  let r1 = Engine.run net d sched config in
+  let r2 = Engine.run_reference net d sched config in
+  Alcotest.(check bool)
+    "profile fallback identical" true
+    (r1.Engine.trace = r2.Engine.trace && Engine.signature r1 = Engine.signature r2)
+
+(* --- Timebase -------------------------------------------------------- *)
+
+let test_timebase_basic () =
+  match Timebase.create [ Rat.make 1 3; Rat.make 1 4; Rat.of_int 7 ] with
+  | None -> Alcotest.fail "small LCM must be representable"
+  | Some tb ->
+    Alcotest.(check int) "den = lcm(3,4)" 12 (Timebase.den tb);
+    Alcotest.(check int) "ticks 1/3" 4 (Timebase.ticks tb (Rat.make 1 3));
+    Alcotest.(check int) "ticks 7" 84 (Timebase.ticks tb (Rat.of_int 7));
+    Alcotest.(check bool)
+      "roundtrip is structural identity" true
+      (Timebase.of_ticks tb 4 = Rat.make 1 3);
+    Alcotest.(check bool)
+      "1/5 not on the grid" true
+      (Timebase.ticks_opt tb (Rat.make 1 5) = None);
+    Alcotest.check_raises "ticks raises Inexact off-grid" Timebase.Inexact
+      (fun () -> ignore (Timebase.ticks tb (Rat.make 1 5)))
+
+let test_timebase_overflow () =
+  (* pairwise-coprime denominators near 2^31: the LCM overflows the
+     magnitude cap, and [create] must return None rather than crash *)
+  let big = [ 2147483647; 2147483629; 2147483587; 2147483579 ] in
+  let times = List.map (fun d -> Rat.make 1 d) big in
+  Alcotest.(check bool) "LCM overflow yields None" true
+    (Timebase.create times = None);
+  (* a representable grid whose horizon does not fit must also decline *)
+  match Timebase.create [ Rat.one ] with
+  | None -> Alcotest.fail "unit grid must build"
+  | Some _ ->
+    Alcotest.(check bool)
+      "oversized horizon yields None" true
+      (Timebase.create ~horizon:(Rat.of_int max_int) [ Rat.one ] = None)
+
+let prop_timebase_roundtrip =
+  qprop "of_ticks inverts ticks exactly" ~count:300
+    QCheck2.Gen.(
+      let* num = int_range (-100000) 100000 in
+      let* den = int_range 1 1000 in
+      let+ extra = int_range 1 1000 in
+      (num, den, extra))
+    (fun (num, den, extra) ->
+      let r = Rat.make num den in
+      match Timebase.create [ r; Rat.make 1 extra ] with
+      | None -> true
+      | Some tb -> Timebase.of_ticks tb (Timebase.ticks tb r) = r)
+
+let () =
+  Alcotest.run "tick_engine"
+    [
+      ( "differential",
+        [ prop_differential; Alcotest.test_case "profile fallback" `Quick test_profile_fallback ] );
+      ( "timebase",
+        [
+          Alcotest.test_case "basic" `Quick test_timebase_basic;
+          Alcotest.test_case "overflow" `Quick test_timebase_overflow;
+          prop_timebase_roundtrip;
+        ] );
+    ]
