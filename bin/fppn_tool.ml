@@ -41,6 +41,16 @@ let load_file path =
   close_in ic;
   src
 
+(* Every source-level failure (lexing, parsing, elaboration) is rendered
+   as an FPPN000 diagnostic — one uniform file:line:col format — and
+   exits 2, distinguishing "bad input" from "checks failed" (exit 1). *)
+let source_error path msg pos =
+  Format.eprintf "%a@." Fppn_lint.Diagnostic.pp
+    (Fppn_lint.Diagnostic.make ~file:path ~pos Fppn_lint.Diagnostic.Source_error
+       ~subject:("file " ^ Filename.basename path)
+       msg);
+  exit 2
+
 let resolve_file path =
   let src = load_file path in
   try
@@ -55,8 +65,7 @@ let resolve_file path =
   with
   | Fppn_lang.Lexer.Error (msg, pos) | Fppn_lang.Parser.Error (msg, pos)
   | Fppn_lang.Elaborate.Error (msg, pos) ->
-    Format.eprintf "%s: %s at %a@." path msg Fppn_lang.Ast.pp_pos pos;
-    exit 2
+    source_error path msg pos
 
 let resolve_app name seed =
   if Filename.check_suffix name ".fppn" then resolve_file name
@@ -670,9 +679,73 @@ let report_cmd =
        ~doc:"Emit a complete Markdown deployment report for an application")
     term
 
+let lint_cmd =
+  let run app_name seed format processors =
+    let diags =
+      if Filename.check_suffix app_name ".fppn" then
+        (* lint the AST, not the elaborated network: networks the
+           builder would reject still get positioned diagnostics *)
+        let src = load_file app_name in
+        match Fppn_lang.Parser.parse src with
+        | ast -> Fppn_lint.Lint.lint_ast ~file:app_name ?processors ast
+        | exception Fppn_lang.Lexer.Error (msg, pos)
+        | exception Fppn_lang.Parser.Error (msg, pos) ->
+          [
+            Fppn_lint.Diagnostic.make ~file:app_name ~pos
+              Fppn_lint.Diagnostic.Source_error
+              ~subject:("file " ^ Filename.basename app_name)
+              msg;
+          ]
+      else
+        let app = resolve_app app_name seed in
+        Fppn_lint.Lint.lint_network ?processors
+          ~wcet:(fun name -> Some (app.wcet name))
+          app.net
+    in
+    (match format with
+    | `Text -> Format.printf "%a" Fppn_lint.Diagnostic.pp_list diags
+    | `Json -> print_endline (Fppn_lint.Diagnostic.to_json diags));
+    (* exit 2: the source never reached the analyzer; exit 1: it did,
+       and error-severity findings came back *)
+    if
+      List.exists
+        (fun d -> d.Fppn_lint.Diagnostic.code = Fppn_lint.Diagnostic.Source_error)
+        diags
+    then exit 2
+    else if Fppn_lint.Diagnostic.has_errors diags then exit 1
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: text (one line per finding) or json \
+                (stable schema, version 1).")
+  in
+  let processors =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "m"; "procs" ] ~docv:"M"
+          ~doc:
+            "Enforce the Prop. 3.1 necessary utilization bound against this \
+             processor count (error when exceeded); without it the bound is \
+             reported as an informational minimum.")
+  in
+  let term = Term.(const run $ app_arg $ seed_arg $ format $ processors) in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis: determinism races, functional-priority DAG \
+          hygiene, Sec. III-A subclass conformance, channel misuse and \
+          timing sanity, with stable FPPN0xx diagnostic codes. Exits 1 on \
+          error-severity findings.")
+    term
+
 let fuzz_cmd =
   let run seed budget procs frames jitter_seeds permutations no_boundary
-      max_periodic max_sporadic no_shrink shrink_budget inject json_out jobs =
+      max_periodic max_sporadic no_shrink shrink_budget inject json_out jobs
+      static =
     let parse_ints what s =
       try List.map int_of_string (String.split_on_char ',' s)
       with _ ->
@@ -689,6 +762,23 @@ let fuzz_cmd =
           "unknown injection %S (none|channel-flip|sporadic-flip)\n" other;
         exit 2
     in
+    if static then begin
+      (* lint-vs-oracle differential: no engine runs at all *)
+      let summary =
+        Fppn_fuzz.Static_diff.run ~log:print_endline ~max_periodic
+          ~max_sporadic ~seed ~budget ~inject ()
+      in
+      Format.printf "%a@." Fppn_fuzz.Static_diff.pp summary;
+      if not (Fppn_fuzz.Static_diff.passed ~inject summary) then
+        match inject with
+        | Fppn_fuzz.Campaign.No_injection -> exit 1
+        | _ ->
+          print_endline
+            "self-test FAILED: an injected priority-order bug was invisible \
+             to the static analyzer";
+          exit 3
+    end
+    else
     let config =
       {
         Fppn_fuzz.Campaign.seed;
@@ -820,11 +910,21 @@ let fuzz_cmd =
              both counts are recorded in the report).  The report is \
              identical for every N apart from wall-clock fields.")
   in
+  let static =
+    Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:
+            "Run the lint-vs-oracle differential instead of engine \
+             executions: every injected sabotage must already be visible to \
+             the static analyzer, and clean workloads must lint without \
+             errors.")
+  in
   let term =
     Term.(
       const run $ seed_arg $ budget $ procs $ frames $ jitter_seeds
       $ permutations $ no_boundary $ max_periodic $ max_sporadic $ no_shrink
-      $ shrink_budget $ inject $ json_out $ jobs)
+      $ shrink_budget $ inject $ json_out $ jobs $ static)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -843,8 +943,7 @@ let fmt_cmd =
     | ast -> print_string (Fppn_lang.Printer.to_string ast)
     | exception Fppn_lang.Parser.Error (msg, pos)
     | exception Fppn_lang.Lexer.Error (msg, pos) ->
-      Format.eprintf "%s: %s at %a@." path msg Fppn_lang.Ast.pp_pos pos;
-      exit 2
+      source_error path msg pos
   in
   let file =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"FPPN source file.")
@@ -878,7 +977,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            info_cmd; check_cmd; fuzz_cmd; report_cmd; derive_cmd; schedule_cmd;
-            exact_cmd; simulate_cmd; buffers_cmd; dimension_cmd; rta_cmd;
-            fmt_cmd; dot_cmd;
+            info_cmd; lint_cmd; check_cmd; fuzz_cmd; report_cmd; derive_cmd;
+            schedule_cmd; exact_cmd; simulate_cmd; buffers_cmd; dimension_cmd;
+            rta_cmd; fmt_cmd; dot_cmd;
           ]))

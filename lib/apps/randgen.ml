@@ -26,7 +26,7 @@ let default_params =
 
 (* --- explicit workload topology (mutation surface for the fuzzer) ------ *)
 
-type chan_spec = { cw : int; cr : int; fifo : bool; rev_fp : bool }
+type chan_spec = { cw : int; cr : int; fifo : bool; rev_fp : bool; no_fp : bool }
 
 type sporadic_spec = {
   sp_name : string;
@@ -59,7 +59,9 @@ let spec_of_params p =
   for i = 0 to p.n_periodic - 1 do
     for j = i + 1 to p.n_periodic - 1 do
       if Prng.float prng 1.0 < p.channel_density then
-        chans := { cw = i; cr = j; fifo = Prng.bool prng; rev_fp = false } :: !chans
+        chans :=
+          { cw = i; cr = j; fifo = Prng.bool prng; rev_fp = false; no_fp = false }
+          :: !chans
     done
   done;
   let chans = List.rev !chans in
@@ -109,6 +111,68 @@ let flip_sporadic_fp spec name =
       spec.sporadics
   in
   if !hit then Some { spec with sporadics } else None
+
+let drop_channel_fp spec ~writer ~reader =
+  let hit = ref false in
+  let chans =
+    List.map
+      (fun c ->
+        if c.cw = writer && c.cr = reader && not c.no_fp then begin
+          hit := true;
+          { c with no_fp = true }
+        end
+        else c)
+      spec.chans
+  in
+  if !hit then Some { spec with chans } else None
+
+(* Node indices of the FP graph over a spec: periodic [i] is node [i],
+   sporadic [j] is node [n_periodic + j]. *)
+let spec_fp_graph spec =
+  let n_periodic = Array.length spec.periods in
+  let g =
+    Rt_util.Digraph.create (n_periodic + List.length spec.sporadics)
+  in
+  List.iter
+    (fun c ->
+      if not c.no_fp then
+        if c.rev_fp then Rt_util.Digraph.add_edge g c.cr c.cw
+        else Rt_util.Digraph.add_edge g c.cw c.cr)
+    spec.chans;
+  List.iteri
+    (fun j s ->
+      if s.sp_higher then Rt_util.Digraph.add_edge g (n_periodic + j) s.sp_user
+      else Rt_util.Digraph.add_edge g s.sp_user (n_periodic + j))
+    spec.sporadics;
+  g
+
+let seed_race prng spec =
+  let g = spec_fp_graph spec in
+  let candidates =
+    List.filter (fun c -> not c.no_fp) spec.chans |> Array.of_list
+  in
+  Prng.shuffle prng candidates;
+  let unordered_without_edge c =
+    let hi, lo = if c.rev_fp then (c.cr, c.cw) else (c.cw, c.cr) in
+    Rt_util.Digraph.remove_edge g hi lo;
+    let ordered =
+      Rt_util.Digraph.path_exists g c.cw c.cr
+      || Rt_util.Digraph.path_exists g c.cr c.cw
+    in
+    Rt_util.Digraph.add_edge g hi lo;
+    not ordered
+  in
+  let rec pick i =
+    if i >= Array.length candidates then None
+    else
+      let c = candidates.(i) in
+      if unordered_without_edge c then
+        match drop_channel_fp spec ~writer:c.cw ~reader:c.cr with
+        | Some spec' -> Some (spec', (c.cw, c.cr))
+        | None -> pick (i + 1)
+      else pick (i + 1)
+  in
+  pick 0
 
 let drop_channel spec ~writer ~reader =
   let chans =
@@ -282,7 +346,8 @@ let build spec =
       Network.Builder.add_channel b
         ~kind:(if c.fifo then Fppn.Channel.Fifo else Fppn.Channel.Blackboard)
         ~writer:w ~reader:r (channel_name w r);
-      if c.rev_fp then Network.Builder.add_priority b r w
+      if c.no_fp then ()
+      else if c.rev_fp then Network.Builder.add_priority b r w
       else Network.Builder.add_priority b w r)
     spec.chans;
   List.iter

@@ -35,6 +35,10 @@ type chan_spec = {
   rev_fp : bool;
       (** reversed functional priority: the FP edge runs reader →
           writer instead of the default writer → reader *)
+  no_fp : bool;
+      (** the channel declares {e no} FP edge at all — a deliberate
+          Def. 2.1 violation ({!build} returns [Error]) used to seed
+          known determinism races for the static analyzer's tests *)
 }
 
 type sporadic_spec = {
@@ -51,6 +55,13 @@ type spec = {
   chans : chan_spec list;
   sporadics : sporadic_spec list;
 }
+
+val periodic_name : int -> string
+(** ["P<i>"], the name {!build} gives periodic process [i]. *)
+
+val channel_name : string -> string -> string
+(** [channel_name w r] is ["ch_<w>_<r>"], the name {!build} gives the
+    channel from writer [w] to reader [r]. *)
 
 val spec_of_params : params -> spec
 (** Deterministic in [params.seed]; mutation-free builds of the result
@@ -75,6 +86,21 @@ val spec_processes : spec -> int
 
 val flip_channel_fp : spec -> writer:int -> reader:int -> spec option
 val flip_sporadic_fp : spec -> string -> spec option
+
+val drop_channel_fp : spec -> writer:int -> reader:int -> spec option
+(** Marks the channel [no_fp]: its FP edge disappears while the channel
+    stays, breaking Def. 2.1 on that accessor pair.  [None] if there is
+    no such channel or its edge is already dropped. *)
+
+val seed_race : Rt_util.Prng.t -> spec -> (spec * (int * int)) option
+(** Seeds a {e known} determinism race: picks (uniformly, via the given
+    generator) a channel whose writer/reader pair becomes unordered even
+    transitively once its own FP edge is dropped, and drops that edge.
+    Returns the mutated spec and the offending [(writer, reader)]
+    periodic indices — a labeled positive for the race detector.  [None]
+    when every channel pair stays transitively ordered (or there are no
+    channels). *)
+
 val drop_channel : spec -> writer:int -> reader:int -> spec option
 val drop_sporadic : spec -> string -> spec option
 

@@ -35,6 +35,18 @@ let default_config =
     inject = No_injection;
   }
 
+let draw_spec prng ~max_periodic ~max_sporadic =
+  let params =
+    {
+      Randgen.default_params with
+      Randgen.seed = Prng.int prng 1_000_000;
+      n_periodic = Prng.int_in prng 2 (max 2 max_periodic);
+      n_sporadic = Prng.int_in prng 0 (max 0 max_sporadic);
+      channel_density = Prng.float_in prng 0.2 0.8;
+    }
+  in
+  Randgen.spec_of_params params
+
 let choose_sabotage inject prng spec =
   match inject with
   | No_injection -> Oracle.No_sabotage
@@ -68,16 +80,10 @@ let run ?(log = fun _ -> ()) ?(jobs = 1) ?jobs_requested config =
      PRNG stream is exactly the one the sequential loop consumed, since
      the oracle never touches the campaign PRNG. *)
   let draw_case () =
-    let params =
-      {
-        Randgen.default_params with
-        Randgen.seed = Prng.int prng 1_000_000;
-        n_periodic = Prng.int_in prng 2 (max 2 config.max_periodic);
-        n_sporadic = Prng.int_in prng 0 (max 0 config.max_sporadic);
-        channel_density = Prng.float_in prng 0.2 0.8;
-      }
+    let spec =
+      draw_spec prng ~max_periodic:config.max_periodic
+        ~max_sporadic:config.max_sporadic
     in
-    let spec = Randgen.spec_of_params params in
     let sabotage = choose_sabotage config.inject prng spec in
     {
       Oracle.spec;

@@ -30,6 +30,16 @@ val default_config : config
     2 permutations, boundary snapping on, up to 6 periodic + 2 sporadic,
     shrinking on with budget 200, no injection. *)
 
+val draw_spec :
+  Rt_util.Prng.t ->
+  max_periodic:int ->
+  max_sporadic:int ->
+  Fppn_apps.Randgen.spec
+(** One random workload drawn exactly as the campaign loop draws it
+    (same PRNG consumption), so other consumers — e.g. the
+    {!Static_diff} lint-vs-oracle sweep — sample the identical
+    distribution. *)
+
 val choose_sabotage :
   inject -> Rt_util.Prng.t -> Fppn_apps.Randgen.spec -> Oracle.sabotage
 (** A buildable sabotage for the spec under the given injection mode;

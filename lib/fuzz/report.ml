@@ -75,6 +75,7 @@ let spec_to_json (s : Randgen.spec) =
                 ("reader", jint c.Randgen.cr);
                 ("fifo", jbool c.Randgen.fifo);
                 ("rev_fp", jbool c.Randgen.rev_fp);
+                ("no_fp", jbool c.Randgen.no_fp);
               ])
           s.Randgen.chans );
       ( "sporadics",

@@ -1,0 +1,55 @@
+(** Lint-vs-oracle differential: are the fuzzer's sabotage injections
+    visible {e statically}, without running any engine?
+
+    For a sabotaged case the base spec and the system-under-test spec
+    are both linted and their {!Fppn_lint.Diagnostic.fingerprint}s are
+    compared {e on the sabotaged channel's subject only}.  A flipped
+    functional-priority edge changes whether that edge runs with or
+    against the channel's data flow, so the FPPN022 entry for that
+    channel toggles — a non-empty symmetric difference means the
+    injection is statically distinguishable.  Clean (uninjected) specs
+    must lint without error-severity findings. *)
+
+type outcome =
+  | Caught of string  (** a diagnostic code that distinguishes the SUT *)
+  | Missed
+  | Not_applicable  (** no sabotage, or its target does not exist *)
+
+val check :
+  base:Fppn_apps.Randgen.spec -> Oracle.sabotage -> outcome
+
+val check_case : Oracle.case -> outcome
+(** {!check} on the case's spec and sabotage. *)
+
+type summary = {
+  cases : int;
+  injected : int;  (** cases whose sabotage had a target *)
+  caught : int;
+  missed : int;
+  not_applicable : int;
+  clean_errors : int;
+      (** base (unsabotaged) specs with error-severity lint findings —
+          must be 0: randgen output is well-formed by construction *)
+  codes : (string * int) list;  (** catching diagnostic codes, counted *)
+  wall_time_s : float;
+}
+
+val run :
+  ?log:(string -> unit) ->
+  ?max_periodic:int ->
+  ?max_sporadic:int ->
+  seed:int ->
+  budget:int ->
+  inject:Campaign.inject ->
+  unit ->
+  summary
+(** Draws [budget] workloads with {!Campaign.draw_spec} and sabotages
+    them with {!Campaign.choose_sabotage} (defaults 6 periodic /
+    2 sporadic as in {!Campaign.default_config}), then runs {!check} on
+    each — no engine, no traces. *)
+
+val passed : inject:Campaign.inject -> summary -> bool
+(** Injection modes: some injections landed and none were missed.
+    [No_injection]: no clean spec linted with errors. *)
+
+val pp : Format.formatter -> summary -> unit

@@ -68,6 +68,61 @@ let event_of = function
   | Ast.Sporadic { burst; period; deadline } ->
     Event.sporadic ~burst ~min_period:period ~deadline ()
 
+(* Map each network-level validation error back to the declaration that
+   caused it, so elaboration failures carry a real source position. *)
+let pos_of_network_error (n : Ast.network) err =
+  let default = { Ast.line = 1; col = 1 } in
+  let chan_pos pred =
+    match List.find_opt pred n.Ast.channels with
+    | Some c -> Some c.Ast.c_pos
+    | None -> None
+  in
+  let mentions name =
+    List.filter_map
+      (fun opt -> opt)
+      [
+        chan_pos (fun c -> c.Ast.writer = name || c.Ast.reader = name);
+        (match
+           List.find_opt (fun (hi, lo, _) -> hi = name || lo = name) n.Ast.priorities
+         with
+        | Some (_, _, p) -> Some p
+        | None -> None);
+        (match List.find_opt (fun io -> io.Ast.io_owner = name) n.Ast.ios with
+        | Some io -> Some io.Ast.io_pos
+        | None -> None);
+      ]
+  in
+  let pos =
+    match err with
+    | Network.Duplicate_process name -> (
+      (* anchor at the last (re-)declaration *)
+      match
+        List.filter (fun (p : Ast.process_decl) -> p.Ast.p_name = name) n.Ast.processes
+      with
+      | _ :: _ as ps -> Some (List.nth ps (List.length ps - 1)).Ast.p_pos
+      | [] -> None)
+    | Network.Unknown_process name -> (
+      match mentions name with p :: _ -> Some p | [] -> None)
+    | Network.Duplicate_channel name | Network.Self_channel name ->
+      chan_pos (fun c -> c.Ast.c_name = name)
+    | Network.Missing_priority { channel; _ } ->
+      chan_pos (fun c -> c.Ast.c_name = channel)
+    | Network.Priority_cycle names -> (
+      match
+        List.find_opt
+          (fun (hi, lo, _) -> List.mem hi names && List.mem lo names)
+          n.Ast.priorities
+      with
+      | Some (_, _, p) -> Some p
+      | None -> None)
+    | Network.Duplicate_io name -> (
+      match List.find_opt (fun io -> io.Ast.io_name = name) n.Ast.ios with
+      | Some io -> Some io.Ast.io_pos
+      | None -> None)
+    | Network.Empty_network -> None
+  in
+  Option.value pos ~default
+
 let to_network ?(externs = []) (n : Ast.network) =
   let b = Network.Builder.create n.Ast.n_name in
   List.iter
@@ -112,6 +167,11 @@ let to_network ?(externs = []) (n : Ast.network) =
   match Network.Builder.finish b with
   | Ok net -> net
   | Error errs ->
+    let pos =
+      match errs with
+      | e :: _ -> pos_of_network_error n e
+      | [] -> { Ast.line = 1; col = 1 }
+    in
     raise
       (Error
          ( Format.asprintf "invalid network: %a"
@@ -119,7 +179,7 @@ let to_network ?(externs = []) (n : Ast.network) =
                 ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
                 Network.pp_error)
              errs,
-           { Ast.line = 1; col = 1 } ))
+           pos ))
 
 let wcet_map ~default (n : Ast.network) name =
   match

@@ -14,7 +14,9 @@ val to_network :
 (** @raise Error on elaboration problems carrying a source position:
     an [extern] process without a host binding, duplicate machine
     variables, a [goto] to an undeclared location, or any
-    [Fppn.Network] validation error (reported at the network level). *)
+    [Fppn.Network] validation error (anchored at the declaration that
+    caused it — e.g. a [Missing_priority] points at the uncovered
+    channel's declaration). *)
 
 val wcet_map :
   default:Rt_util.Rat.t -> Ast.network -> string -> Rt_util.Rat.t

@@ -1,0 +1,94 @@
+(** Structured, source-mapped diagnostics for the static analyzer.
+
+    Every finding carries a {e stable} code ([FPPN000..FPPN052]) so
+    tooling can filter, baseline and diff lint output across versions;
+    codes are never renumbered, only added.  A diagnostic is anchored
+    either to a source position (when the network came from a [.fppn]
+    file) or to a named network element (process, channel or priority
+    pair) when only the in-memory [Fppn.Network.t] is available. *)
+
+type severity = Error | Warning | Info
+
+type code =
+  | Source_error                (* FPPN000: lexing/parsing/elaboration *)
+  | Unknown_process_ref         (* FPPN001 *)
+  | Duplicate_process_decl      (* FPPN002 *)
+  | Self_channel_decl           (* FPPN003 *)
+  | Duplicate_channel_decl      (* FPPN004 *)
+  | Determinism_race            (* FPPN010 *)
+  | Transitive_only_order       (* FPPN011 *)
+  | Priority_cycle_found        (* FPPN020 *)
+  | Redundant_priority_edge     (* FPPN021 *)
+  | Counter_dataflow_priority   (* FPPN022 *)
+  | Sporadic_without_user       (* FPPN030 *)
+  | Sporadic_ambiguous_user     (* FPPN031 *)
+  | Sporadic_user_is_sporadic   (* FPPN032 *)
+  | User_period_exceeds         (* FPPN033 *)
+  | Channel_never_read          (* FPPN040 *)
+  | Channel_never_written       (* FPPN041 *)
+  | Fifo_rate_mismatch          (* FPPN042 *)
+  | Deadline_exceeds_period     (* FPPN050 *)
+  | Wcet_exceeds_deadline       (* FPPN051 *)
+  | Utilization_bound           (* FPPN052 *)
+
+val code_id : code -> string
+(** The stable identifier, e.g. ["FPPN010"]. *)
+
+val default_severity : code -> severity
+
+val all_codes : (code * severity * string) list
+(** Every code with its default severity and a one-line description —
+    the source of the README diagnostic table. *)
+
+type t = {
+  code : code;
+  severity : severity;
+  subject : string;
+      (** the network element, e.g. ["channel raw"] or ["process S0"];
+          pair findings use ["P ./ Q"] (the paper's conflict relation) *)
+  message : string;
+  file : string option;
+  pos : Fppn_lang.Ast.pos option;
+}
+
+val make :
+  ?severity:severity ->
+  ?file:string ->
+  ?pos:Fppn_lang.Ast.pos ->
+  code ->
+  subject:string ->
+  string ->
+  t
+(** [severity] defaults to {!default_severity} of the code. *)
+
+val severity_to_string : severity -> string
+val is_error : t -> bool
+val has_errors : t list -> bool
+
+val counts : t list -> int * int * int
+(** [(errors, warnings, infos)]. *)
+
+val sort : t list -> t list
+(** Canonical order: source position first (unpositioned findings
+    last), then code, subject, message.  Renderers expect this order so
+    output is stable across runs. *)
+
+val fingerprint : t list -> (string * string) list
+(** Sorted, deduplicated [(code_id, subject)] pairs — the shape of the
+    lint output with messages and positions erased.  Two networks whose
+    fingerprints differ are statically distinguishable; the fuzz
+    subsystem uses this to prove sabotage injections visible without
+    running an engine. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line, no trailing newline:
+    [file:line:col: severity CODE (subject): message]. *)
+
+val pp_list : Format.formatter -> t list -> unit
+(** All diagnostics (in {!sort} order) followed by a summary line. *)
+
+val to_json : t list -> string
+(** Schema (stable, version 1):
+    [{"version":1,"errors":E,"warnings":W,"infos":I,"diagnostics":
+    [{"code":..,"severity":..,"subject":..,"message":..,"file":..,
+    "line":..,"col":..},..]}] with [null] for absent file/position. *)

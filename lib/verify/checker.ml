@@ -70,6 +70,26 @@ let sporadic_traces net d ~frames ~seed ~density =
 let run ?(config = default_config) ~wcet net =
   let checks = ref [] in
   let add name passed detail = checks := { name; passed; detail } :: !checks in
+  (* static lint first: statically detectable problems fail fast, before
+     any task graph is derived or a single job is simulated *)
+  let lint =
+    Fppn_lint.Lint.lint_network ~wcet:(fun name -> Some (wcet name)) net
+  in
+  let lint_errors = Fppn_lint.Diagnostic.has_errors lint in
+  add "static lint" (not lint_errors)
+    (if lint_errors then
+       Format.asprintf "%a"
+         (Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+            Fppn_lint.Diagnostic.pp)
+         (List.filter Fppn_lint.Diagnostic.is_error lint)
+     else
+       let _, w, i = Fppn_lint.Diagnostic.counts lint in
+       Printf.sprintf "no errors, %d warning(s), %d info(s)" w i);
+  if lint_errors then
+    let checks = List.rev !checks in
+    { checks; passed = false }
+  else begin
   (* subclass + derivation *)
   (match Derive.derive ~wcet net with
   | Error e ->
@@ -206,6 +226,7 @@ let run ?(config = default_config) ~wcet net =
              (List.map (fun r -> r.Fppn.Buffer_analysis.channel) unbounded)));
   let checks = List.rev !checks in
   { checks; passed = List.for_all (fun (c : check) -> c.passed) checks }
+  end
 
 let pp ppf r =
   List.iter

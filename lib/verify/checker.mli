@@ -3,6 +3,10 @@
     Packages the checks a designer wants before trusting a network
     (everything the paper promises, executed as tests):
 
+    + a leading {e static lint} check ([Fppn_lint], with the WCET map
+      supplied): error-severity findings fail the report {e fast} — the
+      returned report then contains only the lint check, no task graph
+      is derived and no job is simulated;
     + static validation is implied by construction; the {e scheduling
       subclass} of Sec. III-A is re-checked and reported;
     + the necessary schedulability condition (Prop. 3.1) and an actual

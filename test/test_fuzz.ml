@@ -69,7 +69,7 @@ let sporadic_spec =
   {
     Randgen.label = "fuzz-sporadic";
     periods = [| 100; 200 |];
-    chans = [ { Randgen.cw = 0; cr = 1; fifo = false; rev_fp = false } ];
+    chans = [ { Randgen.cw = 0; cr = 1; fifo = false; rev_fp = false; no_fp = false } ];
     sporadics =
       [
         {
@@ -147,8 +147,8 @@ let chain_spec =
     periods = [| 100; 100; 100 |];
     chans =
       [
-        { Randgen.cw = 0; cr = 1; fifo = false; rev_fp = false };
-        { Randgen.cw = 1; cr = 2; fifo = false; rev_fp = false };
+        { Randgen.cw = 0; cr = 1; fifo = false; rev_fp = false; no_fp = false };
+        { Randgen.cw = 1; cr = 2; fifo = false; rev_fp = false; no_fp = false };
       ];
     sporadics = [];
   }
@@ -187,10 +187,10 @@ let test_shrink_reaches_minimal_chain () =
       periods = [| 100; 100; 100; 200; 400 |];
       chans =
         [
-          { Randgen.cw = 0; cr = 1; fifo = false; rev_fp = false };
-          { Randgen.cw = 1; cr = 2; fifo = false; rev_fp = false };
-          { Randgen.cw = 2; cr = 3; fifo = true; rev_fp = false };
-          { Randgen.cw = 3; cr = 4; fifo = false; rev_fp = false };
+          { Randgen.cw = 0; cr = 1; fifo = false; rev_fp = false; no_fp = false };
+          { Randgen.cw = 1; cr = 2; fifo = false; rev_fp = false; no_fp = false };
+          { Randgen.cw = 2; cr = 3; fifo = true; rev_fp = false; no_fp = false };
+          { Randgen.cw = 3; cr = 4; fifo = false; rev_fp = false; no_fp = false };
         ];
       sporadics =
         [
