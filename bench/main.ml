@@ -1103,168 +1103,12 @@ let jvariant ~jobs (runs, med) =
 
 let safe_div a b = if b > 0.0 then a /. b else nan
 
-(* --- minimal JSON reader for --gate ------------------------------------ *)
-(* Only what the perf harness itself emits: objects, arrays, strings
-   without exotic escapes, numbers, booleans, null.  Hand-rolled because
-   the repo deliberately has no JSON dependency. *)
+(* --- JSON reader for --gate -------------------------------------------- *)
+(* The baseline file is read back through the shared writer/reader the
+   harness also emits with, so the gate can never disagree with the
+   emitter about escaping or number formats. *)
 
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  exception Malformed of string
-
-  let parse text =
-    let n = String.length text in
-    let pos = ref 0 in
-    let fail msg = raise (Malformed (Printf.sprintf "%s at offset %d" msg !pos)) in
-    let peek () = if !pos < n then Some text.[!pos] else None in
-    let skip_ws () =
-      while
-        !pos < n
-        && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-      do
-        incr pos
-      done
-    in
-    let expect c =
-      if !pos < n && text.[!pos] = c then incr pos
-      else fail (Printf.sprintf "expected %c" c)
-    in
-    let literal word v =
-      let l = String.length word in
-      if !pos + l <= n && String.sub text !pos l = word then begin
-        pos := !pos + l;
-        v
-      end
-      else fail (Printf.sprintf "expected %s" word)
-    in
-    let string_lit () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        if !pos >= n then fail "unterminated string"
-        else
-          match text.[!pos] with
-          | '"' -> incr pos
-          | '\\' ->
-            incr pos;
-            (if !pos >= n then fail "unterminated escape"
-             else
-               match text.[!pos] with
-               | '"' -> Buffer.add_char b '"'
-               | '\\' -> Buffer.add_char b '\\'
-               | '/' -> Buffer.add_char b '/'
-               | 'n' -> Buffer.add_char b '\n'
-               | 't' -> Buffer.add_char b '\t'
-               | 'u' ->
-                 (* the harness never emits multibyte escapes; keep the
-                    raw sequence rather than decoding UTF-16 *)
-                 if !pos + 4 >= n then fail "truncated \\u escape"
-                 else begin
-                   Buffer.add_string b (String.sub text (!pos - 1) 6);
-                   pos := !pos + 4
-                 end
-               | c -> Buffer.add_char b c);
-            incr pos;
-            go ()
-          | c ->
-            Buffer.add_char b c;
-            incr pos;
-            go ()
-      in
-      go ();
-      Buffer.contents b
-    in
-    let number () =
-      let start = !pos in
-      while
-        !pos < n
-        &&
-        match text.[!pos] with
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      do
-        incr pos
-      done;
-      match float_of_string_opt (String.sub text start (!pos - start)) with
-      | Some f -> Num f
-      | None -> fail "bad number"
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' ->
-        incr pos;
-        skip_ws ();
-        if peek () = Some '}' then begin
-          incr pos;
-          Obj []
-        end
-        else
-          let rec members acc =
-            skip_ws ();
-            let k = string_lit () in
-            skip_ws ();
-            expect ':';
-            let v = value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              incr pos;
-              members ((k, v) :: acc)
-            | Some '}' ->
-              incr pos;
-              Obj (List.rev ((k, v) :: acc))
-            | _ -> fail "expected , or }"
-          in
-          members []
-      | Some '[' ->
-        incr pos;
-        skip_ws ();
-        if peek () = Some ']' then begin
-          incr pos;
-          Arr []
-        end
-        else
-          let rec elements acc =
-            let v = value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              incr pos;
-              elements (v :: acc)
-            | Some ']' ->
-              incr pos;
-              Arr (List.rev (v :: acc))
-            | _ -> fail "expected , or ]"
-          in
-          elements []
-      | Some '"' -> Str (string_lit ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> number ()
-      | None -> fail "unexpected end of input"
-    in
-    let v = value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-
-  let member key = function
-    | Obj fields -> List.assoc_opt key fields
-    | _ -> None
-
-  let to_float = function Num f -> Some f | _ -> None
-  let to_bool = function Bool b -> Some b | _ -> None
-  let to_string = function Str s -> Some s | _ -> None
-end
+module Json = Rt_util.Json
 
 (* How a stage's numbers may be compared across harness runs:
    rates (cases/s, jobs/s) are budget-invariant, [`Seconds_stable]
@@ -1291,7 +1135,7 @@ let run_gate ~smoke
       exit 2
   in
   let base_smoke =
-    Option.bind (Json.member "smoke" base) Json.to_bool
+    Option.bind (Json.member "smoke" base) Json.as_bool
     |> Option.value ~default:false
   in
   let base_stages =
@@ -1300,7 +1144,7 @@ let run_gate ~smoke
   let find_stage name =
     List.find_opt
       (fun s ->
-        match Option.bind (Json.member "name" s) Json.to_string with
+        match Option.bind (Json.member "name" s) Json.as_string with
         | Some n -> String.equal n name
         | None -> false)
       base_stages
@@ -1324,7 +1168,7 @@ let run_gate ~smoke
       | Some s -> (
         let base_median =
           Option.bind (Json.member "jobs1" s) (Json.member "median")
-          |> Fun.flip Option.bind Json.to_float
+          |> Fun.flip Option.bind Json.as_float
         in
         match base_median with
         | None | Some 0.0 ->
@@ -1440,17 +1284,49 @@ let run_perf ~pool ~smoke ?gate ~jobs_requested path =
   let fig1_d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet fig1 in
   let fig1_sched, _ = schedule_or_fallback ~n_procs:2 fig1_d.Derive.graph in
   let frames = 40 in
-  let engine1 =
-    measure_rate (fun () ->
-        let r, dt =
-          timed (fun () ->
-              Engine.run fig1 fig1_d fig1_sched
-                (Engine.default_config ~frames ~n_procs:2 ()))
-        in
-        safe_div (float_of_int r.Engine.stats.Exec_trace.executed) dt)
+  let engine_rate () =
+    let r, dt =
+      timed (fun () ->
+          Engine.run fig1 fig1_d fig1_sched
+            (Engine.default_config ~frames ~n_procs:2 ()))
+    in
+    safe_div (float_of_int r.Engine.stats.Exec_trace.executed) dt
   in
+  let engine1 = measure_rate engine_rate in
   Printf.printf "  engine-sim-fig1-m2: %.0f jobs/s (jobs=1, %d frames)\n"
     (snd engine1) frames;
+  (* stage 5: observability overhead on the same engine workload —
+     tracing fully off, spans only, spans + metrics.  The off variant
+     re-times the exact engine1 configuration inside this run, so the
+     three variants are apples-to-apples regardless of machine noise
+     between runs.  Not gated: the overhead ratio is informational. *)
+  Fppn_obs.Trace.set_enabled false;
+  Fppn_obs.Metrics.set_enabled false;
+  let trace_off = measure_rate engine_rate in
+  Fppn_obs.Trace.set_enabled true;
+  let trace_spans =
+    measure_rate (fun () ->
+        Fppn_obs.Trace.reset ();
+        engine_rate ())
+  in
+  Fppn_obs.Metrics.set_enabled true;
+  let trace_full =
+    measure_rate (fun () ->
+        Fppn_obs.Trace.reset ();
+        engine_rate ())
+  in
+  Fppn_obs.Trace.set_enabled false;
+  Fppn_obs.Metrics.set_enabled false;
+  Fppn_obs.Trace.reset ();
+  Fppn_obs.Metrics.reset ();
+  let pct_slower v = 100.0 *. (1.0 -. safe_div v (snd trace_off)) in
+  Printf.printf
+    "  engine-trace-overhead: %.0f jobs/s off, %.0f spans (%+.1f%%), %.0f \
+     spans+metrics (%+.1f%%)\n"
+    (snd trace_off) (snd trace_spans)
+    (-.pct_slower (snd trace_spans))
+    (snd trace_full)
+    (-.pct_slower (snd trace_full));
   let stage ~name ~metric ~higher_is_better ?speedup ?extra variants =
     let fields =
       [
@@ -1505,6 +1381,13 @@ let run_perf ~pool ~smoke ?gate ~jobs_requested path =
             stage ~name:"engine-sim-fig1-m2" ~metric:"jobs_per_s"
               ~higher_is_better:true
               [ ("jobs1", jvariant ~jobs:1 engine1) ];
+            stage ~name:"engine-trace-overhead" ~metric:"jobs_per_s"
+              ~higher_is_better:true
+              [
+                ("off", jvariant ~jobs:1 trace_off);
+                ("spans", jvariant ~jobs:1 trace_spans);
+                ("spans_metrics", jvariant ~jobs:1 trace_full);
+              ];
           ];
         "  ]";
         "}";

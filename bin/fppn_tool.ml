@@ -20,6 +20,10 @@ module Static_schedule = Sched.Static_schedule
 module Engine = Runtime.Engine
 module Platform = Runtime.Platform
 module Exec_time = Runtime.Exec_time
+module Json = Rt_util.Json
+module Obs_trace = Fppn_obs.Trace
+module Obs_metrics = Fppn_obs.Metrics
+module Chrome = Fppn_obs.Chrome
 
 open Cmdliner
 
@@ -174,12 +178,51 @@ let heuristic_arg =
 
 (* --- shared helpers ---------------------------------------------------- *)
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record live spans, counters and metrics while running and write \
+           them as Chrome trace-event JSON (open in chrome://tracing or \
+           Perfetto).")
+
+(* Recording stays off unless asked for: the engine hot path then pays
+   only a flag check per instrumentation site. *)
+let obs_begin trace_out =
+  if trace_out <> None then begin
+    Obs_trace.set_enabled true;
+    Obs_metrics.set_enabled true
+  end
+
+let obs_finish ?(model = []) trace_out =
+  Option.iter
+    (fun path ->
+      let live = Chrome.of_trace (Obs_trace.events ()) in
+      let events = model @ live in
+      Chrome.write_file path events;
+      Printf.printf "chrome trace written to %s (%d events)\n" path
+        (List.length events);
+      let dropped = Obs_trace.dropped () in
+      if dropped > 0 then
+        Printf.printf "note: %d oldest trace events dropped (ring overflow)\n"
+          dropped)
+    trace_out
+
 let derive_app app = Derive.derive_exn ~wcet:app.wcet app.net
 
+(* 'auto' fans the heuristic attempts out over a domain pool (1 worker
+   per available core), which also gives traces their pool lanes *)
 let schedule_for g ~heuristic ~n_procs =
   match String.lowercase_ascii heuristic with
   | "auto" -> (
-    match snd (List_scheduler.auto ~n_procs g) with
+    let jobs = Rt_util.Pool.clamp_jobs (Rt_util.Pool.default_jobs ()) in
+    match
+      snd
+        (Rt_util.Pool.with_pool ~jobs (fun pool ->
+             List_scheduler.auto ~pool ~n_procs g))
+    with
     | Some a ->
       Printf.printf "heuristic: %s (first feasible)\n"
         (Priority.to_string a.List_scheduler.heuristic);
@@ -287,8 +330,9 @@ let derive_cmd =
   let term = Term.(const run $ app_arg $ seed_arg $ no_reduce) in
   Cmd.v (Cmd.info "derive" ~doc:"Derive the task graph (Sec. III-A)") term
 
-let schedule_cmd =
-  let run app_name seed n_procs heuristic save svg =
+let schedule_term, sched_doc =
+  let run app_name seed n_procs heuristic save svg trace_out =
+    obs_begin trace_out;
     let app = resolve_app app_name seed in
     let d = derive_app app in
     let g = d.Derive.graph in
@@ -316,7 +360,8 @@ let schedule_cmd =
       List.iter (fun v -> Format.printf "  %a@." (Static_schedule.pp_violation g) v) vs);
     Rt_util.Gantt.print ~width:72
       ~t_max:(Rat.to_float d.Derive.hyperperiod)
-      (Static_schedule.to_gantt_rows g s)
+      (Static_schedule.to_gantt_rows g s);
+    obs_finish trace_out
   in
   let save =
     Arg.(
@@ -329,14 +374,18 @@ let schedule_cmd =
       value & opt (some string) None
       & info [ "svg" ] ~docv:"FILE" ~doc:"Render the schedule as an SVG Gantt chart.")
   in
-  let term =
-    Term.(const run $ app_arg $ seed_arg $ procs_arg $ heuristic_arg $ save $ svg)
-  in
-  Cmd.v (Cmd.info "schedule" ~doc:"Compute a static schedule (Sec. III-B)") term
+  ( Term.(
+      const run $ app_arg $ seed_arg $ procs_arg $ heuristic_arg $ save $ svg
+      $ trace_out_arg),
+    "Compute a static schedule (Sec. III-B)" )
 
-let simulate_cmd =
+let schedule_cmd = Cmd.v (Cmd.info "schedule" ~doc:sched_doc) schedule_term
+let sched_cmd = Cmd.v (Cmd.info "sched" ~doc:(sched_doc ^ " (alias of schedule)")) schedule_term
+
+let simulate_term, simulate_doc =
   let run app_name seed n_procs frames heuristic jitter overhead density json_out
-      csv_out per_process use_schedule latency svg_out =
+      csv_out per_process use_schedule latency svg_out trace_out =
+    obs_begin trace_out;
     let app = resolve_app app_name seed in
     let d = derive_app app in
     let g = d.Derive.graph in
@@ -436,7 +485,8 @@ let simulate_cmd =
                (Runtime.Latency.analyse g ~source ~sink r.Engine.trace)
            with Invalid_argument msg -> Printf.printf "latency %s: %s\n" spec msg)
         | _ -> Printf.eprintf "bad --latency spec %S (expected SRC:SNK)\n" spec)
-      latency
+      latency;
+    obs_finish ~model:(Runtime.Export.to_chrome r.Engine.trace) trace_out
   in
   let jitter =
     Arg.(
@@ -489,13 +539,14 @@ let simulate_cmd =
       & info [ "svg" ] ~docv:"FILE"
           ~doc:"Render the execution trace as an SVG Gantt chart.")
   in
-  let term =
-    Term.(
+  ( Term.(
       const run $ app_arg $ seed_arg $ procs_arg $ frames_arg $ heuristic_arg
       $ jitter $ overhead $ density $ json_out $ csv_out $ per_process
-      $ use_schedule $ latency $ svg_out)
-  in
-  Cmd.v (Cmd.info "simulate" ~doc:"Run the online static-order policy (Sec. IV)") term
+      $ use_schedule $ latency $ svg_out $ trace_out_arg),
+    "Run the online static-order policy (Sec. IV)" )
+
+let simulate_cmd = Cmd.v (Cmd.info "simulate" ~doc:simulate_doc) simulate_term
+let run_cmd = Cmd.v (Cmd.info "run" ~doc:(simulate_doc ^ " (alias of simulate)")) simulate_term
 
 let buffers_cmd =
   let run app_name seed hyperperiods =
@@ -745,7 +796,8 @@ let lint_cmd =
 let fuzz_cmd =
   let run seed budget procs frames jitter_seeds permutations no_boundary
       max_periodic max_sporadic no_shrink shrink_budget inject json_out jobs
-      static =
+      static trace_out =
+    obs_begin trace_out;
     let parse_ints what s =
       try List.map int_of_string (String.split_on_char ',' s)
       with _ ->
@@ -816,6 +868,7 @@ let fuzz_cmd =
            exit 2);
         Printf.printf "report written to %s (json)\n" path)
       json_out;
+    obs_finish trace_out;
     match inject with
     | Fppn_fuzz.Campaign.No_injection ->
       if not (Fppn_fuzz.Report.passed report) then exit 1
@@ -924,7 +977,7 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ budget $ procs $ frames $ jitter_seeds
       $ permutations $ no_boundary $ max_periodic $ max_sporadic $ no_shrink
-      $ shrink_budget $ inject $ json_out $ jobs $ static)
+      $ shrink_budget $ inject $ json_out $ jobs $ static $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -934,6 +987,194 @@ let fuzz_cmd =
           runtime under jitter, and the timed-automata backend, with \
           adversarial invocation orders, window-boundary events, and \
           counterexample shrinking")
+    term
+
+let profile_cmd =
+  let run app_name seed n_procs frames heuristic jitter top trace_out =
+    Obs_trace.set_enabled true;
+    Obs_metrics.set_enabled true;
+    let app = resolve_app app_name seed in
+    let d = derive_app app in
+    let g = d.Derive.graph in
+    let s = schedule_for g ~heuristic ~n_procs in
+    let traces =
+      sporadic_traces app d ~frames ~seed ~density:app.default_sporadic_density
+    in
+    let exec =
+      if jitter <= 0.0 then Exec_time.constant
+      else Exec_time.uniform ~seed ~min_fraction:(Float.max 0.0 (1.0 -. jitter))
+    in
+    let config =
+      {
+        Engine.platform = Platform.create ~n_procs ();
+        exec;
+        frames;
+        sporadic = traces;
+        inputs = app.inputs;
+      }
+    in
+    let r = Engine.run app.net d s config in
+    Format.printf "%a@." Runtime.Exec_trace.pp_stats r.Engine.stats;
+    let hotspots = Obs_trace.hotspots () in
+    let total_self =
+      List.fold_left (fun acc h -> acc + h.Obs_trace.self_ns) 0 hotspots
+    in
+    let ms ns = Printf.sprintf "%.3f" (float_of_int ns /. 1e6) in
+    let rows =
+      List.filteri (fun i _ -> i < top) hotspots
+      |> List.map (fun h ->
+             [
+               h.Obs_trace.hname;
+               string_of_int h.Obs_trace.calls;
+               ms h.Obs_trace.total_ns;
+               ms h.Obs_trace.self_ns;
+               Printf.sprintf "%.1f"
+                 (100.0 *. float_of_int h.Obs_trace.self_ns
+                 /. float_of_int (max 1 total_self));
+             ])
+    in
+    Printf.printf "\nhotspots (self time, wall clock):\n";
+    Rt_util.Table.print
+      ~aligns:
+        Rt_util.Table.[ Left; Right; Right; Right; Right ]
+      ~header:[ "span"; "calls"; "total ms"; "self ms"; "self %" ]
+      rows;
+    Printf.printf "\nmetrics snapshot:\n%s\n"
+      (Json.to_string (Obs_metrics.snapshot ()));
+    obs_finish ~model:(Runtime.Export.to_chrome r.Engine.trace) trace_out
+  in
+  let jitter =
+    Arg.(
+      value & opt float 0.5
+      & info [ "jitter" ] ~docv:"F"
+          ~doc:"Execution-time jitter: durations uniform in [(1-F)*C, C]. 0 = WCET.")
+  in
+  let top =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"N" ~doc:"Number of hotspot rows to print.")
+  in
+  let term =
+    Term.(
+      const run $ app_arg $ seed_arg $ procs_arg $ frames_arg $ heuristic_arg
+      $ jitter $ top $ trace_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run an application with tracing and metrics enabled and print a \
+          self-time hotspot table plus a metrics snapshot (add --trace-out \
+          for the full Chrome trace)")
+    term
+
+(* --- Chrome trace validation ------------------------------------------- *)
+
+let trace_validate_cmd =
+  let str_field name ev = Option.bind (Json.member name ev) Json.as_string
+  and int_field name ev = Option.bind (Json.member name ev) Json.as_int in
+  let args_name ev =
+    Option.bind (Json.member "args" ev) (fun a ->
+        Option.bind (Json.member "name" a) Json.as_string)
+  in
+  let starts_with ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let has_engine_lane evs =
+    let engine_pids =
+      List.filter_map
+        (fun ev ->
+          if
+            str_field "ph" ev = Some "M"
+            && str_field "name" ev = Some "process_name"
+            && args_name ev = Some "engine (model time)"
+          then int_field "pid" ev
+          else None)
+        evs
+    in
+    List.exists
+      (fun ev ->
+        str_field "ph" ev = Some "X"
+        &&
+        match int_field "pid" ev with
+        | Some p -> List.mem p engine_pids
+        | None -> false)
+      evs
+  in
+  let has_sched_lane evs =
+    List.exists
+      (fun ev ->
+        str_field "ph" ev = Some "X"
+        &&
+        match str_field "name" ev with
+        | Some n -> starts_with ~prefix:"sched." n
+        | None -> false)
+      evs
+  in
+  let has_pool_lane evs =
+    List.exists
+      (fun ev ->
+        str_field "ph" ev = Some "M"
+        && str_field "name" ev = Some "thread_name"
+        &&
+        match args_name ev with
+        | Some n -> starts_with ~prefix:"pool/" n
+        | None -> false)
+      evs
+  in
+  let run path require =
+    let fail msg =
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 1
+    in
+    let json =
+      match Json.parse (load_file path) with
+      | json -> json
+      | exception Json.Malformed msg -> fail ("not valid JSON: " ^ msg)
+    in
+    (match Chrome.validate json with
+    | Ok () -> ()
+    | Error msg -> fail ("schema violation: " ^ msg));
+    let evs =
+      match Option.bind (Json.member "traceEvents" json) Json.as_list with
+      | Some evs -> evs
+      | None -> fail "no traceEvents array"
+    in
+    List.iter
+      (fun lane ->
+        let ok =
+          match lane with
+          | "engine" -> has_engine_lane evs
+          | "sched" -> has_sched_lane evs
+          | "pool" -> has_pool_lane evs
+          | other -> fail (Printf.sprintf "unknown lane requirement %S" other)
+        in
+        if not ok then fail (Printf.sprintf "missing required %s lane" lane))
+      (match require with
+      | "" -> []
+      | csv -> String.split_on_char ',' csv);
+    Printf.printf "%s: valid Chrome trace (%d events)\n" path (List.length evs)
+  in
+  let file =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace-event JSON file to validate.")
+  in
+  let require =
+    Arg.(
+      value & opt string ""
+      & info [ "require-lanes" ] ~docv:"L,L,..."
+          ~doc:
+            "Comma-separated lane kinds that must be present: engine (an X \
+             event in the 'engine (model time)' process), sched (an X event \
+             named sched.*), pool (a thread named pool/*).")
+  in
+  let term = Term.(const run $ file $ require) in
+  Cmd.v
+    (Cmd.info "trace-validate"
+       ~doc:
+         "Validate a file against the pinned Chrome trace-event schema \
+          (exit 1 on violations)")
     term
 
 let fmt_cmd =
@@ -978,6 +1219,7 @@ let () =
        (Cmd.group info
           [
             info_cmd; lint_cmd; check_cmd; fuzz_cmd; report_cmd; derive_cmd;
-            schedule_cmd; exact_cmd; simulate_cmd; buffers_cmd; dimension_cmd;
+            schedule_cmd; sched_cmd; exact_cmd; simulate_cmd; run_cmd;
+            profile_cmd; trace_validate_cmd; buffers_cmd; dimension_cmd;
             rta_cmd; fmt_cmd; dot_cmd;
           ]))

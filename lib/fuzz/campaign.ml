@@ -1,6 +1,8 @@
 module Prng = Rt_util.Prng
 module Pool = Rt_util.Pool
 module Randgen = Fppn_apps.Randgen
+module Trace = Fppn_obs.Trace
+module Metrics = Fppn_obs.Metrics
 
 type inject = No_injection | Inject_channel_flip | Inject_sporadic_flip
 
@@ -73,6 +75,7 @@ let choose_sabotage inject prng spec =
         (Prng.pick prng (List.map (fun s -> s.Randgen.sp_name) sps)))
 
 let run ?(log = fun _ -> ()) ?(jobs = 1) ?jobs_requested config =
+  Trace.with_span "fuzz.campaign" @@ fun () ->
   let jobs_requested = Option.value jobs_requested ~default:jobs in
   let t_start = Unix.gettimeofday () in
   let prng = Prng.create config.seed in
@@ -104,7 +107,10 @@ let run ?(log = fun _ -> ()) ?(jobs = 1) ?jobs_requested config =
   (* Phase 2: run the oracle on every case, on the pool.  Each case is
      self-contained (own seeds), so parallel verdicts are identical to
      sequential ones; results are merged in case order by the pool. *)
+  (* the span is opened inside the task, so it lands in the ring of the
+     worker domain that ran the case — lanes attribute work correctly *)
   let timed_check case =
+    Trace.with_span "fuzz.case" @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let verdict = Oracle.check case in
     (verdict, Unix.gettimeofday () -. t0)
@@ -112,21 +118,41 @@ let run ?(log = fun _ -> ()) ?(jobs = 1) ?jobs_requested config =
   let verdicts =
     if jobs <= 1 then Array.map timed_check cases
     else
-      Pool.with_pool ~jobs (fun pool -> Pool.parallel_map pool timed_check cases)
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.parallel_map pool
+            (fun case ->
+              if Trace.enabled () then
+                Trace.counter "pool.pending" (Pool.pending pool);
+              timed_check case)
+            cases)
   in
   (* Phase 3: fold the verdicts in case order; shrinking a failing case
      stays sequential (its oracle re-runs are search, not sweep). *)
   let cases_run = ref 0 and skipped = ref 0 and comparisons = ref 0 in
   let counterexamples = ref [] in
+  (* verdict counters fold in case order, so their totals are
+     independent of how many domains ran phase 2 *)
+  let m_cases = Metrics.counter "fuzz.cases"
+  and m_pass = Metrics.counter "fuzz.pass"
+  and m_skip = Metrics.counter "fuzz.skip"
+  and m_fail = Metrics.counter "fuzz.fail"
+  and m_cmp = Metrics.counter "fuzz.comparisons" in
   Array.iteri
     (fun idx (verdict, _) ->
       let i = idx + 1 in
       let case = cases.(idx) in
       incr cases_run;
+      Metrics.incr m_cases;
       (match verdict with
-      | Oracle.Pass { comparisons = c } -> comparisons := !comparisons + c
-      | Oracle.Skip _ -> incr skipped
+      | Oracle.Pass { comparisons = c } ->
+        comparisons := !comparisons + c;
+        Metrics.incr m_pass;
+        Metrics.add m_cmp c
+      | Oracle.Skip _ ->
+        incr skipped;
+        Metrics.incr m_skip
       | Oracle.Fail divergence ->
+        Metrics.incr m_fail;
         let shrunk, divergence, attempts, accepted =
           if config.shrink then begin
             let r = Shrink.minimise ~budget:config.shrink_budget case in

@@ -36,30 +36,16 @@ let normalize_timing t =
     wall_time_s = 0.0;
   }
 
-(* --- JSON (hand-rolled; no external dependency) ------------------------ *)
+(* --- JSON (shared Rt_util.Json writer) --------------------------------- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+open Rt_util.Json
 
-let jstr s = "\"" ^ json_escape s ^ "\""
-let jlist f l = "[" ^ String.concat "," (List.map f l) ^ "]"
-let jint = string_of_int
-let jbool b = if b then "true" else "false"
-let jfloat f = Printf.sprintf "%.6f" f
-let jobj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+let jstr s = Str s
+let jlist f l = Arr (List.map f l)
+let jint i = Int i
+let jbool b = Bool b
+let jfloat f = Float f
+let jobj fields = Obj fields
 
 let spec_to_json (s : Randgen.spec) =
   jobj
@@ -104,7 +90,7 @@ let sabotage_to_json = function
   | Oracle.Flip_sporadic_fp name ->
     jobj [ ("kind", jstr "flip-sporadic-fp"); ("name", jstr name) ]
 
-let case_to_json (c : Oracle.case) =
+let case_json (c : Oracle.case) =
   jobj
     [
       ("spec", spec_to_json c.Oracle.spec);
@@ -122,11 +108,13 @@ let divergence_to_json (d : Oracle.divergence) =
     [
       ("executor", jstr d.Oracle.executor);
       ( "channel",
-        match d.Oracle.channel with None -> "null" | Some c -> jstr c );
+        match d.Oracle.channel with None -> Null | Some c -> jstr c );
       ("detail", jstr d.Oracle.detail);
     ]
 
-let to_json t =
+let case_to_json c = to_string (case_json c)
+
+let report_json t =
   jobj
     [
       ("seed", jint t.seed);
@@ -148,13 +136,15 @@ let to_json t =
             jobj
               [
                 ("divergence", divergence_to_json cx.divergence);
-                ("shrunk", case_to_json cx.shrunk);
-                ("original", case_to_json cx.original);
+                ("shrunk", case_json cx.shrunk);
+                ("original", case_json cx.original);
                 ("shrink_attempts", jint cx.shrink_attempts);
                 ("shrink_accepted", jint cx.shrink_accepted);
               ])
           t.counterexamples );
     ]
+
+let to_json t = to_string (report_json t)
 
 (* --- pretty printing ---------------------------------------------------- *)
 

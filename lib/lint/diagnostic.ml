@@ -160,44 +160,37 @@ let pp_list ppf ds =
   let e, w, i = counts ds in
   Format.fprintf ppf "%d error(s), %d warning(s), %d info(s)@." e w i
 
-(* hand-rolled JSON, consistent with the fuzz report serializer *)
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let jstr s = "\"" ^ json_escape s ^ "\""
+(* JSON rendering goes through the shared Rt_util.Json writer; the
+   output is pinned byte-for-byte by test_lint's schema-stability
+   test, so field order below is load-bearing. *)
 
 let to_json ds =
+  let open Rt_util.Json in
   let ds = sort ds in
   let e, w, i = counts ds in
   let diag d =
     let line, col =
       match d.pos with
-      | Some p ->
-        (string_of_int p.Fppn_lang.Ast.line, string_of_int p.Fppn_lang.Ast.col)
-      | None -> ("null", "null")
+      | Some p -> (Int p.Fppn_lang.Ast.line, Int p.Fppn_lang.Ast.col)
+      | None -> (Null, Null)
     in
-    Printf.sprintf
-      "{\"code\":%s,\"severity\":%s,\"subject\":%s,\"message\":%s,\"file\":%s,\"line\":%s,\"col\":%s}"
-      (jstr (code_id d.code))
-      (jstr (severity_to_string d.severity))
-      (jstr d.subject) (jstr d.message)
-      (match d.file with None -> "null" | Some f -> jstr f)
-      line col
+    Obj
+      [
+        ("code", Str (code_id d.code));
+        ("severity", Str (severity_to_string d.severity));
+        ("subject", Str d.subject);
+        ("message", Str d.message);
+        ("file", (match d.file with None -> Null | Some f -> Str f));
+        ("line", line);
+        ("col", col);
+      ]
   in
-  Printf.sprintf
-    "{\"version\":1,\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"diagnostics\":[%s]}"
-    e w i
-    (String.concat "," (List.map diag ds))
+  to_string
+    (Obj
+       [
+         ("version", Int 1);
+         ("errors", Int e);
+         ("warnings", Int w);
+         ("infos", Int i);
+         ("diagnostics", Arr (List.map diag ds));
+       ])

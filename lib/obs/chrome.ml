@@ -1,0 +1,124 @@
+open Rt_util
+
+let event ~ph ~pid ~tid ~name ~ts_us extra =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("ph", Json.Str ph);
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+       ("ts", Json.Float ts_us);
+     ]
+    @ extra)
+
+let complete ~pid ~tid ~name ~ts_us ~dur_us ?(args = []) () =
+  event ~ph:"X" ~pid ~tid ~name ~ts_us
+    (("dur", Json.Float dur_us)
+    :: (if args = [] then [] else [ ("args", Json.Obj args) ]))
+
+let instant ~pid ~tid ~name ~ts_us ?(args = []) () =
+  event ~ph:"i" ~pid ~tid ~name ~ts_us
+    (("s", Json.Str "t") :: (if args = [] then [] else [ ("args", Json.Obj args) ]))
+
+let counter ~pid ~tid ~name ~ts_us ~value =
+  event ~ph:"C" ~pid ~tid ~name ~ts_us
+    [ ("args", Json.Obj [ ("value", Json.Float value) ]) ]
+
+let process_name ~pid name =
+  event ~ph:"M" ~pid ~tid:0 ~name:"process_name" ~ts_us:0.0
+    [ ("args", Json.Obj [ ("name", Json.Str name) ]) ]
+
+let thread_name ~pid ~tid name =
+  event ~ph:"M" ~pid ~tid ~name:"thread_name" ~ts_us:0.0
+    [ ("args", Json.Obj [ ("name", Json.Str name) ]) ]
+
+let wrap events = Json.Obj [ ("traceEvents", Json.Arr events) ]
+let to_string events = Json.to_string (wrap events)
+
+let write_file path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string events))
+
+let of_trace ?(pid = 2) ?(lane_name = fun d -> "pool/" ^ string_of_int d) evs =
+  let t0 =
+    List.fold_left (fun acc (e : Trace.event) -> min acc e.ts_ns) max_int evs
+  in
+  let us ns = float_of_int (ns - t0) /. 1e3 in
+  let lanes = List.sort_uniq compare (List.map (fun (e : Trace.event) -> e.lane) evs) in
+  let meta =
+    process_name ~pid "runtime (wall clock)"
+    :: List.map (fun l -> thread_name ~pid ~tid:l (lane_name l)) lanes
+  in
+  meta
+  @ List.map
+      (fun (e : Trace.event) ->
+        match e.kind with
+        | Trace.Span { dur_ns } ->
+          complete ~pid ~tid:e.lane ~name:e.name ~ts_us:(us e.ts_ns)
+            ~dur_us:(float_of_int dur_ns /. 1e3)
+            ()
+        | Trace.Instant -> instant ~pid ~tid:e.lane ~name:e.name ~ts_us:(us e.ts_ns) ()
+        | Trace.Counter v ->
+          counter ~pid ~tid:e.lane ~name:e.name ~ts_us:(us e.ts_ns)
+            ~value:(float_of_int v))
+      evs
+
+let validate json =
+  let ( let* ) = Result.bind in
+  let err i msg = Error (Printf.sprintf "event %d: %s" i msg) in
+  match Json.member "traceEvents" json with
+  | None -> Error "top level is not an object with a traceEvents member"
+  | Some evs -> (
+    match Json.as_list evs with
+    | None -> Error "traceEvents is not an array"
+    | Some evs ->
+      let check i ev =
+        let field name = Json.member name ev in
+        let* name =
+          match Option.bind (field "name") Json.as_string with
+          | Some n -> Ok n
+          | None -> err i "missing string name"
+        in
+        let* ph =
+          match Option.bind (field "ph") Json.as_string with
+          | Some p -> Ok p
+          | None -> err i "missing string ph"
+        in
+        let* () =
+          match (Option.bind (field "pid") Json.as_int, Option.bind (field "tid") Json.as_int) with
+          | Some _, Some _ -> Ok ()
+          | _ -> err i "missing integer pid/tid"
+        in
+        let* () =
+          match Option.bind (field "ts") Json.as_float with
+          | Some _ -> Ok ()
+          | None -> err i "missing numeric ts"
+        in
+        match ph with
+        | "X" -> (
+          match Option.bind (field "dur") Json.as_float with
+          | Some d when d >= 0.0 -> Ok ()
+          | Some _ -> err i "negative dur"
+          | None -> err i "X event without numeric dur")
+        | "i" | "C" -> Ok ()
+        | "M" -> (
+          if name <> "process_name" && name <> "thread_name" then
+            err i ("unknown metadata event " ^ name)
+          else
+            match
+              Option.bind (field "args") (fun a ->
+                  Option.bind (Json.member "name" a) Json.as_string)
+            with
+            | Some _ -> Ok ()
+            | None -> err i "metadata event without args.name")
+        | ph -> err i ("unknown ph " ^ ph)
+      in
+      let rec go i = function
+        | [] -> Ok ()
+        | ev :: rest ->
+          let* () = check i ev in
+          go (i + 1) rest
+      in
+      go 0 evs)

@@ -1,0 +1,59 @@
+(** Chrome trace-event JSON (the format read by [chrome://tracing] and
+    Perfetto): builders for the event kinds the repo emits, conversion
+    of live {!Trace} events, and a structural validator pinning the
+    schema the tools and tests rely on.
+
+    Only the "JSON object format" is produced: a top-level object with
+    a [traceEvents] array.  Timestamps and durations are microseconds
+    (floats); [pid]/[tid] pairs name the lanes. *)
+
+open Rt_util
+
+val complete :
+  pid:int ->
+  tid:int ->
+  name:string ->
+  ts_us:float ->
+  dur_us:float ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  Json.t
+(** A ["ph":"X"] complete event (one span bar). *)
+
+val instant :
+  pid:int -> tid:int -> name:string -> ts_us:float -> ?args:(string * Json.t) list -> unit -> Json.t
+(** A ["ph":"i"] thread-scoped instant event (one tick mark). *)
+
+val counter : pid:int -> tid:int -> name:string -> ts_us:float -> value:float -> Json.t
+(** A ["ph":"C"] counter sample (rendered as a filled track). *)
+
+val process_name : pid:int -> string -> Json.t
+(** ["ph":"M"] metadata naming a pid lane group. *)
+
+val thread_name : pid:int -> tid:int -> string -> Json.t
+(** ["ph":"M"] metadata naming one tid lane. *)
+
+val wrap : Json.t list -> Json.t
+(** [{"traceEvents":[...]}]. *)
+
+val to_string : Json.t list -> string
+
+val write_file : string -> Json.t list -> unit
+
+val of_trace : ?pid:int -> ?lane_name:(int -> string) -> Trace.event list -> Json.t list
+(** Convert live recorder output ({!Trace.events}) to Chrome events:
+    one tid lane per recording domain (named by [lane_name], default
+    ["pool/<id>"]), spans as complete events, instants and counters as
+    their Chrome counterparts.  Timestamps are shifted so the earliest
+    event is at 0 and include the pid's [process_name] metadata
+    (["runtime (wall clock)"]).  Default [pid] is 2 (pid 1 is the
+    model-time export of a finished [Exec_trace]). *)
+
+val validate : Json.t -> (unit, string) result
+(** Structural schema check, pinned by [test_obs]: top level must be
+    an object whose [traceEvents] member is an array; every event must
+    be an object with string [name], string [ph] one of
+    [X]/[i]/[C]/[M], integer [pid] and [tid], numeric [ts]; [X] events
+    additionally need a non-negative numeric [dur]; [M] events must be
+    [process_name]/[thread_name] with a string [args.name].  The
+    error names the first offending event. *)

@@ -1,0 +1,57 @@
+(** Process-wide metrics registry: counters, gauges and fixed-bucket
+    histograms, with deterministic JSON snapshots.
+
+    Registration is idempotent — asking for a name again returns the
+    same instrument — and instruments are updated with atomics, so
+    counter totals are deterministic across worker counts as long as
+    the {e set} of increments is (every fuzz verdict bumps exactly one
+    counter no matter which domain ran the case).
+
+    The {!enabled} flag is advisory: hot-path call sites check it
+    before doing any bookkeeping; the instruments themselves always
+    work so tests and cold paths need no setup. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every registered instrument (registrations are kept). *)
+
+type counter
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+type histogram
+
+val histogram : string -> buckets:float array -> histogram
+(** [buckets] are strictly increasing upper bounds.  An observation
+    [v] lands in the first bucket with [v <= bound], or in the
+    implicit overflow bucket past the last bound.  Re-registering a
+    name returns the existing histogram ([buckets] must agree in
+    length). *)
+
+val observe : histogram -> float -> unit
+
+val bucket_counts : histogram -> int array
+(** Per-bucket observation counts; length is [Array.length buckets + 1],
+    the last cell being the overflow bucket. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val counters : unit -> (string * int) list
+(** All registered counters with their values, sorted by name. *)
+
+val snapshot : unit -> Rt_util.Json.t
+(** [{"counters":{..},"gauges":{..},"histograms":{name:{"bounds":[..],
+    "counts":[..],"count":n,"sum":s}}}] with names sorted, so equal
+    registry states render byte-identically. *)

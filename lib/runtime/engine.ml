@@ -1,6 +1,8 @@
 module Rat = Rt_util.Rat
 module Timebase = Rt_util.Timebase
 module Pqueue = Rt_util.Pqueue
+module Trace = Fppn_obs.Trace
+module Metrics = Fppn_obs.Metrics
 module Network = Fppn.Network
 module Process = Fppn.Process
 module Event = Fppn.Event
@@ -480,10 +482,25 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
   in
   (* events are (tick lsl pbits) lor proc — immediate ints, so pushes
      never allocate; unpacking is a shift and a mask *)
+  (* observability: [tracing] is captured once, so the hot loop pays a
+     single immutable-bool branch per site when tracing is off; job
+     labels are pre-interned so per-job spans never hash on dispatch *)
+  let tracing = Trace.enabled () in
+  let span_ids =
+    if tracing then
+      Array.init n (fun j -> Trace.intern (Job.label (Graph.job g j)))
+    else [||]
+  in
+  let miss_id = Trace.intern "engine.deadline_miss" in
+  let depth_id = Trace.intern "engine.queue_depth" in
+  let q_pushes = ref 0 in
   let events = Pqueue.create ~cmp:Int.compare in
   let pbits = plan.pbits in
   let pmask = (1 lsl pbits) - 1 in
-  let push_event tick p = Pqueue.push events ((tick lsl pbits) lor p) in
+  let push_event tick p =
+    incr q_pushes;
+    Pqueue.push events ((tick lsl pbits) lor p)
+  in
   let now = ref 0 in
   let hot = Array.make n_procs false in
   (* Steady-state replay: with constant durations, no sporadic stamps
@@ -529,6 +546,21 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
       ps.t_frame <- ps.t_frame + 1
     end
   in
+  let run_body j stamp accesses =
+    if plan.per_access_t = 0 then
+      (* accesses don't cost time: the unrecorded path skips every
+         trace allocation inside [run_job] *)
+      Netstate.run_job ~inputs:config.inputs state ~proc:j.Job.proc
+        ~now:(Timebase.of_ticks plan.tb stamp)
+    else begin
+      let recorder = function
+        | Fppn.Trace.Read _ | Fppn.Trace.Write _ -> incr accesses
+        | _ -> ()
+      in
+      Netstate.run_job ~recorder ~inputs:config.inputs state ~proc:j.Job.proc
+        ~now:(Timebase.of_ticks plan.tb stamp)
+    end
+  in
   (* one attempt to make progress on processor [p]; true if state
      changed — mirrors [exec_rat]'s [advance] transition for transition *)
   let try_advance p ps =
@@ -538,6 +570,8 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
         completions.(job) <- completions.(job) + 1;
         (* t_run.tr_finish was already final at start time *)
         push_record ps.t_run;
+        if tracing && ps.t_run.tr_finish > ps.t_run.tr_deadline then
+          Trace.instant_id miss_id;
         ps.t_busy <- false;
         ps.t_run <- dummy_record;
         step_order ps;
@@ -606,20 +640,10 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
           else begin
             let j = Graph.job g job in
             let accesses = ref 0 in
-            (if plan.per_access_t = 0 then
-               (* accesses don't cost time: the unrecorded path skips
-                  every trace allocation inside [run_job] *)
-               Netstate.run_job ~inputs:config.inputs state ~proc:j.Job.proc
-                 ~now:(Timebase.of_ticks plan.tb stamp)
-             else begin
-               let recorder = function
-                 | Fppn.Trace.Read _ | Fppn.Trace.Write _ -> incr accesses
-                 | _ -> ()
-               in
-               Netstate.run_job ~recorder ~inputs:config.inputs state
-                 ~proc:j.Job.proc
-                 ~now:(Timebase.of_ticks plan.tb stamp)
-             end);
+            (if tracing then
+               Trace.with_span_id span_ids.(job) (fun () ->
+                   run_body j stamp accesses)
+             else run_body j stamp accesses);
             let duration =
               (if plan.const_exec then plan.wcet_t.(job)
                else Timebase.ticks plan.tb (Exec_time.sample config.exec j))
@@ -666,6 +690,7 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
     let t = ev lsr pbits in
     if t >= !now then begin
       now := t;
+      if tracing then Trace.counter_id depth_id (Pqueue.length events);
       hot.(ev land pmask) <- true;
       (* drain every event of this instant so one sweep sees them all *)
       let rec batch () =
@@ -772,9 +797,10 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
   rounds ();
   (if replay_candidate then begin
      run_until (2 * plan.h_t);
-     if steady_state_ok () then replay () else run_all ()
+     if steady_state_ok () then Trace.with_span "engine.replay" replay
+     else Trace.with_span "engine.eventloop" run_all
    end
-   else run_all ());
+   else Trace.with_span "engine.eventloop" run_all);
   let m = !nrecs in
   let sorted = if m = Array.length recs then recs else Array.sub recs 0 m in
   if not !presorted then Array.sort cmp_rec sorted;
@@ -798,6 +824,14 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
       if r.tr_frame > !max_frame then max_frame := r.tr_frame
     end
   done;
+  if Metrics.enabled () then begin
+    Metrics.add (Metrics.counter "engine.jobs_executed") !executed;
+    Metrics.add (Metrics.counter "engine.jobs_skipped") !skipped;
+    Metrics.add (Metrics.counter "engine.deadline_misses") !misses;
+    Metrics.add (Metrics.counter "engine.frames") frames;
+    Metrics.add (Metrics.counter "engine.queue_pushes") !q_pushes;
+    if !presorted then Metrics.incr (Metrics.counter "engine.replays")
+  end;
   let rat = Timebase.of_ticks plan.tb in
   let trace = ref [] in
   for i = m - 1 downto 0 do
@@ -839,15 +873,24 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
   }
 
 let run net derived sched config =
-  let assigned, unhandled_events = prologue net derived sched config in
-  match tick_compile net derived sched config ~assigned with
-  | Some plan ->
-    exec_ticks net derived sched config ~assigned ~unhandled_events plan
-  | None -> exec_rat net derived sched config ~assigned ~unhandled_events
+  Trace.with_span "engine.run" (fun () ->
+      let assigned, unhandled_events = prologue net derived sched config in
+      match
+        Trace.with_span "engine.compile" (fun () ->
+            tick_compile net derived sched config ~assigned)
+      with
+      | Some plan ->
+        Trace.with_span "engine.exec.ticks" (fun () ->
+            exec_ticks net derived sched config ~assigned ~unhandled_events plan)
+      | None ->
+        Trace.with_span "engine.exec.rat" (fun () ->
+            exec_rat net derived sched config ~assigned ~unhandled_events))
 
 let run_reference net derived sched config =
-  let assigned, unhandled_events = prologue net derived sched config in
-  exec_rat net derived sched config ~assigned ~unhandled_events
+  Trace.with_span "engine.run_reference" (fun () ->
+      let assigned, unhandled_events = prologue net derived sched config in
+      Trace.with_span "engine.exec.rat" (fun () ->
+          exec_rat net derived sched config ~assigned ~unhandled_events))
 
 let signature r =
   List.sort

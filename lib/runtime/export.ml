@@ -1,37 +1,26 @@
 module Rat = Rt_util.Rat
+module Json = Rt_util.Json
 
-let escape_json s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let record_json (r : Exec_trace.record) =
+  Json.Obj
+    [
+      ("job", Json.Int r.Exec_trace.job);
+      ("label", Json.Str r.Exec_trace.label);
+      ("frame", Json.Int r.Exec_trace.frame);
+      ("proc", Json.Int r.Exec_trace.proc);
+      ("invoked", Json.Str (Rat.to_string r.Exec_trace.invoked));
+      ("start", Json.Str (Rat.to_string r.Exec_trace.start));
+      ("finish", Json.Str (Rat.to_string r.Exec_trace.finish));
+      ("deadline", Json.Str (Rat.to_string r.Exec_trace.deadline));
+      ("invoked_ms", Json.Float (Rat.to_float r.Exec_trace.invoked));
+      ("start_ms", Json.Float (Rat.to_float r.Exec_trace.start));
+      ("finish_ms", Json.Float (Rat.to_float r.Exec_trace.finish));
+      ("deadline_ms", Json.Float (Rat.to_float r.Exec_trace.deadline));
+      ("skipped", Json.Bool r.Exec_trace.skipped);
+      ("missed", Json.Bool (Exec_trace.missed r));
+    ]
 
-let record_to_json (r : Exec_trace.record) =
-  Printf.sprintf
-    "{\"job\":%d,\"label\":\"%s\",\"frame\":%d,\"proc\":%d,\"invoked\":\"%s\",\
-     \"start\":\"%s\",\"finish\":\"%s\",\"deadline\":\"%s\",\
-     \"invoked_ms\":%g,\"start_ms\":%g,\"finish_ms\":%g,\"deadline_ms\":%g,\
-     \"skipped\":%b,\"missed\":%b}"
-    r.Exec_trace.job
-    (escape_json r.Exec_trace.label)
-    r.Exec_trace.frame r.Exec_trace.proc
-    (Rat.to_string r.Exec_trace.invoked)
-    (Rat.to_string r.Exec_trace.start)
-    (Rat.to_string r.Exec_trace.finish)
-    (Rat.to_string r.Exec_trace.deadline)
-    (Rat.to_float r.Exec_trace.invoked)
-    (Rat.to_float r.Exec_trace.start)
-    (Rat.to_float r.Exec_trace.finish)
-    (Rat.to_float r.Exec_trace.deadline)
-    r.Exec_trace.skipped (Exec_trace.missed r)
+let record_to_json r = Json.to_string (record_json r)
 
 let to_json trace =
   "[\n  " ^ String.concat ",\n  " (List.map record_to_json trace) ^ "\n]\n"
@@ -61,3 +50,60 @@ let write_file path contents =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
+
+(* --- Chrome trace-event export ----------------------------------------- *)
+
+(* Model time is in milliseconds (rationals); Chrome timestamps are
+   microseconds, so 1 model ms maps to 1000 ticks on the trace
+   timeline.  One tid lane per processor, named like the Gantt rows. *)
+
+let chrome_pid = 1
+
+let to_chrome trace =
+  let module Chrome = Fppn_obs.Chrome in
+  let us r = Rat.to_float r *. 1000.0 in
+  let n_procs =
+    List.fold_left (fun m (r : Exec_trace.record) -> max m (r.Exec_trace.proc + 1)) 0 trace
+  in
+  let meta =
+    Chrome.process_name ~pid:chrome_pid "engine (model time)"
+    :: List.init n_procs (fun p ->
+           Chrome.thread_name ~pid:chrome_pid ~tid:(p + 1) (Printf.sprintf "M%d" (p + 1)))
+  in
+  let events =
+    List.concat_map
+      (fun (r : Exec_trace.record) ->
+        let tid = r.Exec_trace.proc + 1 in
+        let args =
+          [
+            ("job", Json.Int r.Exec_trace.job);
+            ("frame", Json.Int r.Exec_trace.frame);
+            ("deadline_ms", Json.Float (Rat.to_float r.Exec_trace.deadline));
+          ]
+        in
+        let body =
+          if r.Exec_trace.skipped then
+            [
+              Chrome.instant ~pid:chrome_pid ~tid
+                ~name:("skipped: " ^ r.Exec_trace.label)
+                ~ts_us:(us r.Exec_trace.invoked) ~args ();
+            ]
+          else
+            [
+              Chrome.complete ~pid:chrome_pid ~tid ~name:r.Exec_trace.label
+                ~ts_us:(us r.Exec_trace.start)
+                ~dur_us:(us Rat.(sub r.Exec_trace.finish r.Exec_trace.start))
+                ~args ();
+            ]
+        in
+        if Exec_trace.missed r then
+          body
+          @ [
+              Chrome.instant ~pid:chrome_pid ~tid
+                ~name:("deadline miss: " ^ r.Exec_trace.label)
+                ~ts_us:(us r.Exec_trace.deadline) ~args ();
+            ]
+        else body)
+      trace
+  in
+  meta @ events

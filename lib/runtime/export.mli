@@ -17,3 +17,15 @@ val to_csv : Exec_trace.t -> string
 
 val write_file : string -> string -> unit
 (** [write_file path contents]. *)
+
+val chrome_pid : int
+(** The pid lane group used for the model-time export (the live
+    wall-clock recorder uses a different pid). *)
+
+val to_chrome : Exec_trace.t -> Rt_util.Json.t list
+(** Chrome trace events for a finished trace: one tid lane per
+    processor (named [M1..Mm] under process ["engine (model time)"]),
+    executed jobs as complete events (1 model ms = 1000 trace µs),
+    skipped jobs and deadline misses as instant events.  Combine with
+    {!Fppn_obs.Chrome.wrap}/[write_file] — and with
+    {!Fppn_obs.Chrome.of_trace} output for the live-span lanes. *)

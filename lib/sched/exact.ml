@@ -32,6 +32,7 @@ let copy_state st =
 let solve ?pool ?(node_budget = 2_000_000) ~n_procs g =
   let n = Graph.n_jobs g in
   if n_procs <= 0 then invalid_arg "Exact.solve: no processors";
+  Fppn_obs.Trace.with_span "sched.exact" @@ fun () ->
   let jobs = Graph.jobs g in
   (* remaining critical-path length from each job (b-level): lower bound *)
   let b_level = Taskgraph.Analysis.b_level g in
@@ -52,7 +53,10 @@ let solve ?pool ?(node_budget = 2_000_000) ~n_procs g =
     let cur = Atomic.get bound in
     match cur with
     | Some b when not Rat.(m < b) -> ()
-    | _ -> if not (Atomic.compare_and_set bound cur (Some m)) then lower_bound_to m
+    | _ ->
+      if Atomic.compare_and_set bound cur (Some m) then
+        Fppn_obs.Trace.instant "sched.exact.bound_update"
+      else lower_bound_to m
   in
   let rec dfs st local n_done current_makespan remaining_work =
     if Atomic.get nodes >= node_budget then Atomic.set exhausted false
@@ -202,6 +206,10 @@ let solve ?pool ?(node_budget = 2_000_000) ~n_procs g =
         dfs st local 0 Rat.zero total_work;
         !local
   in
+  if Fppn_obs.Metrics.enabled () then
+    Fppn_obs.Metrics.add
+      (Fppn_obs.Metrics.counter "sched.exact.nodes")
+      (Atomic.get nodes);
   {
     schedule =
       Option.map (fun (_, e) -> Static_schedule.make ~n_procs e) best;

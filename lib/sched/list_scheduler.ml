@@ -4,6 +4,7 @@ module Graph = Taskgraph.Graph
 module Job = Taskgraph.Job
 
 let schedule ~rank ~n_procs g =
+  Fppn_obs.Trace.with_span "sched.list" @@ fun () ->
   let n = Graph.n_jobs g in
   if Array.length rank <> n then
     invalid_arg "List_scheduler.schedule: rank array size mismatch";
@@ -107,6 +108,8 @@ type attempt = {
 
 let auto ?pool ?(heuristics = Priority.all) ~n_procs g =
   let attempt heuristic =
+    Fppn_obs.Trace.with_span ("sched.auto." ^ Priority.to_string heuristic)
+    @@ fun () ->
     let s = schedule_with ~heuristic ~n_procs g in
     {
       heuristic;

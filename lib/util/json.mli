@@ -1,0 +1,59 @@
+(** Minimal JSON tree, writer and reader shared by every hand-rolled
+    emitter in the repo (execution-trace export, fuzz reports, lint
+    diagnostics, metrics snapshots, Chrome traces, the bench harness).
+
+    The repo deliberately has no external JSON dependency; this module
+    is the single place that fixes string escaping and float formatting,
+    which the per-subsystem emitters used to disagree on.
+
+    Rendering is compact (no whitespace) and deterministic: object
+    fields are emitted in the order given, integers as [string_of_int],
+    floats via {!number_to_string}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Escaped string {e content} (no surrounding quotes): double quote,
+    backslash, newline and tab by their two-character escapes, any
+    other control character below [0x20] as [\uXXXX]. *)
+
+val number_to_string : float -> string
+(** Canonical float rendering: ["%.12g"] — compact for integral values
+    (["200"]), round-trips common measurement precision, always a valid
+    JSON number.  Non-finite values render as ["null"] (JSON has no
+    NaN/infinity). *)
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+exception Malformed of string
+
+val parse : string -> t
+(** Strict reader for the subset the writers emit: objects, arrays,
+    strings (common escapes; [\uXXXX] kept verbatim rather than decoded
+    to UTF-8), numbers, booleans, null.  All numbers parse as {!Float}.
+    @raise Malformed on any syntax error or trailing garbage. *)
+
+val parse_opt : string -> t option
+
+(** {1 Accessors} (shallow, total) *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val as_float : t -> float option
+(** [Float f] and [Int i] both yield a float. *)
+
+val as_int : t -> int option
+(** [Int i], or a [Float] that is exactly integral. *)
+
+val as_bool : t -> bool option
+val as_string : t -> string option
+val as_list : t -> t list option

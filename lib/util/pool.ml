@@ -12,12 +12,26 @@ type t = {
 let default_jobs () = Domain.recommended_domain_count ()
 let recommended_domains = default_jobs
 
+(* Stable per-domain worker id: the calling domain is worker 0, spawned
+   workers are 1 .. jobs-1 in spawn order.  Stored in domain-local
+   state so observability layers (trace lanes, per-case timing
+   attribution) can ask "which worker am I?" from inside a task without
+   threading the pool handle through every combinator. *)
+let self_key = Domain.DLS.new_key (fun () -> 0)
+let self_id () = Domain.DLS.get self_key
+
 (* Oversubscribing domains is a reliable slowdown (BENCH.json recorded a
    0.37x "speedup" at jobs=4 on a 1-domain box), so user-facing tools
    clamp their --jobs to what the host can actually run in parallel. *)
 let clamp_jobs requested = Stdlib.max 1 (Stdlib.min requested (default_jobs ()))
 
 let jobs t = t.jobs
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
 
 (* Workers sleep on [cond] when the queue is empty.  Every enqueue and
    every chunk-set completion broadcasts, so sleeping workers and
@@ -58,7 +72,10 @@ let create ~jobs =
     }
   in
   pool.workers <-
-    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set self_key (i + 1);
+            worker_loop pool));
   pool
 
 let shutdown pool =

@@ -23,6 +23,19 @@ val jobs : t -> int
 (** Parallelism degree the pool was created with (including the
     calling domain). *)
 
+val self_id : unit -> int
+(** Stable id of the calling worker domain: [0] for the domain that
+    created the pool (and for any domain that never entered a pool),
+    [1 .. jobs-1] for spawned workers, in spawn order.  Ids are
+    domain-local, so tasks can attribute work (trace lanes, per-case
+    timings) to the domain that actually ran them without threading
+    the pool handle through. *)
+
+val pending : t -> int
+(** Number of tasks currently enqueued and not yet picked up by any
+    worker (a point-in-time queue-depth reading, taken under the pool
+    lock). *)
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: a sensible default for CPU-
     bound work on this host. *)

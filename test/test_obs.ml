@@ -1,0 +1,296 @@
+module Trace = Fppn_obs.Trace
+module Metrics = Fppn_obs.Metrics
+module Chrome = Fppn_obs.Chrome
+module Json = Rt_util.Json
+
+let qprop name ?(count = 100) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* every test starts from a clean recorder; the registry of metric
+   instruments is process-global, so metric tests compare deltas *)
+let with_tracing f =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    f
+
+(* --- spans ----------------------------------------------------------- *)
+
+(* a random tree of nested spans, with unique names, must come back as
+   one span event per node whose intervals nest exactly like the tree *)
+type tree = Node of string * tree list
+
+let gen_tree =
+  QCheck2.Gen.(
+    let counter = ref 0 in
+    let fresh () =
+      incr counter;
+      Printf.sprintf "span-%d" !counter
+    in
+    sized_size (int_range 1 25) @@ fix (fun self n ->
+        if n <= 1 then return (Node (fresh (), []))
+        else
+          let* width = int_range 0 3 in
+          let* children = list_repeat width (self (n / (max 1 width + 1))) in
+          return (Node (fresh (), children))))
+
+let rec exec_tree (Node (name, children)) =
+  Trace.with_span name (fun () -> List.iter exec_tree children)
+
+let rec tree_edges (Node (parent, children)) =
+  List.concat_map
+    (fun (Node (child, _) as t) -> (parent, child) :: tree_edges t)
+    children
+
+let rec tree_size (Node (_, children)) =
+  1 + List.fold_left (fun acc t -> acc + tree_size t) 0 children
+
+let prop_spans_well_nested =
+  qprop "random span trees record well-nested intervals" gen_tree (fun tree ->
+      with_tracing @@ fun () ->
+      exec_tree tree;
+      let spans =
+        List.filter_map
+          (fun (e : Trace.event) ->
+            match e.kind with
+            | Trace.Span { dur_ns } -> Some (e.name, (e.ts_ns, dur_ns))
+            | _ -> None)
+          (Trace.events ())
+      in
+      if List.length spans <> tree_size tree then false
+      else
+        List.for_all
+          (fun (parent, child) ->
+            match (List.assoc_opt parent spans, List.assoc_opt child spans) with
+            | Some (pts, pdur), Some (cts, cdur) ->
+              pts <= cts && cts + cdur <= pts + pdur
+            | _ -> false)
+          (tree_edges tree))
+
+let test_span_survives_exception () =
+  with_tracing @@ fun () ->
+  (try Trace.with_span "raises" (fun () -> failwith "boom") with _ -> ());
+  match Trace.events () with
+  | [ { Trace.name = "raises"; kind = Trace.Span _; _ } ] -> ()
+  | evs -> Alcotest.failf "expected one span event, got %d" (List.length evs)
+
+let test_disabled_records_nothing () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  Trace.with_span "quiet" (fun () ->
+      Trace.instant "nothing";
+      Trace.counter "none" 3);
+  Alcotest.(check (list unit))
+    "no events" []
+    (List.map ignore (Trace.events ()));
+  Alcotest.(check int) "no drops" 0 (Trace.dropped ());
+  Alcotest.(check (list unit)) "no hotspots" [] (List.map ignore (Trace.hotspots ()))
+
+let test_ring_overflow_keeps_latest () =
+  with_tracing @@ fun () ->
+  let extra = 100 in
+  let id = Trace.intern "tick" in
+  for _ = 1 to Trace.capacity + extra do
+    Trace.instant_id id
+  done;
+  Alcotest.(check int) "dropped count" extra (Trace.dropped ());
+  Alcotest.(check int)
+    "ring holds capacity events" Trace.capacity
+    (List.length (Trace.events ()))
+
+let test_hotspots_exact () =
+  with_tracing @@ fun () ->
+  for _ = 1 to 5 do
+    Trace.with_span "outer" (fun () -> Trace.with_span "inner" (fun () -> ()))
+  done;
+  let find n = List.find (fun (h : Trace.hotspot) -> h.hname = n) (Trace.hotspots ()) in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check int) "outer calls" 5 outer.calls;
+  Alcotest.(check int) "inner calls" 5 inner.calls;
+  Alcotest.(check bool)
+    "outer self time excludes inner" true
+    (outer.self_ns <= outer.total_ns - inner.total_ns)
+
+(* --- metrics --------------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  let h = Metrics.histogram "test.latency" ~buckets:[| 1.0; 2.0; 5.0 |] in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 4.9; 5.0; 5.1; 100.0 ];
+  Alcotest.(check (array int))
+    "counts per bucket (upper-bound inclusive, last is overflow)"
+    [| 2; 2; 2; 2 |] (Metrics.bucket_counts h);
+  Alcotest.(check int) "count" 8 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 120.0 (Metrics.histogram_sum h);
+  let h' = Metrics.histogram "test.latency" ~buckets:[| 1.0; 2.0; 5.0 |] in
+  Metrics.observe h' 0.1;
+  Alcotest.(check int)
+    "re-registration returns the same histogram" 9
+    (Metrics.histogram_count h);
+  Alcotest.check_raises "bucket-count mismatch rejected"
+    (Invalid_argument "Metrics.histogram: bucket mismatch for test.latency")
+    (fun () -> ignore (Metrics.histogram "test.latency" ~buckets:[| 1.0 |]))
+
+let test_counter_and_gauge () =
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "counter value" 42 (Metrics.counter_value c);
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set_gauge g 2.5;
+  Alcotest.(check (float 0.0)) "gauge value" 2.5 (Metrics.gauge_value g)
+
+(* deterministic counters: a fuzz campaign must flush identical metric
+   totals whether phase 2 ran sequentially or on four worker domains *)
+let test_metrics_jobs_invariant () =
+  let config = { Fppn_fuzz.Campaign.default_config with budget = 8 } in
+  let snap jobs =
+    Metrics.reset ();
+    Metrics.set_enabled true;
+    Fun.protect
+      ~finally:(fun () -> Metrics.set_enabled false)
+      (fun () ->
+        ignore (Fppn_fuzz.Campaign.run ~jobs config);
+        Metrics.counters ())
+  in
+  let seq = snap 1 and par = snap 4 in
+  Alcotest.(check (list (pair string int)))
+    "jobs=4 flushes the same counter totals as jobs=1" seq par;
+  Alcotest.(check bool)
+    "campaign actually counted cases" true
+    (List.mem_assoc "fuzz.cases" seq && List.assoc "fuzz.cases" seq = 8)
+
+(* --- Chrome export --------------------------------------------------- *)
+
+(* schema pin: the exact bytes of each event kind, relied on by
+   trace-validate and external consumers (Perfetto) *)
+let test_chrome_schema_pinned () =
+  let events =
+    [
+      Chrome.process_name ~pid:1 "engine (model time)";
+      Chrome.thread_name ~pid:1 ~tid:1 "M1";
+      Chrome.complete ~pid:1 ~tid:1 ~name:"A[0]" ~ts_us:0.0 ~dur_us:871.0
+        ~args:[ ("job", Json.Int 0) ]
+        ();
+      Chrome.instant ~pid:1 ~tid:1 ~name:"deadline miss: A[0]" ~ts_us:10000.0 ();
+      Chrome.counter ~pid:2 ~tid:0 ~name:"engine.queue_depth" ~ts_us:1.5
+        ~value:3.0;
+    ]
+  in
+  let expected =
+    "{\"traceEvents\":[\
+     {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,\
+     \"args\":{\"name\":\"engine (model time)\"}},\
+     {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"ts\":0,\
+     \"args\":{\"name\":\"M1\"}},\
+     {\"name\":\"A[0]\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":871,\
+     \"args\":{\"job\":0}},\
+     {\"name\":\"deadline miss: A[0]\",\"ph\":\"i\",\"pid\":1,\"tid\":1,\
+     \"ts\":10000,\"s\":\"t\"},\
+     {\"name\":\"engine.queue_depth\",\"ph\":\"C\",\"pid\":2,\"tid\":0,\
+     \"ts\":1.5,\"args\":{\"value\":3}}]}"
+  in
+  Alcotest.(check string) "pinned bytes" expected (Chrome.to_string events);
+  match Chrome.validate (Json.parse expected) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "pinned trace does not validate: %s" msg
+
+let test_chrome_validate_rejects () =
+  let reject needle events =
+    match Chrome.validate (Chrome.wrap events) with
+    | Ok () -> Alcotest.failf "expected rejection (%s)" needle
+    | Error msg ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %S (got %S)" needle msg)
+        true (contains msg needle)
+  in
+  reject "without numeric dur"
+    [
+      Json.Obj
+        [
+          ("name", Json.Str "x");
+          ("ph", Json.Str "X");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ("ts", Json.Float 0.0);
+        ];
+    ];
+  reject "unknown ph"
+    [
+      Json.Obj
+        [
+          ("name", Json.Str "x");
+          ("ph", Json.Str "Q");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ("ts", Json.Float 0.0);
+        ];
+    ];
+  reject "args.name"
+    [
+      Json.Obj
+        [
+          ("name", Json.Str "process_name");
+          ("ph", Json.Str "M");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 0);
+          ("ts", Json.Float 0.0);
+        ];
+    ];
+  match Chrome.validate (Json.Arr []) with
+  | Ok () -> Alcotest.fail "bare array must not validate"
+  | Error _ -> ()
+
+let test_of_trace_round_trip () =
+  with_tracing @@ fun () ->
+  Trace.with_span "work" (fun () -> Trace.instant "mark");
+  Trace.counter "depth" 2;
+  let events = Chrome.of_trace (Trace.events ()) in
+  (match Chrome.validate (Chrome.wrap events) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "of_trace output invalid: %s" msg);
+  (* metadata (process + one lane) + three recorded events *)
+  Alcotest.(check int) "event count" 5 (List.length events);
+  let ts_of ev = Option.bind (Json.member "ts" ev) Json.as_float in
+  Alcotest.(check bool)
+    "timestamps normalised to start at 0" true
+    (List.exists (fun ev -> ts_of ev = Some 0.0) events
+    && List.for_all (fun ev -> match ts_of ev with Some t -> t >= 0.0 | None -> true) events)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          prop_spans_well_nested;
+          Alcotest.test_case "span survives exception" `Quick
+            test_span_survives_exception;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "ring overflow keeps latest" `Quick
+            test_ring_overflow_keeps_latest;
+          Alcotest.test_case "hotspots are exact" `Quick test_hotspots_exact;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "counter and gauge" `Quick test_counter_and_gauge;
+          Alcotest.test_case "jobs=4 equals jobs=1" `Quick
+            test_metrics_jobs_invariant;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "schema pinned" `Quick test_chrome_schema_pinned;
+          Alcotest.test_case "validator rejects malformed" `Quick
+            test_chrome_validate_rejects;
+          Alcotest.test_case "of_trace round trip" `Quick
+            test_of_trace_round_trip;
+        ] );
+    ]
