@@ -330,8 +330,156 @@ let derive_cmd =
   let term = Term.(const run $ app_arg $ seed_arg $ no_reduce) in
   Cmd.v (Cmd.info "derive" ~doc:"Derive the task graph (Sec. III-A)") term
 
+(* Multi-application co-scheduling: --apps a,b,c shares the M processors
+   between several networks (Cosched).  Per-app Rta/Dimension accounting
+   is printed as a table; --save writes the fppn-cosched/1 JSON. *)
+let cosched_run ~apps_csv ~cosched ~priorities ~seed ~n_procs ~heuristic ~save
+    ~svg =
+  let names =
+    List.filter (fun s -> s <> "")
+      (List.map String.trim (String.split_on_char ',' apps_csv))
+  in
+  if names = [] then begin
+    Printf.eprintf "--apps: expected a comma-separated application list\n";
+    exit 2
+  end;
+  let variant =
+    match Sched.Cosched.variant_of_string cosched with
+    | Some v -> v
+    | None ->
+      Printf.eprintf "unknown co-scheduling variant %S (expected fair or slots)\n"
+        cosched;
+      exit 2
+  in
+  let prios =
+    match priorities with
+    | "" -> List.mapi (fun i _ -> i) names
+    | s -> (
+      let fields = String.split_on_char ',' s in
+      match List.map (fun f -> int_of_string_opt (String.trim f)) fields with
+      | l when List.length l = List.length names && List.for_all Option.is_some l
+        ->
+        List.map Option.get l
+      | _ ->
+        Printf.eprintf
+          "--priorities: expected %d comma-separated integers (one per app)\n"
+          (List.length names);
+        exit 2)
+  in
+  if variant = Sched.Cosched.Slots && List.length names > n_procs then begin
+    Printf.eprintf
+      "slots variant needs one processor per application (%d apps, M=%d)\n"
+      (List.length names) n_procs;
+    exit 2
+  end;
+  (* duplicate inputs are allowed; make display names unique *)
+  let seen = Hashtbl.create 8 in
+  let resolved =
+    List.map2
+      (fun name prio ->
+        let app = resolve_app name seed in
+        let d = derive_app app in
+        let base = Filename.remove_extension (Filename.basename name) in
+        let uniq =
+          match Hashtbl.find_opt seen base with
+          | None ->
+            Hashtbl.add seen base 1;
+            base
+          | Some k ->
+            Hashtbl.replace seen base (k + 1);
+            Printf.sprintf "%s#%d" base (k + 1)
+        in
+        ( { Sched.Cosched.app_name = uniq; app_priority = prio;
+            graph = d.Derive.graph },
+          app, d ))
+      names prios
+  in
+  let capps = List.map (fun (c, _, _) -> c) resolved in
+  let result =
+    match String.lowercase_ascii heuristic with
+    | "auto" -> (
+      let jobs = Rt_util.Pool.clamp_jobs (Rt_util.Pool.default_jobs ()) in
+      match
+        snd
+          (Rt_util.Pool.with_pool ~jobs (fun pool ->
+               Sched.Cosched.auto ~pool ~variant ~n_procs capps))
+      with
+      | Some a ->
+        Printf.printf "heuristic: %s (first all-feasible)\n"
+          (Priority.to_string a.Sched.Cosched.heuristic);
+        a.Sched.Cosched.result
+      | None ->
+        print_endline
+          "no heuristic co-schedules every application feasibly; using \
+           alap-edf best effort";
+        Sched.Cosched.schedule_with ~variant ~n_procs capps)
+    | h -> (
+      match Priority.of_string h with
+      | Some heuristic ->
+        Sched.Cosched.schedule_with ~heuristic ~variant ~n_procs capps
+      | None ->
+        Printf.eprintf "unknown heuristic %S\n" h;
+        exit 2)
+  in
+  let rows =
+    List.map2
+      (fun (r : Sched.Cosched.app_report) (_, app, _) ->
+        let rta_ok =
+          Sched.Rta.schedulable (Sched.Rta.analyse ~wcet:app.wcet app.net)
+        in
+        [
+          r.Sched.Cosched.name;
+          string_of_int r.Sched.Cosched.priority;
+          (match r.Sched.Cosched.slots with
+          | [] -> "shared"
+          | s -> String.concat "+" (List.map string_of_int s));
+          (if r.Sched.Cosched.lower_bound = max_int then "inf"
+           else string_of_int r.Sched.Cosched.lower_bound);
+          Printf.sprintf "%.3f" (Rat.to_float r.Sched.Cosched.utilization);
+          (if rta_ok then "yes" else "no");
+          Printf.sprintf "%g" (Rat.to_float r.Sched.Cosched.makespan);
+          (if r.Sched.Cosched.feasible then "yes" else "NO");
+        ])
+      result.Sched.Cosched.reports resolved
+  in
+  Printf.printf "co-scheduling %d applications on M=%d (%s variant)\n"
+    (List.length capps) n_procs
+    (Sched.Cosched.variant_to_string variant);
+  Rt_util.Table.print
+    ~aligns:Rt_util.Table.[ Left; Right; Right; Right; Right; Right; Right; Right ]
+    ~header:
+      [ "app"; "prio"; "procs"; "lb"; "load"; "rta(1cpu)"; "makespan ms"; "feasible" ]
+    rows;
+  Printf.printf "combined makespan: %s ms — %s\n"
+    (Rat.to_string result.Sched.Cosched.makespan)
+    (if result.Sched.Cosched.feasible then "all applications feasible"
+     else "some application misses a deadline");
+  Option.iter
+    (fun path ->
+      Sched.Cosched.save path result;
+      Printf.printf "co-schedule saved to %s (fppn-cosched/1 json)\n" path)
+    save;
+  let gantt_rows =
+    Static_schedule.to_gantt_rows result.Sched.Cosched.union
+      result.Sched.Cosched.combined
+  in
+  Option.iter
+    (fun path ->
+      Runtime.Export.write_file path
+        (Rt_util.Gantt.to_svg
+           ~title:
+             (Printf.sprintf "co-schedule of %s (M=%d, %s)"
+                (String.concat ", " names) n_procs
+                (Sched.Cosched.variant_to_string variant))
+           gantt_rows);
+      Printf.printf "gantt chart written to %s (svg)\n" path)
+    svg;
+  Rt_util.Gantt.print ~width:72
+    ~t_max:(Rat.to_float result.Sched.Cosched.makespan)
+    gantt_rows
+
 let schedule_term, sched_doc =
-  let run app_name seed n_procs heuristic save svg trace_out =
+  let run_single app_name seed n_procs heuristic save svg trace_out =
     obs_begin trace_out;
     let app = resolve_app app_name seed in
     let d = derive_app app in
@@ -363,6 +511,16 @@ let schedule_term, sched_doc =
       (Static_schedule.to_gantt_rows g s);
     obs_finish trace_out
   in
+  let run app_name seed n_procs heuristic save svg trace_out apps_csv cosched
+      priorities =
+    if apps_csv <> "" then begin
+      obs_begin trace_out;
+      cosched_run ~apps_csv ~cosched ~priorities ~seed ~n_procs ~heuristic
+        ~save ~svg;
+      obs_finish trace_out
+    end
+    else run_single app_name seed n_procs heuristic save svg trace_out
+  in
   let save =
     Arg.(
       value & opt (some string) None
@@ -374,10 +532,36 @@ let schedule_term, sched_doc =
       value & opt (some string) None
       & info [ "svg" ] ~docv:"FILE" ~doc:"Render the schedule as an SVG Gantt chart.")
   in
+  let apps_csv =
+    Arg.(
+      value & opt string ""
+      & info [ "apps" ] ~docv:"APP,APP,..."
+          ~doc:
+            "Co-schedule several applications (names or .fppn files, \
+             comma-separated) on the shared processors instead of one.")
+  in
+  let cosched =
+    Arg.(
+      value & opt string "fair"
+      & info [ "cosched" ] ~docv:"VARIANT"
+          ~doc:
+            "Co-scheduling variant for --apps: 'fair' (common ready queue \
+             interleaving applications by priority and rank) or 'slots' \
+             (preallocated per-application processor budgets).")
+  in
+  let priorities =
+    Arg.(
+      value & opt string ""
+      & info [ "priorities" ] ~docv:"P,P,..."
+          ~doc:
+            "Application priorities for --apps (smaller = more important, one \
+             per application; default: list order).")
+  in
   ( Term.(
       const run $ app_arg $ seed_arg $ procs_arg $ heuristic_arg $ save $ svg
-      $ trace_out_arg),
-    "Compute a static schedule (Sec. III-B)" )
+      $ trace_out_arg $ apps_csv $ cosched $ priorities),
+    "Compute a static schedule (Sec. III-B); --apps co-schedules several \
+     applications (MHEFT-style)" )
 
 let schedule_cmd = Cmd.v (Cmd.info "schedule" ~doc:sched_doc) schedule_term
 let sched_cmd = Cmd.v (Cmd.info "sched" ~doc:(sched_doc ^ " (alias of schedule)")) schedule_term

@@ -6,10 +6,10 @@ type verdict = {
   searched_up_to : int;
 }
 
-let min_processors ?heuristics ?(max_procs = 16) g =
-  let times = Analysis.asap_alap g in
+let lower_bound ?times g =
+  let times = match times with Some t -> t | None -> Analysis.asap_alap g in
   let job_fit =
-    match Analysis.necessary_condition ~times g ~processors:max_procs with
+    match Analysis.necessary_condition ~times g ~processors:max_int with
     | Ok () -> true
     | Error vs ->
       (* only per-job violations are processor-independent *)
@@ -18,11 +18,18 @@ let min_processors ?heuristics ?(max_procs = 16) g =
            (function Analysis.Job_infeasible _ -> true | _ -> false)
            vs)
   in
-  if not job_fit then
+  if not job_fit then max_int
+  else
+    let load = (Analysis.load ~times g).Analysis.value in
+    max 1 (Rt_util.Rat.ceil load)
+
+let min_processors ?heuristics ?(max_procs = 16) g =
+  let times = Analysis.asap_alap g in
+  let lb = lower_bound ~times g in
+  if lb = max_int then
     { lower_bound = max_int; found = None; searched_up_to = max_procs }
   else begin
-    let load = (Analysis.load ~times g).Analysis.value in
-    let lower_bound = max 1 (Rt_util.Rat.ceil load) in
+    let lower_bound = lb in
     let rec search m =
       if m > max_procs then None
       else

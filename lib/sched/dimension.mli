@@ -15,6 +15,13 @@ type verdict = {
   searched_up_to : int;
 }
 
+val lower_bound : ?times:Taskgraph.Analysis.times -> Taskgraph.Graph.t -> int
+(** [⌈Load⌉] of Prop. 3.1 (at least 1), or [max_int] if some job cannot
+    fit its ASAP/ALAP window on any processor count.  This is the value
+    {!min_processors} starts its search from; exposed separately so
+    co-scheduling admission ({!Cosched.admit}) can apply the necessary
+    condition without paying for the constructive search. *)
+
 val min_processors :
   ?heuristics:Priority.heuristic list ->
   ?max_procs:int ->

@@ -87,6 +87,45 @@ let induced ~keep t =
     old_of_new;
   (make jobs' (Digraph.transitive_reduction dag'), old_of_new)
 
+let disjoint_union ?prefixes gs =
+  if gs = [] then invalid_arg "Taskgraph.Graph.disjoint_union: no graphs";
+  let gs = Array.of_list gs in
+  (match prefixes with
+  | Some ps when Array.length ps <> Array.length gs ->
+    invalid_arg "Taskgraph.Graph.disjoint_union: one prefix per graph required"
+  | _ -> ());
+  Array.iter
+    (fun g ->
+      if n_jobs g = 0 then
+        invalid_arg "Taskgraph.Graph.disjoint_union: member graph has no jobs")
+    gs;
+  let total = Array.fold_left (fun acc g -> acc + n_jobs g) 0 gs in
+  let jobs' = Array.make total gs.(0).jobs.(0) in
+  let owner = Array.make total (0, 0) in
+  let dag' = Digraph.create total in
+  let off = ref 0 and proc_off = ref 0 in
+  Array.iteri
+    (fun gi g ->
+      let max_proc =
+        Array.fold_left (fun m j -> Stdlib.max m j.Job.proc) (-1) g.jobs
+      in
+      Array.iteri
+        (fun i j ->
+          let proc_name =
+            match prefixes with
+            | Some ps -> ps.(gi) ^ j.Job.proc_name
+            | None -> j.Job.proc_name
+          in
+          jobs'.(!off + i) <-
+            { j with Job.id = !off + i; proc = j.Job.proc + !proc_off; proc_name };
+          owner.(!off + i) <- (gi, i))
+        g.jobs;
+      List.iter (fun (u, v) -> Digraph.add_edge dag' (!off + u) (!off + v)) (edges g);
+      off := !off + n_jobs g;
+      proc_off := !proc_off + max_proc + 1)
+    gs;
+  (make jobs' dag', owner)
+
 let map_wcet f t =
   let jobs' = Array.map (fun j -> { j with Job.wcet = f j }) t.jobs in
   make jobs' (Digraph.copy t.dag)

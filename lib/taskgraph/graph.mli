@@ -43,6 +43,18 @@ val induced : keep:(Job.t -> bool) -> t -> t * int array
     the restriction still respects the original ordering constraints.
     @raise Invalid_argument if no job is kept. *)
 
+val disjoint_union : ?prefixes:string array -> t list -> t * (int * int) array
+(** [disjoint_union gs] merges several task graphs into one: job ids are
+    renumbered positionally (graphs in list order), process indices are
+    offset per graph so [jobs_of_process] stays disjoint across members,
+    and no cross-graph edges are added.  [prefixes.(i)], if given, is
+    prepended to every process name of graph [i] (useful to keep Gantt
+    and trace labels distinguishable when co-scheduling applications).
+    The returned array maps each merged job id to
+    [(graph index, original job id)].
+    @raise Invalid_argument on an empty list, an empty member graph, or
+    a prefix array of the wrong length. *)
+
 val map_wcet : (Job.t -> Rt_util.Rat.t) -> t -> t
 (** Same structure with per-job WCETs replaced (e.g. switching a
     mixed-criticality graph from optimistic to conservative budgets). *)

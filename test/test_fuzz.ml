@@ -15,6 +15,8 @@ module Oracle = Fppn_fuzz.Oracle
 module Shrink = Fppn_fuzz.Shrink
 module Campaign = Fppn_fuzz.Campaign
 module Report = Fppn_fuzz.Report
+module Pool = Rt_util.Pool
+module Cosched = Sched.Cosched
 
 let ms = Rat.of_int
 
@@ -337,6 +339,90 @@ let test_report_json_shape () =
       "\"trace_seed\"";
     ]
 
+(* --- co-scheduling over fuzzed workloads -------------------------------- *)
+
+(* the same spec distribution the campaign samples, reused to exercise
+   Cosched: pairs of drawn workloads are co-scheduled and the verdict
+   must be invariant under the worker pool (jobs=4 = jobs=1), and the
+   drawn specs themselves must stay honest under the oracle *)
+
+let drawn_specs n =
+  let prng = Prng.create 77 in
+  List.init n (fun _ ->
+      Campaign.draw_spec prng ~max_periodic:3 ~max_sporadic:1)
+
+let graph_of_spec spec =
+  let net = Randgen.build_exn spec in
+  let d =
+    Derive.derive_exn
+      ~wcet:(Randgen.wcet ~scale:(Rat.make 1 4) (Derive.const_wcet Rat.one) net)
+      net
+  in
+  d.Derive.graph
+
+let test_cosched_pairs_jobs_invariant () =
+  let specs = drawn_specs 6 in
+  let rec pairs = function
+    | a :: b :: rest -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  List.iteri
+    (fun i (sa, sb) ->
+      let apps =
+        [
+          { Cosched.app_name = "a"; app_priority = 0; graph = graph_of_spec sa };
+          { Cosched.app_name = "b"; app_priority = 1; graph = graph_of_spec sb };
+        ]
+      in
+      List.iter
+        (fun variant ->
+          let seq_attempts, seq_chosen =
+            Cosched.auto ~variant ~n_procs:2 apps
+          in
+          let par_attempts, par_chosen =
+            Pool.with_pool ~jobs:4 (fun pool ->
+                Cosched.auto ~pool ~variant ~n_procs:2 apps)
+          in
+          let ctx =
+            Printf.sprintf "pair %d, %s" i (Cosched.variant_to_string variant)
+          in
+          Alcotest.(check int)
+            (ctx ^ ": same attempt count")
+            (List.length seq_attempts)
+            (List.length par_attempts);
+          List.iter2
+            (fun (s : Cosched.attempt) (p : Cosched.attempt) ->
+              Alcotest.(check bool)
+                (ctx ^ ": same heuristic order")
+                true (s.Cosched.heuristic = p.Cosched.heuristic);
+              Alcotest.(check string)
+                (ctx ^ ": jobs=4 attempt equals jobs=1")
+                (Cosched.to_json s.Cosched.result)
+                (Cosched.to_json p.Cosched.result))
+            seq_attempts par_attempts;
+          match (seq_chosen, par_chosen) with
+          | None, None -> ()
+          | Some s, Some p ->
+            Alcotest.(check string)
+              (ctx ^ ": jobs=4 chosen equals jobs=1")
+              (Cosched.to_json s.Cosched.result)
+              (Cosched.to_json p.Cosched.result)
+          | _ -> Alcotest.failf "%s: pool changed the admission verdict" ctx)
+        [ Cosched.Fair; Cosched.Slots ])
+    (pairs specs)
+
+let test_cosched_drawn_specs_honest () =
+  (* an honest (unsabotaged) drawn workload must never diverge under the
+     oracle, whether or not its graphs are co-schedulable *)
+  List.iteri
+    (fun i spec ->
+      match Oracle.check (base_case spec Oracle.No_sabotage) with
+      | Oracle.Pass _ | Oracle.Skip _ -> ()
+      | Oracle.Fail d ->
+        Alcotest.failf "drawn spec %d diverged: %s" i
+          (Format.asprintf "%a" Oracle.pp_divergence d))
+    (drawn_specs 4)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -375,5 +461,12 @@ let () =
           Alcotest.test_case "per-case timings recorded" `Quick
             test_campaign_records_case_times;
           Alcotest.test_case "json report shape" `Quick test_report_json_shape;
+        ] );
+      ( "cosched",
+        [
+          Alcotest.test_case "co-scheduled pairs jobs-invariant" `Quick
+            test_cosched_pairs_jobs_invariant;
+          Alcotest.test_case "drawn specs honest under oracle" `Quick
+            test_cosched_drawn_specs_honest;
         ] );
     ]

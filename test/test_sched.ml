@@ -181,6 +181,58 @@ let test_auto_parallel_equals_sequential () =
         (seq_attempts = par_attempts);
       Alcotest.(check bool) "same chosen attempt" true (seq_best = par_best))
 
+let test_cosched_auto_parallel_equals_sequential () =
+  (* the multi-application portfolio must be pool-invariant too, for
+     both co-scheduling variants *)
+  let module Cosched = Sched.Cosched in
+  let graph_of wcet net = (Derive.derive_exn ~wcet net).Derive.graph in
+  let apps =
+    [
+      {
+        Cosched.app_name = "fig1";
+        app_priority = 0;
+        graph = graph_of Fppn_apps.Fig1.wcet (Fppn_apps.Fig1.network ());
+      };
+      {
+        Cosched.app_name = "auto";
+        app_priority = 1;
+        graph =
+          graph_of Fppn_apps.Automotive.wcet (Fppn_apps.Automotive.network ());
+      };
+    ]
+  in
+  List.iter
+    (fun variant ->
+      let seq_attempts, seq_chosen = Cosched.auto ~variant ~n_procs:3 apps in
+      Rt_util.Pool.with_pool ~jobs:4 (fun pool ->
+          let par_attempts, par_chosen =
+            Cosched.auto ~pool ~variant ~n_procs:3 apps
+          in
+          let name = Cosched.variant_to_string variant in
+          Alcotest.(check int)
+            (name ^ ": same attempt count")
+            (List.length seq_attempts)
+            (List.length par_attempts);
+          List.iter2
+            (fun (s : Cosched.attempt) (p : Cosched.attempt) ->
+              Alcotest.(check bool)
+                (name ^ ": same heuristic order")
+                true (s.Cosched.heuristic = p.Cosched.heuristic);
+              Alcotest.(check string)
+                (name ^ ": same attempt schedule")
+                (Cosched.to_json s.Cosched.result)
+                (Cosched.to_json p.Cosched.result))
+            seq_attempts par_attempts;
+          match (seq_chosen, par_chosen) with
+          | None, None -> ()
+          | Some s, Some p ->
+            Alcotest.(check string)
+              (name ^ ": same chosen schedule")
+              (Cosched.to_json s.Cosched.result)
+              (Cosched.to_json p.Cosched.result)
+          | _ -> Alcotest.failf "%s: pool changed feasibility verdict" name))
+    [ Cosched.Fair; Cosched.Slots ]
+
 (* --- priority optimizer ----------------------------------------------------- *)
 
 let test_optimizer_never_worse () =
@@ -411,6 +463,8 @@ let () =
           Alcotest.test_case "priority decides" `Quick
             test_list_scheduling_priority_decides;
           Alcotest.test_case "auto on fig1 (Fig. 4)" `Quick test_auto_fig1;
+          Alcotest.test_case "cosched auto on a pool" `Quick
+            test_cosched_auto_parallel_equals_sequential;
           Alcotest.test_case "auto on a pool" `Quick
             test_auto_parallel_equals_sequential;
         ] );
