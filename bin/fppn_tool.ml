@@ -618,15 +618,15 @@ let simulate_term, simulate_doc =
     Format.printf "%a@." Runtime.Exec_trace.pp_stats r.Engine.stats;
     if per_process then
       Format.printf "%a" Runtime.Exec_trace.pp_by_process
-        (Runtime.Exec_trace.by_process r.Engine.trace);
+        (Runtime.Exec_trace.by_process (Engine.trace r));
     Option.iter
       (fun path ->
-        Runtime.Export.write_file path (Runtime.Export.to_json r.Engine.trace);
+        Runtime.Export.write_file path (Runtime.Export.to_json (Engine.trace r));
         Printf.printf "trace written to %s (json)\n" path)
       json_out;
     Option.iter
       (fun path ->
-        Runtime.Export.write_file path (Runtime.Export.to_csv r.Engine.trace);
+        Runtime.Export.write_file path (Runtime.Export.to_csv (Engine.trace r));
         Printf.printf "trace written to %s (csv)\n" path)
       csv_out;
     Option.iter
@@ -634,11 +634,11 @@ let simulate_term, simulate_doc =
         Runtime.Export.write_file path
           (Rt_util.Gantt.to_svg
              ~title:(Printf.sprintf "%s execution (M=%d, %d frames)" app_name n_procs frames)
-             (Runtime.Exec_trace.to_gantt_rows ~runtime_row:r.Engine.overhead_segments
-                r.Engine.trace));
+             (Runtime.Exec_trace.to_gantt_rows ~runtime_row:(Engine.overhead_segments r)
+                (Engine.trace r)));
         Printf.printf "gantt chart written to %s (svg)\n" path)
       svg_out;
-    (match Runtime.Exec_trace.misses_by_process r.Engine.trace with
+    (match Runtime.Exec_trace.misses_by_process (Engine.trace r) with
     | [] -> ()
     | per ->
       print_endline "misses by process:";
@@ -666,11 +666,11 @@ let simulate_term, simulate_doc =
         | [ source; sink ] ->
           (try
              Format.printf "%a" Runtime.Latency.pp
-               (Runtime.Latency.analyse g ~source ~sink r.Engine.trace)
+               (Runtime.Latency.analyse g ~source ~sink (Engine.trace r))
            with Invalid_argument msg -> Printf.printf "latency %s: %s\n" spec msg)
         | _ -> Printf.eprintf "bad --latency spec %S (expected SRC:SNK)\n" spec)
       latency;
-    obs_finish ~model:(Runtime.Export.to_chrome r.Engine.trace) trace_out
+    obs_finish ~model:(Runtime.Export.to_chrome (Engine.trace r)) trace_out
   in
   let jitter =
     Arg.(
@@ -1225,7 +1225,7 @@ let profile_cmd =
       rows;
     Printf.printf "\nmetrics snapshot:\n%s\n"
       (Json.to_string (Obs_metrics.snapshot ()));
-    obs_finish ~model:(Runtime.Export.to_chrome r.Engine.trace) trace_out
+    obs_finish ~model:(Runtime.Export.to_chrome (Engine.trace r)) trace_out
   in
   let jitter =
     Arg.(

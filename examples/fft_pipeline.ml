@@ -57,7 +57,7 @@ let () =
     rt.Runtime.Engine.stats;
 
   (* check the computed spectra against the naive DFT *)
-  let spectra = List.assoc "spectrum" rt.Runtime.Engine.output_history in
+  let spectra = List.assoc "spectrum" (Runtime.Engine.output_history rt) in
   let ok = ref 0 in
   List.iteri
     (fun i v ->

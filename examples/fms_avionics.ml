@@ -90,7 +90,7 @@ let () =
 
   (* a peek at the flight outputs *)
   let show name n =
-    match List.assoc_opt name rt.Engine.output_history with
+    match List.assoc_opt name (Engine.output_history rt) with
     | Some history ->
       let first = List.filteri (fun i _ -> i < n) history in
       Printf.printf "  %-12s (first %d of %d): %s\n" name n

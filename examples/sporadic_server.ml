@@ -110,7 +110,7 @@ let describe ~config_first =
       match v with
       | V.Pair (V.Int k, cfg) -> Printf.printf "  Worker[%d] saw cfg = %s\n" k (V.to_string cfg)
       | _ -> ())
-    (List.assoc "out" rt.Engine.output_history);
+    (List.assoc "out" (Engine.output_history rt));
   Format.printf "%a@." Runtime.Exec_trace.pp_stats rt.Engine.stats
 
 let () =

@@ -1,0 +1,10 @@
+(** A network purpose-built for the perf harness's allocation gate:
+    four periodic processes whose job bodies perform no channel access
+    and construct no value.  Every byte allocated while simulating a
+    steady frame is therefore engine overhead, which the gate requires
+    to be zero. *)
+
+val network : unit -> Fppn.Network.t
+
+val wcet : Taskgraph.Derive.wcet_map
+(** 20 ms for every process (fits two per 100 ms period per core). *)

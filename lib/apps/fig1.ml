@@ -49,13 +49,15 @@ let filter_a_body (ctx : Process.job_ctx) =
 (* NormA: automatic gain control feeding back to FilterA.  FilterA runs
    at twice NormA's rate, so the job drains the FIFO and uses the most
    recent sample (keeping the queue bounded). *)
+(* top-level drains: a local [let rec] would close over [ctx] and
+   allocate on every job *)
+let rec drain_norm (ctx : Process.job_ctx) last =
+  match ctx.Process.read ch_filter_a_to_norm with
+  | V.Absent -> last
+  | v -> drain_norm ctx v
+
 let norm_a_body (ctx : Process.job_ctx) =
-  let rec drain last =
-    match ctx.Process.read ch_filter_a_to_norm with
-    | V.Absent -> last
-    | v -> drain v
-  in
-  match drain V.Absent with
+  match drain_norm ctx V.Absent with
   | V.Absent -> ()
   | v ->
     let gain = 1.0 /. (1.0 +. Float.abs (V.to_float v)) in
@@ -82,15 +84,14 @@ let coef_b_body (ctx : Process.job_ctx) =
 
 (* OutputA: emits every sample FilterA produced since the last job (two
    per period in steady state), keeping the FIFO bounded. *)
-let output_a_body (ctx : Process.job_ctx) =
-  let rec drain () =
-    match ctx.Process.read ch_filter_a_to_output with
-    | V.Absent -> ()
-    | v ->
-      ctx.Process.write "out_a" v;
-      drain ()
-  in
-  drain ()
+let rec drain_out_a (ctx : Process.job_ctx) =
+  match ctx.Process.read ch_filter_a_to_output with
+  | V.Absent -> ()
+  | v ->
+    ctx.Process.write "out_a" v;
+    drain_out_a ctx
+
+let output_a_body (ctx : Process.job_ctx) = drain_out_a ctx
 
 let output_b_body (ctx : Process.job_ctx) =
   ctx.Process.write "out_b" (ctx.Process.read ch_filter_b_to_output)

@@ -3,58 +3,93 @@ type kind = Fifo | Blackboard
 let kind_to_string = function Fifo -> "fifo" | Blackboard -> "blackboard"
 let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
 
-type state =
-  | Queue of Value.t Queue.t
-  | Board of Value.t option ref
-
+(* One growable array of every value ever written doubles as the
+   channel state: a FIFO's unread contents are the suffix [rd..n_hist)
+   (preceded by the initial value while unconsumed), and a blackboard's
+   current value is the last write.  A write is then a bounds check and
+   a store — no list cell, no queue node — and [history] only
+   materializes its list when asked. *)
 type t = {
   ch_kind : kind;
   init : Value.t option;
-  state : state;
-  mutable writes : Value.t list; (* reversed *)
+  mutable hist : Value.t array;
+  mutable n_hist : int;
+  mutable rd : int;  (* FIFO: next unread index into [hist] *)
+  mutable init_pending : bool;  (* FIFO: [init] not yet consumed *)
 }
 
-let fill state init =
-  match (state, init) with
-  | _, None -> ()
-  | Queue q, Some v -> Queue.push v q
-  | Board b, Some v -> b := Some v
-
 let create ?init ch_kind =
-  let state =
-    match ch_kind with Fifo -> Queue (Queue.create ()) | Blackboard -> Board (ref None)
-  in
-  fill state init;
-  { ch_kind; init; state; writes = [] }
+  {
+    ch_kind;
+    init;
+    hist = [||];
+    n_hist = 0;
+    rd = 0;
+    init_pending = (ch_kind = Fifo && init <> None);
+  }
 
 let kind t = t.ch_kind
 
 let write t v =
-  t.writes <- v :: t.writes;
-  match t.state with
-  | Queue q -> Queue.push v q
-  | Board b -> b := Some v
+  let n = t.n_hist in
+  if n = Array.length t.hist then begin
+    let nh = Array.make (if n = 0 then 8 else 2 * n) Value.Absent in
+    Array.blit t.hist 0 nh 0 n;
+    t.hist <- nh
+  end;
+  Array.unsafe_set t.hist n v;
+  t.n_hist <- n + 1
+
+let last_or_init t =
+  if t.n_hist > 0 then t.hist.(t.n_hist - 1)
+  else match t.init with Some v -> v | None -> Value.Absent
 
 let read t =
-  match t.state with
-  | Queue q -> (match Queue.take_opt q with Some v -> v | None -> Value.Absent)
-  | Board b -> (match !b with Some v -> v | None -> Value.Absent)
+  match t.ch_kind with
+  | Blackboard -> last_or_init t
+  | Fifo ->
+    if t.init_pending then begin
+      t.init_pending <- false;
+      match t.init with Some v -> v | None -> Value.Absent
+    end
+    else if t.rd < t.n_hist then begin
+      let v = t.hist.(t.rd) in
+      t.rd <- t.rd + 1;
+      v
+    end
+    else Value.Absent
 
 let peek t =
-  match t.state with
-  | Queue q -> (match Queue.peek_opt q with Some v -> v | None -> Value.Absent)
-  | Board b -> (match !b with Some v -> v | None -> Value.Absent)
+  match t.ch_kind with
+  | Blackboard -> last_or_init t
+  | Fifo ->
+    if t.init_pending then
+      match t.init with Some v -> v | None -> Value.Absent
+    else if t.rd < t.n_hist then t.hist.(t.rd)
+    else Value.Absent
 
 let occupancy t =
-  match t.state with
-  | Queue q -> Queue.length q
-  | Board b -> (match !b with Some _ -> 1 | None -> 0)
+  match t.ch_kind with
+  | Blackboard ->
+    if t.n_hist > 0 || t.init <> None then 1 else 0
+  | Fifo -> (if t.init_pending then 1 else 0) + t.n_hist - t.rd
 
-let history t = List.rev t.writes
+let history t = Array.to_list (Array.sub t.hist 0 t.n_hist)
+
+type snapshot = { s_hist : Value.t array; s_n : int }
+
+(* O(1): captures the current backing array and write count.  Later
+   appends only write at indices >= [s_n] (growth swaps in a new
+   array), so the snapshot stays valid as long as the channel is not
+   {!reset} — and [reset] drops the backing array for exactly that
+   reason. *)
+let snapshot t = { s_hist = t.hist; s_n = t.n_hist }
+let snapshot_history s = Array.to_list (Array.sub s.s_hist 0 s.s_n)
 
 let reset t =
-  (match t.state with
-  | Queue q -> Queue.clear q
-  | Board b -> b := None);
-  fill t.state t.init;
-  t.writes <- []
+  (* drop, don't rewind: an outstanding {!snapshot} may still alias the
+     old array, so the reused channel must start on a fresh one *)
+  t.hist <- [||];
+  t.n_hist <- 0;
+  t.rd <- 0;
+  t.init_pending <- t.ch_kind = Fifo && t.init <> None

@@ -40,6 +40,16 @@ val occupancy : t -> int
 val history : t -> Value.t list
 (** All values ever written, oldest first. *)
 
+type snapshot
+(** An O(1) capture of the write history at a point in time.  Stays
+    valid across later {!write}s; invalidated only by nothing — a
+    {!reset} channel moves to a fresh backing store precisely so that
+    outstanding snapshots keep reading the old one. *)
+
+val snapshot : t -> snapshot
+val snapshot_history : snapshot -> Value.t list
+(** The values captured by {!snapshot}, oldest first. *)
+
 val reset : t -> unit
 (** Restores the freshly-created state (including [init]) and clears
     the history. *)

@@ -1,37 +1,63 @@
+(* Locals live in two parallel arrays scanned linearly: processes
+   declare a handful of variables at most, and the scan beats hashing
+   the name on every [get]/[set] of the job hot path. *)
 type t = {
   proc : Process.t;
-  locals : (string, Value.t) Hashtbl.t;
+  l_names : string array;
+  l_vals : Value.t array;
   mutable count : int;
 }
 
-let load_locals locals proc =
-  Hashtbl.reset locals;
-  List.iter (fun (x, v) -> Hashtbl.replace locals x v) proc.Process.locals
+let rec local_scan names x i n =
+  if i >= n then -1
+  else if String.equal (Array.unsafe_get names i) x then i
+  else local_scan names x (i + 1) n
+
+(* duplicate declarations collapse to one slot, last value winning —
+   the same observable behaviour as the hash table this replaces *)
+let distinct_names decls =
+  List.fold_left
+    (fun acc (x, _) -> if List.mem x acc then acc else x :: acc)
+    [] decls
+  |> List.rev |> Array.of_list
+
+let load_locals t =
+  List.iter
+    (fun (x, v) ->
+      let i = local_scan t.l_names x 0 (Array.length t.l_names) in
+      t.l_vals.(i) <- v)
+    t.proc.Process.locals
 
 let create proc =
-  let locals = Hashtbl.create 8 in
-  load_locals locals proc;
-  { proc; locals; count = 0 }
+  let names = distinct_names proc.Process.locals in
+  let t =
+    { proc; l_names = names; l_vals = Array.make (Array.length names) Value.Absent;
+      count = 0 }
+  in
+  load_locals t;
+  t
 
 let process t = t.proc
 let job_count t = t.count
 
 let get t x =
-  match Hashtbl.find_opt t.locals x with
-  | Some v -> v
-  | None -> raise Not_found
+  let i = local_scan t.l_names x 0 (Array.length t.l_names) in
+  if i < 0 then raise Not_found else t.l_vals.(i)
+
+let undeclared proc x =
+  invalid_arg
+    (Printf.sprintf "process %s: undeclared variable %S" (Process.name proc) x)
 
 let run_job t ~now ~read ~write =
   let k = t.count + 1 in
   let lookup x =
-    match Hashtbl.find_opt t.locals x with
-    | Some v -> v
-    | None ->
-      invalid_arg
-        (Printf.sprintf "process %s: undeclared variable %S"
-           (Process.name t.proc) x)
+    let i = local_scan t.l_names x 0 (Array.length t.l_names) in
+    if i < 0 then undeclared t.proc x else t.l_vals.(i)
   in
-  let assign x v = Hashtbl.replace t.locals x v in
+  let assign x v =
+    let i = local_scan t.l_names x 0 (Array.length t.l_names) in
+    if i < 0 then undeclared t.proc x else t.l_vals.(i) <- v
+  in
   (match t.proc.Process.behavior with
   | Process.Native body ->
     body
@@ -50,8 +76,51 @@ let run_job t ~now ~read ~write =
     ignore (Automaton.run_job a env));
   t.count <- k
 
+(* Hot interpreters rebind one preallocated context per invocation
+   instead of rebuilding the closures and the context record above on
+   every job — [prepare] pays the construction once per (instance,
+   router) pair, [run_prepared] touches only mutable fields. *)
+type prepared =
+  | Pnative of Process.job_ctx * (Process.job_ctx -> unit)
+  | Pauto of Automaton.t * Automaton.env
+
+let prepare t ~read ~write =
+  let lookup x =
+    let i = local_scan t.l_names x 0 (Array.length t.l_names) in
+    if i < 0 then undeclared t.proc x else Array.unsafe_get t.l_vals i
+  in
+  let assign x v =
+    let i = local_scan t.l_names x 0 (Array.length t.l_names) in
+    if i < 0 then undeclared t.proc x else Array.unsafe_set t.l_vals i v
+  in
+  match t.proc.Process.behavior with
+  | Process.Native body ->
+    Pnative
+      ( {
+          Process.job_index = 0;
+          now = Rt_util.Rat.zero;
+          read;
+          write;
+          get = lookup;
+          set = assign;
+        },
+        body )
+  | Process.Automaton a ->
+    Pauto
+      (a, { Automaton.lookup; assign; read_channel = read; write_channel = write })
+
+let run_prepared t p ~now =
+  let k = t.count + 1 in
+  (match p with
+  | Pnative (ctx, body) ->
+    ctx.Process.job_index <- k;
+    ctx.Process.now <- now;
+    body ctx
+  | Pauto (a, env) -> ignore (Automaton.run_job a env));
+  t.count <- k
+
 let skip_job t = t.count <- t.count + 1
 
 let reset t =
-  load_locals t.locals t.proc;
+  load_locals t;
   t.count <- 0

@@ -26,6 +26,26 @@ val run_job :
     channel names (the caller adds trace recording and internal/external
     routing).  Increments the job counter. *)
 
+type prepared
+(** A behavior pre-bound to a channel router: the job context (or
+    automaton environment) is allocated once and rebound per
+    invocation. *)
+
+val prepare :
+  t ->
+  read:(string -> Value.t) ->
+  write:(string -> Value.t -> unit) ->
+  prepared
+(** Builds the reusable execution context over [read]/[write].  The
+    closures are captured for the lifetime of the result, so they must
+    route against live state (e.g. read a mutable input-feed field
+    rather than capture a feed value). *)
+
+val run_prepared : t -> prepared -> now:Rt_util.Rat.t -> unit
+(** Executes one job run through a {!prepare}d context without
+    allocating.  Equivalent to {!run_job} with the same router;
+    increments the job counter. *)
+
 val skip_job : t -> unit
 (** Advances the counter without running the behavior — used when the
     semantics consumes an invocation whose job was marked ['false']

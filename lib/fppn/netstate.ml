@@ -33,9 +33,20 @@ type t = {
   read_targets : route array array;
   write_names : string array array;
   write_targets : route array array;
+  (* the zero-allocation job path: one prepared context per process,
+     whose closures route against [cur_inputs] instead of taking a feed
+     and a recorder per call.  Two variants are prepared: one bumps
+     [access_count] per channel access (needed only when the platform
+     charges a per-access overhead), the other doesn't pay the store.
+     [fast] aliases whichever {!set_access_counting} selected. *)
+  mutable fast : Instance.prepared array;
+  mutable fast_count : Instance.prepared array;
+  mutable fast_plain : Instance.prepared array;
+  mutable cur_inputs : input_feed;
+  mutable access_count : int;
 }
 
-let create net =
+let make_state net =
   let instances =
     Array.map Instance.create (Network.processes net)
   in
@@ -89,17 +100,156 @@ let create net =
     read_targets = targets reads;
     write_names = names writes;
     write_targets = targets writes;
+    fast = [||];
+    fast_count = [||];
+    fast_plain = [||];
+    cur_inputs = no_inputs;
+    access_count = 0;
   }
 
+(* top-level tail recursion: the fast-path closures call this on every
+   channel access, so it must allocate nothing — no inner closure, no
+   option; [-1] = not found *)
+let rec route_scan names c i n =
+  if i >= n then -1
+  else if String.equal (Array.unsafe_get names i) c then i
+  else route_scan names c (i + 1) n
+
+(* Call-site cache scan: process bodies name channels with string
+   literals, so the very same string *object* recurs at each call site.
+   A physical-equality probe over the few objects seen so far resolves
+   the route without touching the string bytes; [-1] = not cached. *)
+let rec cache_scan cache_names cache_idx c i n =
+  if i >= n then -1
+  else if Array.unsafe_get cache_names i == c then Array.unsafe_get cache_idx i
+  else cache_scan cache_names cache_idx c (i + 1) n
+
 let find_route names targets c =
-  let n = Array.length names in
-  let rec scan i =
-    if i >= n then None
-    else if String.equal (Array.unsafe_get names i) c then
-      Some (Array.unsafe_get targets i)
-    else scan (i + 1)
+  let i = route_scan names c 0 (Array.length names) in
+  if i < 0 then None else Some targets.(i)
+
+let create net =
+  let t = make_state net in
+  let n = Array.length t.instances in
+  let prepare_variant ~counting p =
+    let inst = t.instances.(p) in
+    let pname = Process.name (Instance.process inst) in
+    let unknown dir c =
+      invalid_arg
+        (Printf.sprintf "process %s: %s to unattached channel %S" pname dir c)
+    in
+    let rnames = t.read_names.(p) and rtargets = t.read_targets.(p) in
+    let wnames = t.write_names.(p) and wtargets = t.write_targets.(p) in
+    (* per-direction call-site caches (see [cache_scan]); capped so
+       dynamically-built names degrade to [route_scan], never grow.
+       Slot 0/1 probes are hand-inlined in the closures below: almost
+       every process touches at most two channels per direction, so the
+       common access resolves in one or two pointer compares without a
+       single out-of-line call.  The [""] filler can never alias a
+       caller's string, so unused slots never match. *)
+    let rc_names = Array.make 8 "" and rc_idx = Array.make 8 0 in
+    let rc_n = ref 0 in
+    let wc_names = Array.make 8 "" and wc_idx = Array.make 8 0 in
+    let wc_n = ref 0 in
+    let resolve names cn ci cnt c =
+      let i = cache_scan cn ci c 2 !cnt in
+      if i >= 0 then i
+      else begin
+        let i = route_scan names c 0 (Array.length names) in
+        (if i >= 0 && !cnt < Array.length cn then begin
+           Array.unsafe_set cn !cnt c;
+           Array.unsafe_set ci !cnt i;
+           incr cnt
+         end);
+        i
+      end
+    in
+    let do_read c i =
+      if i < 0 then unknown "read" c
+      else
+        match Array.unsafe_get rtargets i with
+        | Internal state -> Channel.read state
+        | Ext_input -> t.cur_inputs c (Instance.job_count inst + 1)
+        | Ext_output _ -> unknown "read" c
+    in
+    let do_write c v i =
+      if i < 0 then unknown "write" c
+      else
+        match Array.unsafe_get wtargets i with
+        | Internal state | Ext_output state -> Channel.write state v
+        | Ext_input -> unknown "write" c
+    in
+    let read =
+      if counting then fun c ->
+        t.access_count <- t.access_count + 1;
+        if Array.unsafe_get rc_names 0 == c then
+          do_read c (Array.unsafe_get rc_idx 0)
+        else if Array.unsafe_get rc_names 1 == c then
+          do_read c (Array.unsafe_get rc_idx 1)
+        else do_read c (resolve rnames rc_names rc_idx rc_n c)
+      else fun c ->
+        if Array.unsafe_get rc_names 0 == c then
+          match Array.unsafe_get rtargets (Array.unsafe_get rc_idx 0) with
+          | Internal state -> Channel.read state
+          | Ext_input -> t.cur_inputs c (Instance.job_count inst + 1)
+          | Ext_output _ -> unknown "read" c
+        else if Array.unsafe_get rc_names 1 == c then
+          match Array.unsafe_get rtargets (Array.unsafe_get rc_idx 1) with
+          | Internal state -> Channel.read state
+          | Ext_input -> t.cur_inputs c (Instance.job_count inst + 1)
+          | Ext_output _ -> unknown "read" c
+        else do_read c (resolve rnames rc_names rc_idx rc_n c)
+    in
+    let write =
+      if counting then fun c v ->
+        t.access_count <- t.access_count + 1;
+        if Array.unsafe_get wc_names 0 == c then
+          do_write c v (Array.unsafe_get wc_idx 0)
+        else if Array.unsafe_get wc_names 1 == c then
+          do_write c v (Array.unsafe_get wc_idx 1)
+        else do_write c v (resolve wnames wc_names wc_idx wc_n c)
+      else fun c v ->
+        if Array.unsafe_get wc_names 0 == c then
+          match Array.unsafe_get wtargets (Array.unsafe_get wc_idx 0) with
+          | Internal state | Ext_output state -> Channel.write state v
+          | Ext_input -> unknown "write" c
+        else if Array.unsafe_get wc_names 1 == c then
+          match Array.unsafe_get wtargets (Array.unsafe_get wc_idx 1) with
+          | Internal state | Ext_output state -> Channel.write state v
+          | Ext_input -> unknown "write" c
+        else do_write c v (resolve wnames wc_names wc_idx wc_n c)
+    in
+    Instance.prepare inst ~read ~write
   in
-  scan 0
+  t.fast_count <- Array.init n (prepare_variant ~counting:true);
+  t.fast_plain <- Array.init n (prepare_variant ~counting:false);
+  t.fast <- t.fast_plain;
+  t
+
+let set_inputs t inputs = t.cur_inputs <- inputs
+
+let set_access_counting t b =
+  t.fast <- (if b then t.fast_count else t.fast_plain)
+
+let access_count t = t.access_count
+
+let run_job_fast t ~proc ~now =
+  Instance.run_prepared t.instances.(proc) t.fast.(proc) ~now
+
+(* the replay inner loop of the tick engine: job [i] runs process
+   [procs.(i)] at instant [nows.(now_base + now_idx.(i))].  Hosting the
+   loop here keeps the per-job work to two unchecked loads and one call
+   — the callers guarantee indices in range ([procs]/[now_idx] come
+   from the captured template, [now_base + now_idx] indexes [nows]). *)
+let run_jobs_fast t ~procs ~now_idx ~nows ~now_base ~count =
+  let instances = t.instances and fast = t.fast in
+  for i = 0 to count - 1 do
+    let p = Array.unsafe_get procs i in
+    Instance.run_prepared
+      (Array.unsafe_get instances p)
+      (Array.unsafe_get fast p)
+      ~now:(Array.unsafe_get nows (now_base + Array.unsafe_get now_idx i))
+  done
 
 let network t = t.net
 let instance t i = t.instances.(i)
@@ -182,6 +332,13 @@ let histories states = List.map (fun (n, st) -> (n, Channel.history st)) states
 let channel_history t = histories t.chan_states
 let output_history t = histories t.out_states
 
+(* O(#channels) capture decoupled from the state's lifetime: the engine
+   snapshots at run end, so the state can be reset and reused for the
+   next run while earlier results still materialize their histories *)
+let snapshots states = List.map (fun (n, st) -> (n, Channel.snapshot st)) states
+let channel_snapshot t = snapshots t.chan_states
+let output_snapshot t = snapshots t.out_states
+
 let channel_state t name =
   match List.assoc_opt name t.chan_states with
   | Some st -> st
@@ -193,4 +350,6 @@ let channel_state t name =
 let reset t =
   Array.iter Instance.reset t.instances;
   List.iter (fun (_, st) -> Channel.reset st) t.chan_states;
-  List.iter (fun (_, st) -> Channel.reset st) t.out_states
+  List.iter (fun (_, st) -> Channel.reset st) t.out_states;
+  t.cur_inputs <- no_inputs;
+  t.access_count <- 0

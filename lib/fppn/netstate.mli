@@ -34,6 +34,41 @@ val run_job :
 val skip_job : t -> proc:int -> unit
 (** Consume an invocation without executing (a ['false'] job). *)
 
+val set_inputs : t -> input_feed -> unit
+(** Binds the external input feed consulted by {!run_job_fast}. *)
+
+val run_job_fast : t -> proc:int -> now:Rt_util.Rat.t -> unit
+(** {!run_job} through a per-process context prepared once at
+    {!create}: no recorder, inputs from {!set_inputs}, and no per-call
+    allocation.  When access counting is enabled (see
+    {!set_access_counting}), every channel access (read or write,
+    internal or external) increments the counter reported by
+    {!access_count}; callers that price accesses read the counter
+    around the call. *)
+
+val run_jobs_fast :
+  t ->
+  procs:int array ->
+  now_idx:int array ->
+  nows:Rt_util.Rat.t array ->
+  now_base:int ->
+  count:int ->
+  unit
+(** [run_jobs_fast t ~procs ~now_idx ~nows ~now_base ~count] runs
+    {!run_job_fast} for [i < count] with [proc = procs.(i)] and
+    [now = nows.(now_base + now_idx.(i))] — the tick engine's replay
+    inner loop, hosted here so each job costs two loads and a call.
+    Indices are {e unchecked}: callers must keep them in range. *)
+
+val set_access_counting : t -> bool -> unit
+(** Selects whether {!run_job_fast} counts channel accesses.  Off by
+    default: the counting variant pays a store per access, so callers
+    enable it only when the platform actually charges per access. *)
+
+val access_count : t -> int
+(** Total channel accesses performed through {!run_job_fast} with
+    counting enabled, since {!create}/{!reset}. *)
+
 val run_job_deferred :
   ?recorder:(Trace.action -> unit) ->
   ?inputs:input_feed ->
@@ -53,6 +88,11 @@ val channel_history : t -> (string * Value.t list) list
 
 val output_history : t -> (string * Value.t list) list
 (** External outputs, sorted by name. *)
+
+val channel_snapshot : t -> (string * Channel.snapshot) list
+val output_snapshot : t -> (string * Channel.snapshot) list
+(** O(#channels) history captures that stay valid after the state is
+    {!reset} and reused — see {!Channel.snapshot}. *)
 
 val channel_state : t -> string -> Channel.t
 (** Internal channel or external output recorder by name.

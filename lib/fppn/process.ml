@@ -1,6 +1,6 @@
 type job_ctx = {
-  job_index : int;
-  now : Rt_util.Rat.t;
+  mutable job_index : int;
+  mutable now : Rt_util.Rat.t;
   read : string -> Value.t;
   write : string -> Value.t -> unit;
   get : string -> Value.t;

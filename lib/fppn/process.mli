@@ -9,10 +9,14 @@
 
 (** Capabilities handed to a native job body at invocation [k].
     Channel names are resolved against the process' attached inputs and
-    outputs by the enclosing network. *)
+    outputs by the enclosing network.  The index and time stamp are
+    mutable so interpreters can rebind one preallocated context per
+    invocation instead of allocating a context per job; bodies must not
+    retain the record across invocations. *)
 type job_ctx = {
-  job_index : int;  (** 1-based invocation count [k] of this process *)
-  now : Rt_util.Rat.t;  (** invocation time stamp *)
+  mutable job_index : int;
+      (** 1-based invocation count [k] of this process *)
+  mutable now : Rt_util.Rat.t;  (** invocation time stamp *)
   read : string -> Value.t;  (** [read c] — {!Value.Absent} if no data *)
   write : string -> Value.t -> unit;
   get : string -> Value.t;  (** local variable (persists across jobs) *)

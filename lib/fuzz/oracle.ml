@@ -206,7 +206,7 @@ let check case =
                         compare_sig label (Engine.signature rt);
                         if running () then begin
                           incr comparisons;
-                          match Exec_trace.check d_sut.Derive.graph rt.Engine.trace with
+                          match Exec_trace.check d_sut.Derive.graph (Engine.trace rt) with
                           | [] -> ()
                           | vs ->
                             record

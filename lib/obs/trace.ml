@@ -162,6 +162,14 @@ let with_span name f =
       raise e
   end
 
+(* Closure-free span edges for hot loops: [with_span_id] allocates a
+   closure per call site when its body captures loop state, which is
+   exactly what the tick engine's per-job spans would do.  The caller
+   must pair begin/end; an escaping exception between them loses the
+   open span (tolerable — the run is crashing). *)
+let span_begin id = if !on then begin_span (my_buf ()) id
+let span_end () = if !on then end_span (my_buf ())
+
 let instant_id id =
   if !on then
     let b = my_buf () in

@@ -47,6 +47,16 @@ val with_span_id : id -> (unit -> 'a) -> 'a
 (** {!with_span} with a pre-interned name — no hash lookup on the
     record path. *)
 
+val span_begin : id -> unit
+(** Opens a span on the calling domain's stack without wrapping a
+    closure — the zero-allocation form of {!with_span_id} for hot
+    loops whose body would otherwise capture loop state.  Must be
+    balanced by {!span_end}; an exception escaping between the two
+    loses the open span. *)
+
+val span_end : unit -> unit
+(** Closes the innermost {!span_begin} span and records it. *)
+
 val instant : string -> unit
 (** Record a point event (e.g. a deadline miss, a bound update). *)
 

@@ -1,6 +1,7 @@
 module Rat = Rt_util.Rat
 module Timebase = Rt_util.Timebase
 module Pqueue = Rt_util.Pqueue
+module Iheap = Rt_util.Iheap
 module Trace = Fppn_obs.Trace
 module Metrics = Fppn_obs.Metrics
 module Network = Fppn.Network
@@ -29,14 +30,25 @@ let default_config ?(frames = 1) ~n_procs () =
     inputs = Netstate.no_inputs;
   }
 
+(* Traces, histories and overhead segments are produced lazily: the
+   compiled core keeps its records as packed int arrays and most
+   consumers (benchmarks, statistics, gates) never look at the rational
+   view, so materializing it per run would dominate both time and
+   allocation of short simulations.  Forcing is not synchronized —
+   a result is meant to be consumed by the domain that ran it. *)
 type result = {
-  trace : Exec_trace.t;
-  channel_history : (string * Fppn.Value.t list) list;
-  output_history : (string * Fppn.Value.t list) list;
+  trace : Exec_trace.t Lazy.t;
+  channel_history : (string * Fppn.Value.t list) list Lazy.t;
+  output_history : (string * Fppn.Value.t list) list Lazy.t;
   stats : Exec_trace.stats;
   unhandled_events : (string * Rat.t) list;
-  overhead_segments : (int * Rat.t * Rat.t) list;
+  overhead_segments : (int * Rat.t * Rat.t) list Lazy.t;
 }
+
+let trace r = Lazy.force r.trace
+let channel_history r = Lazy.force r.channel_history
+let output_history r = Lazy.force r.output_history
+let overhead_segments r = Lazy.force r.overhead_segments
 
 (* Map every (server job id, frame) to the real sporadic event it
    handles, applying the Fig. 2 boundary rule.  Returns the map plus the
@@ -65,6 +77,9 @@ let assign_sporadic_events net (derived : Derive.t) ~frames ~hyperperiod traces 
         else Rat.(stamp >= lo) && Rat.(stamp < b)
       in
       let consumed = Hashtbl.create 16 in
+      (* no real events: every slot of this server is 'false' and the
+         whole window scan (frames · slots rational steps) is a no-op *)
+      if stamps <> [] then
       for frame = 0 to frames - 1 do
         for slot = 1 to slots_per_frame do
           let rel = Rat.mul ts (Rat.of_int (slot - 1)) in
@@ -311,12 +326,13 @@ let exec_rat net (derived : Derive.t) sched config ~assigned ~unhandled_events =
       !records
   in
   {
-    trace;
-    channel_history = Netstate.channel_history state;
-    output_history = Netstate.output_history state;
+    trace = Lazy.from_val trace;
+    channel_history = lazy (Netstate.channel_history state);
+    output_history = lazy (Netstate.output_history state);
     stats = Exec_trace.stats trace;
     unhandled_events;
-    overhead_segments = overhead_segments_of config ~frame_base ~overhead_end;
+    overhead_segments =
+      lazy (overhead_segments_of config ~frame_base ~overhead_end);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -340,28 +356,12 @@ type tick_plan = {
   per_access_t : int;
   arr_t : int array;  (* per job: phase within the frame *)
   dl_rel_t : int array;  (* per job: relative deadline of its process *)
-  wcet_t : int array;  (* per job: WCET, the whole duration under Constant *)
   is_server : bool array;
   proc_of : int array;  (* per job: scheduled processor *)
+  body_proc : int array;  (* per job: network process index *)
   stamp_t : (int * int, int) Hashtbl.t;  (* (job, frame) -> event ticks *)
-  const_exec : bool;  (* durations come from [wcet_t], never sampled *)
-  pbits : int;  (* event encoding: (tick lsl pbits) lor proc *)
-}
-
-(* Ticks stay below 2^55 ([Timebase]'s magnitude cap) and a finish time
-   adds at most one more bit, so a processor index up to 6 bits packs
-   with the tick into one immediate int — the event queue then never
-   allocates. *)
-let max_pbits = 6
-
-type tick_record = {
-  tr_job : int;
-  tr_frame : int;
-  tr_invoked : int;
-  tr_start : int;
-  tr_finish : int;
-  tr_deadline : int;
-  tr_skipped : bool;
+  dur_t : int array option;
+      (* per job: fixed duration ticks; [None] = draw per execution *)
 }
 
 type tick_proc = {
@@ -369,21 +369,33 @@ type tick_proc = {
   mutable t_frame : int;
   mutable t_pos : int;
   mutable t_busy : bool;
-  mutable t_finish : int;  (* valid while [t_busy] *)
-  mutable t_run : tick_record;  (* record-in-progress while busy *)
+  (* the record-in-progress while busy, final since start time *)
+  mutable t_job : int;
+  mutable t_invoked : int;
+  mutable t_start : int;
+  mutable t_finish : int;
+  mutable t_deadline : int;
   mutable t_missing : int;  (* wake-list registrations outstanding *)
 }
 
-let dummy_record =
-  {
-    tr_job = -1;
-    tr_frame = 0;
-    tr_invoked = 0;
-    tr_start = 0;
-    tr_finish = 0;
-    tr_deadline = 0;
-    tr_skipped = false;
-  }
+(* index of the only set bit of [b] *)
+let bit_index b =
+  let i = ref 0 and b = ref b in
+  while !b land 1 = 0 do
+    if !b land 0xffffffff = 0 then begin
+      b := !b lsr 32;
+      i := !i + 32
+    end
+    else if !b land 0xff = 0 then begin
+      b := !b lsr 8;
+      i := !i + 8
+    end
+    else begin
+      b := !b lsr 1;
+      incr i
+    end
+  done;
+  !i
 
 (* Compile the run onto a tick grid, or [None] when any time cannot be
    represented (unpredictable execution-time model, common-denominator
@@ -393,22 +405,23 @@ let tick_compile net (derived : Derive.t) sched config ~assigned =
   let g = derived.Derive.graph in
   let n = Graph.n_jobs g in
   let jobs = Graph.jobs g in
-  let n_procs = config.platform.Platform.n_procs in
-  let rec bits_for k acc = if k <= 1 then acc else bits_for (k lsr 1) (acc + 1) in
-  let pbits = bits_for n_procs 0 + if n_procs land (n_procs - 1) = 0 then 0 else 1 in
-  if pbits > max_pbits then None
-  else
-  let wcets = Array.to_list (Array.map (fun j -> j.Job.wcet) jobs) in
-  match Exec_time.tick_extras config.exec ~wcets with
-  | None -> None
-  | Some extras -> (
+  match Exec_time.durations config.exec ~jobs with
+  | Exec_time.Opaque -> None
+  | (Exec_time.Fixed _ | Exec_time.Extras _) as durs -> (
+    let dur_times =
+      match durs with
+      | Exec_time.Fixed a -> Array.to_list a
+      | Exec_time.Extras l -> l
+      | Exec_time.Opaque -> []
+    in
     match
       let ov = config.platform.Platform.overhead in
       let times =
         derived.Derive.hyperperiod :: ov.Platform.first_frame
         :: ov.Platform.steady_frame :: ov.Platform.per_access
         :: Hashtbl.fold (fun _ stamp acc -> stamp :: acc) assigned []
-        @ extras @ wcets
+        @ dur_times
+        @ Array.to_list (Array.map (fun j -> j.Job.wcet) jobs)
         @ Array.to_list (Array.map (fun j -> j.Job.arrival) jobs)
         @ List.init (Network.n_processes net) (fun p ->
               Process.deadline (Network.process net p))
@@ -437,16 +450,201 @@ let tick_compile net (derived : Derive.t) sched config ~assigned =
             Array.map
               (fun j -> tk (Process.deadline (Network.process net j.Job.proc)))
               jobs;
-          wcet_t = Array.map (fun j -> tk j.Job.wcet) jobs;
           is_server = Array.map (fun j -> j.Job.is_server) jobs;
           proc_of = Array.init n (Static_schedule.proc sched);
+          body_proc = Array.map (fun j -> j.Job.proc) jobs;
           stamp_t;
-          const_exec = Exec_time.is_constant config.exec;
-          pbits;
+          dur_t =
+            (match durs with
+            | Exec_time.Fixed a -> Some (Array.map tk a)
+            | Exec_time.Extras _ | Exec_time.Opaque -> None);
         }
       with
       | plan -> Some plan
       | exception (Timebase.Inexact | Rat.Overflow) -> None))
+
+(* Pooled network state, one per domain: building instances, channel
+   states, route tables and prepared job contexts costs microseconds,
+   and repeated runs over the same network (benchmarks, fuzz campaigns,
+   periodic re-simulation) reuse the previous run's state after a
+   [reset].  Results stay valid across reuse because they capture
+   history {e snapshots} (see {!Fppn.Channel.snapshot}), never the
+   state itself. *)
+let state_pool_key : (Network.t * Netstate.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let pooled_state net =
+  let pool = Domain.DLS.get state_pool_key in
+  match !pool with
+  | Some (pn, st) when pn == net ->
+    Netstate.reset st;
+    st
+  | _ ->
+    let st = Netstate.create net in
+    pool := Some (net, st);
+    st
+
+(* Per-plan engine scratch: every working array of [exec_ticks] whose
+   shape depends only on the compiled plan and the schedule.  The plan
+   memo hands back the same plan object across repeated identical runs,
+   so keying on physical equality of (plan, schedule) makes reruns pay
+   a handful of [Array.fill]s instead of rebuilding the dependence
+   segments and reallocating a dozen arrays. *)
+type tick_scratch = {
+  sc_plan : tick_plan;
+  sc_sched : Static_schedule.t;
+  sc_procs : tick_proc array;
+  sc_completions : int array;
+  (* flat predecessor segments, and per-job waiter segments sized by
+     out-degree: a processor registers on a job only while its current
+     job has it as predecessor, and distinct registrants host distinct
+     successors, so out-degree bounds each segment.  A completion then
+     walks just its own segment — no list cell is ever consed. *)
+  sc_pred_off : int array;
+  sc_pred_job : int array;
+  sc_succ_off : int array;
+  sc_w_proc : int array;
+  sc_w_frame : int array;
+  sc_w_len : int array;
+  (* completed records as packed parallel arrays (grown on demand) *)
+  sc_s_job : int array ref;
+  sc_s_frame : int array ref;
+  sc_s_invoked : int array ref;
+  sc_s_start : int array ref;
+  sc_s_finish : int array ref;
+  sc_s_deadline : int array ref;
+  sc_s_skip : Bytes.t ref;
+  (* replay template, captured in job start order *)
+  sc_p_job : int array;
+  sc_p_invoked : int array;
+  sc_p_start : int array;
+  sc_p_finish : int array;
+  sc_p_deadline : int array;
+  sc_p_skip : Bytes.t;
+  sc_events : Iheap.t;
+  sc_hot : int array;
+  (* compacted replay program (executed bodies + deduped invocation
+     instants) and its precomputed rationals.  The template is a pure
+     function of (plan, sched, frames), so across runs on one scratch
+     the program is rebuilt in place and the rationals are reused
+     unless a tick actually changed — the steady-frame loop of a
+     repeated run then allocates nothing at all. *)
+  sc_r_proc : int array;
+  sc_r_uidx : int array;
+  sc_u_tick : int array;
+  mutable sc_u_rat : Rat.t array;
+  mutable sc_rep_m : int; (* -1 = no cached program *)
+  mutable sc_rep_n_u : int;
+  mutable sc_rep_frames : int;
+}
+
+let make_scratch (derived : Derive.t) sched plan ~n_procs ~cap0 =
+  let g = derived.Derive.graph in
+  let n = Graph.n_jobs g in
+  let pred_off = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    pred_off.(j + 1) <- pred_off.(j) + List.length (Graph.preds g j)
+  done;
+  let m_edges = pred_off.(n) in
+  let pred_job = Array.make (max 1 m_edges) 0 in
+  let succ_off = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    let i = ref pred_off.(j) in
+    List.iter
+      (fun q ->
+        pred_job.(!i) <- q;
+        incr i;
+        succ_off.(q + 1) <- succ_off.(q + 1) + 1)
+      (Graph.preds g j)
+  done;
+  for q = 0 to n - 1 do
+    succ_off.(q + 1) <- succ_off.(q + 1) + succ_off.(q)
+  done;
+  {
+    sc_plan = plan;
+    sc_sched = sched;
+    sc_procs =
+      Array.init n_procs (fun p ->
+          {
+            t_order = Static_schedule.order_on sched p;
+            t_frame = 0;
+            t_pos = 0;
+            t_busy = false;
+            t_job = -1;
+            t_invoked = 0;
+            t_start = 0;
+            t_finish = 0;
+            t_deadline = 0;
+            t_missing = 0;
+          });
+    sc_completions = Array.make n 0;
+    sc_pred_off = pred_off;
+    sc_pred_job = pred_job;
+    sc_succ_off = succ_off;
+    sc_w_proc = Array.make (max 1 m_edges) 0;
+    sc_w_frame = Array.make (max 1 m_edges) 0;
+    sc_w_len = Array.make n 0;
+    sc_s_job = ref (Array.make cap0 0);
+    sc_s_frame = ref (Array.make cap0 0);
+    sc_s_invoked = ref (Array.make cap0 0);
+    sc_s_start = ref (Array.make cap0 0);
+    sc_s_finish = ref (Array.make cap0 0);
+    sc_s_deadline = ref (Array.make cap0 0);
+    sc_s_skip = ref (Bytes.make cap0 '\000');
+    sc_p_job = Array.make (max 1 n) 0;
+    sc_p_invoked = Array.make (max 1 n) 0;
+    sc_p_start = Array.make (max 1 n) 0;
+    sc_p_finish = Array.make (max 1 n) 0;
+    sc_p_deadline = Array.make (max 1 n) 0;
+    sc_p_skip = Bytes.make (max 1 n) '\000';
+    sc_events = Iheap.create ~capacity:(max 16 (2 * n_procs)) ();
+    sc_hot = Array.make ((n_procs + 62) / 63) 0;
+    sc_r_proc = Array.make (max 1 n) 0;
+    sc_r_uidx = Array.make (max 1 n) 0;
+    sc_u_tick = Array.make (max 1 n) 0;
+    sc_u_rat = [||];
+    sc_rep_m = -1;
+    sc_rep_n_u = 0;
+    sc_rep_frames = 0;
+  }
+
+let scratch_pool_key : tick_scratch option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(* A plan object is uniquely tied to its compile inputs (fresh compiles
+   make fresh objects; the memo only returns a plan for an identical
+   configuration), so physical equality on (plan, sched) guarantees the
+   scratch shapes still fit. *)
+let pooled_scratch derived sched plan ~n_procs ~cap0 =
+  let pool = Domain.DLS.get scratch_pool_key in
+  let sc =
+    match !pool with
+    | Some sc when sc.sc_plan == plan && sc.sc_sched == sched -> sc
+    | _ ->
+      let sc = make_scratch derived sched plan ~n_procs ~cap0 in
+      pool := Some sc;
+      sc
+  in
+  Array.fill sc.sc_completions 0 (Array.length sc.sc_completions) 0;
+  Array.fill sc.sc_w_len 0 (Array.length sc.sc_w_len) 0;
+  Array.fill sc.sc_hot 0 (Array.length sc.sc_hot) 0;
+  Iheap.clear sc.sc_events;
+  Array.iter
+    (fun ps ->
+      ps.t_frame <- 0;
+      ps.t_pos <- 0;
+      ps.t_busy <- false;
+      ps.t_job <- -1;
+      ps.t_invoked <- 0;
+      ps.t_start <- 0;
+      ps.t_finish <- 0;
+      ps.t_deadline <- 0;
+      ps.t_missing <- 0)
+    sc.sc_procs;
+  (* skip flags are only ever set, never cleared, on the hot path *)
+  Bytes.fill !(sc.sc_s_skip) 0 (Bytes.length !(sc.sc_s_skip)) '\000';
+  Bytes.fill sc.sc_p_skip 0 (Bytes.length sc.sc_p_skip) '\000';
+  sc
 
 let exec_ticks net (derived : Derive.t) sched config ~assigned:_
     ~unhandled_events plan =
@@ -454,37 +652,114 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
   let n = Graph.n_jobs g in
   let frames = config.frames in
   let n_procs = config.platform.Platform.n_procs in
-  let state = Netstate.create net in
-  let procs =
-    Array.init n_procs (fun p ->
-        {
-          t_order = Static_schedule.order_on sched p;
-          t_frame = 0;
-          t_pos = 0;
-          t_busy = false;
-          t_finish = 0;
-          t_run = dummy_record;
-          t_missing = 0;
-        })
+  let state = pooled_state net in
+  Netstate.set_inputs state config.inputs;
+  Netstate.set_access_counting state (plan.per_access_t > 0);
+  (* sporadic stamps in a flat (frame, job) table; absent = [min_int].
+     Runs without real events skip the table entirely. *)
+  let have_stamps = Hashtbl.length plan.stamp_t > 0 in
+  let stamp_arr =
+    if not have_stamps then [||]
+    else begin
+      let a = Array.make (n * frames) min_int in
+      Hashtbl.iter
+        (fun (j, f) s -> if f < frames then a.((f * n) + j) <- s)
+        plan.stamp_t;
+      a
+    end
   in
-  let completions = Array.make n 0 in
-  (* per job: compiled predecessor array and registered waiters
-     [(proc, frame-needed)]; a completion walks only its own waiters *)
-  let preds = Array.init n (fun j -> Array.of_list (Graph.preds g j)) in
-  let waiters = Array.make n [] in
-  (* every job yields exactly one record per frame, so the buffer size
-     is known up front — no list cells, and the final sort is in-place *)
-  let recs = Array.make (n * frames) dummy_record in
-  let nrecs = ref 0 in
-  let push_record r =
-    recs.(!nrecs) <- r;
-    incr nrecs
+  (* Steady-state replay: with per-job deterministic durations, no
+     sporadic stamps and zero per-access cost, the schedule of any
+     steady frame whose window is self-contained is the template
+     frame's shifted by a hyperperiod multiple.  The template frame is
+     frame 0 itself when the first-frame overhead equals the steady one
+     (then every frame is alike), frame 1 otherwise.  Frames up to and
+     including the template run through the event loop; if they all
+     stay inside their windows, the remaining frames only re-run the
+     template's job bodies in call order — their records are implied by
+     the captured template and materialized on demand. *)
+  let tpl_frame = if plan.first_t = plan.steady_t then 0 else 1 in
+  let replay_candidate =
+    plan.dur_t <> None && plan.per_access_t = 0 && (not have_stamps)
+    && frames > tpl_frame + 1
   in
-  (* events are (tick lsl pbits) lor proc — immediate ints, so pushes
-     never allocate; unpacking is a shift and a mask *)
+  (* completed records as packed parallel arrays; presized for the head
+     frames when replay may make the rest implicit, grown once if not *)
+  let cap0 =
+    max 1 (if replay_candidate then (tpl_frame + 1) * n else n * frames)
+  in
+  let sc = pooled_scratch derived sched plan ~n_procs ~cap0 in
+  let procs = sc.sc_procs in
+  let completions = sc.sc_completions in
+  let pred_off = sc.sc_pred_off in
+  let pred_job = sc.sc_pred_job in
+  let succ_off = sc.sc_succ_off in
+  let w_proc = sc.sc_w_proc in
+  let w_frame = sc.sc_w_frame in
+  let w_len = sc.sc_w_len in
+  let s_job = sc.sc_s_job in
+  let s_frame = sc.sc_s_frame in
+  let s_invoked = sc.sc_s_invoked in
+  let s_start = sc.sc_s_start in
+  let s_finish = sc.sc_s_finish in
+  let s_deadline = sc.sc_s_deadline in
+  let s_skip = sc.sc_s_skip in
+  let s_n = ref 0 in
+  let push_rec job frame invoked start finish deadline skipped =
+    let i = !s_n in
+    if i = Array.length !s_job then begin
+      (* replay declined after frame 1: grow to the full horizon *)
+      let cap = n * frames in
+      let grow a =
+        let na = Array.make cap 0 in
+        Array.blit !a 0 na 0 i;
+        a := na
+      in
+      grow s_job;
+      grow s_frame;
+      grow s_invoked;
+      grow s_start;
+      grow s_finish;
+      grow s_deadline;
+      let nb = Bytes.make cap '\000' in
+      Bytes.blit !s_skip 0 nb 0 i;
+      s_skip := nb
+    end;
+    !s_job.(i) <- job;
+    !s_frame.(i) <- frame;
+    !s_invoked.(i) <- invoked;
+    !s_start.(i) <- start;
+    !s_finish.(i) <- finish;
+    !s_deadline.(i) <- deadline;
+    if skipped then Bytes.set !s_skip i '\001';
+    s_n := i + 1
+  in
+  (* template, captured in job start order — the order bodies must
+     re-run in for channel histories to stay bit-identical *)
+  let p_job = sc.sc_p_job in
+  let p_invoked = sc.sc_p_invoked in
+  let p_start = sc.sc_p_start in
+  let p_finish = sc.sc_p_finish in
+  let p_deadline = sc.sc_p_deadline in
+  let p_skip = sc.sc_p_skip in
+  let tpl_n = ref 0 in
+  let capture frame job invoked start finish deadline skipped =
+    if replay_candidate && frame = tpl_frame && !tpl_n < n then begin
+      let i = !tpl_n in
+      p_job.(i) <- job;
+      p_invoked.(i) <- invoked;
+      p_start.(i) <- start;
+      p_finish.(i) <- finish;
+      p_deadline.(i) <- deadline;
+      if skipped then Bytes.set p_skip i '\001';
+      incr tpl_n
+    end
+  in
   (* observability: [tracing] is captured once, so the hot loop pays a
      single immutable-bool branch per site when tracing is off; job
-     labels are pre-interned so per-job spans never hash on dispatch *)
+     labels are pre-interned so per-job spans never hash on dispatch,
+     and spans open/close through the preallocated ring without any
+     closure allocation *)
   let tracing = Trace.enabled () in
   let span_ids =
     if tracing then
@@ -494,50 +769,53 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
   let miss_id = Trace.intern "engine.deadline_miss" in
   let depth_id = Trace.intern "engine.queue_depth" in
   let q_pushes = ref 0 in
-  let events = Pqueue.create ~cmp:Int.compare in
-  let pbits = plan.pbits in
-  let pmask = (1 lsl pbits) - 1 in
+  (* events carry the tick as key and the processor as payload — two
+     immediate ints, so any processor count fits (the previous packed
+     encoding capped networks at 64 processors) *)
+  let events = sc.sc_events in
   let push_event tick p =
     incr q_pushes;
-    Pqueue.push events ((tick lsl pbits) lor p)
+    Iheap.push events ~key:tick ~pay:p
   in
   let now = ref 0 in
-  let hot = Array.make n_procs false in
-  (* Steady-state replay: with constant durations, no sporadic stamps
-     and zero per-access cost, the schedule of any frame >= 1 whose
-     window is self-contained is frame 1's shifted by a hyperperiod
-     multiple.  Frames 0-1 run through the event loop; if both stay
-     inside their windows the remaining frames replay frame 1's
-     captured call sequence with no queue, fixpoint or sort at all. *)
-  let replay_candidate =
-    plan.const_exec && plan.per_access_t = 0
-    && Hashtbl.length plan.stamp_t = 0
-    && frames > 2
-  in
-  let tpl = Array.make (if replay_candidate then n else 0) dummy_record in
-  let tpl_n = ref 0 in
-  let capture ps r =
-    if replay_candidate && ps.t_frame = 1 && !tpl_n < n then begin
-      tpl.(!tpl_n) <- r;
-      incr tpl_n
+  (* hot set: one bit per processor, swept in ascending index *)
+  let nw = (n_procs + 62) / 63 in
+  let hot = sc.sc_hot in
+  let set_hot p = hot.(p / 63) <- hot.(p / 63) lor (1 lsl (p mod 63)) in
+  (* model-time rationals survive only inside job bodies ([ctx.now]);
+     arrivals repeat across jobs, so a one-entry cache makes the
+     conversion all but free *)
+  let last_tick = ref min_int and last_rat = ref Rat.zero in
+  let now_rat tick =
+    if tick = !last_tick then !last_rat
+    else begin
+      let r = Timebase.of_ticks plan.tb tick in
+      last_tick := tick;
+      last_rat := r;
+      r
     end
   in
   let wake job =
-    match waiters.(job) with
-    | [] -> ()
-    | ws ->
+    if w_len.(job) > 0 then begin
       let c = completions.(job) in
-      waiters.(job) <-
-        List.filter
-          (fun (p, frame) ->
-            if c > frame then begin
-              let ps = procs.(p) in
-              ps.t_missing <- ps.t_missing - 1;
-              if ps.t_missing = 0 then hot.(p) <- true;
-              false
-            end
-            else true)
-          ws
+      let base = succ_off.(job) in
+      let i = ref 0 in
+      while !i < w_len.(job) do
+        let idx = base + !i in
+        if c > w_frame.(idx) then begin
+          let p = w_proc.(idx) in
+          let ps = procs.(p) in
+          ps.t_missing <- ps.t_missing - 1;
+          if ps.t_missing = 0 then set_hot p;
+          (* swap-remove; segment order is irrelevant *)
+          let last = base + w_len.(job) - 1 in
+          w_proc.(idx) <- w_proc.(last);
+          w_frame.(idx) <- w_frame.(last);
+          w_len.(job) <- w_len.(job) - 1
+        end
+        else incr i
+      done
+    end
   in
   let step_order ps =
     ps.t_pos <- ps.t_pos + 1;
@@ -546,34 +824,19 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
       ps.t_frame <- ps.t_frame + 1
     end
   in
-  let run_body j stamp accesses =
-    if plan.per_access_t = 0 then
-      (* accesses don't cost time: the unrecorded path skips every
-         trace allocation inside [run_job] *)
-      Netstate.run_job ~inputs:config.inputs state ~proc:j.Job.proc
-        ~now:(Timebase.of_ticks plan.tb stamp)
-    else begin
-      let recorder = function
-        | Fppn.Trace.Read _ | Fppn.Trace.Write _ -> incr accesses
-        | _ -> ()
-      in
-      Netstate.run_job ~recorder ~inputs:config.inputs state ~proc:j.Job.proc
-        ~now:(Timebase.of_ticks plan.tb stamp)
-    end
-  in
   (* one attempt to make progress on processor [p]; true if state
      changed — mirrors [exec_rat]'s [advance] transition for transition *)
   let try_advance p ps =
     if ps.t_busy then
       if ps.t_finish <= !now then begin
-        let job = ps.t_run.tr_job in
+        let job = ps.t_job in
         completions.(job) <- completions.(job) + 1;
-        (* t_run.tr_finish was already final at start time *)
-        push_record ps.t_run;
-        if tracing && ps.t_run.tr_finish > ps.t_run.tr_deadline then
+        (* the record was final at start time *)
+        push_rec job ps.t_frame ps.t_invoked ps.t_start ps.t_finish
+          ps.t_deadline false;
+        if tracing && ps.t_finish > ps.t_deadline then
           Trace.instant_id miss_id;
         ps.t_busy <- false;
-        ps.t_run <- dummy_record;
         step_order ps;
         wake job;
         true
@@ -594,15 +857,17 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
       end
       else if ps.t_missing > 0 then false
       else begin
-        (* count unfinished predecessors and register on their wake
-           lists; nothing to poll until the last one completes *)
+        (* count unfinished predecessors and register on their waiter
+           segments; nothing to poll until the last one completes *)
         let missing = ref 0 in
-        let pr = preds.(job) in
-        for i = 0 to Array.length pr - 1 do
-          let q = pr.(i) in
+        for i = pred_off.(job) to pred_off.(job + 1) - 1 do
+          let q = pred_job.(i) in
           if completions.(q) <= ps.t_frame then begin
             incr missing;
-            waiters.(q) <- (p, ps.t_frame) :: waiters.(q)
+            let idx = succ_off.(q) + w_len.(q) in
+            w_proc.(idx) <- p;
+            w_frame.(idx) <- ps.t_frame;
+            w_len.(q) <- w_len.(q) + 1
           end
         done;
         if !missing > 0 then begin
@@ -611,58 +876,48 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
         end
         else begin
           let stamp =
-            if plan.is_server.(job) then (
-              match Hashtbl.find_opt plan.stamp_t (job, ps.t_frame) with
-              | Some s -> s
-              | None -> min_int)
+            if plan.is_server.(job) then
+              if have_stamps then stamp_arr.((ps.t_frame * n) + job)
+              else min_int
             else invocation
           in
           if stamp = min_int then begin
             (* 'false' job: skip without executing *)
-            let r =
-              {
-                tr_job = job;
-                tr_frame = ps.t_frame;
-                tr_invoked = invocation;
-                tr_start = !now;
-                tr_finish = !now;
-                tr_deadline = invocation + plan.dl_rel_t.(job);
-                tr_skipped = true;
-              }
-            in
-            push_record r;
-            capture ps r;
+            let deadline = invocation + plan.dl_rel_t.(job) in
+            push_rec job ps.t_frame invocation !now !now deadline true;
+            capture ps.t_frame job invocation !now !now deadline true;
             completions.(job) <- completions.(job) + 1;
             step_order ps;
             wake job;
             true
           end
           else begin
-            let j = Graph.job g job in
-            let accesses = ref 0 in
-            (if tracing then
-               Trace.with_span_id span_ids.(job) (fun () ->
-                   run_body j stamp accesses)
-             else run_body j stamp accesses);
+            if tracing then Trace.span_begin span_ids.(job);
+            let a0 =
+              if plan.per_access_t = 0 then 0 else Netstate.access_count state
+            in
+            Netstate.run_job_fast state ~proc:plan.body_proc.(job)
+              ~now:(now_rat stamp);
+            if tracing then Trace.span_end ();
             let duration =
-              (if plan.const_exec then plan.wcet_t.(job)
-               else Timebase.ticks plan.tb (Exec_time.sample config.exec j))
-              + (plan.per_access_t * !accesses)
+              (match plan.dur_t with
+              | Some d -> Array.unsafe_get d job
+              | None ->
+                Timebase.ticks plan.tb
+                  (Exec_time.sample config.exec (Graph.job g job)))
+              +
+              if plan.per_access_t = 0 then 0
+              else plan.per_access_t * (Netstate.access_count state - a0)
             in
             let finish = !now + duration in
+            let deadline = stamp + plan.dl_rel_t.(job) in
             ps.t_busy <- true;
+            ps.t_job <- job;
+            ps.t_invoked <- stamp;
+            ps.t_start <- !now;
             ps.t_finish <- finish;
-            ps.t_run <-
-              {
-                tr_job = job;
-                tr_frame = ps.t_frame;
-                tr_invoked = stamp;
-                tr_start = !now;
-                tr_finish = finish;
-                tr_deadline = stamp + plan.dl_rel_t.(job);
-                tr_skipped = false;
-              };
-            capture ps ps.t_run;
+            ps.t_deadline <- deadline;
+            capture ps.t_frame job stamp !now finish deadline false;
             push_event finish p;
             true
           end
@@ -672,194 +927,311 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
   in
   (* sweeps over the hot set in ascending processor index, repeated
      until quiescent — the reference fixpoint restricted to processors
-     that can actually transition *)
+     that can actually transition.  A processor set hot at an index at
+     or below the sweep cursor waits for the next sweep, exactly like
+     the reference's [for] loop. *)
   let rec rounds () =
     let changed = ref false in
-    for p = 0 to n_procs - 1 do
-      if hot.(p) then begin
-        hot.(p) <- false;
-        if try_advance p procs.(p) then begin
-          changed := true;
-          hot.(p) <- true
+    for wi = 0 to nw - 1 do
+      let base = wi * 63 in
+      let mask = ref (-1) in
+      let continue = ref true in
+      while !continue do
+        let avail = hot.(wi) land !mask in
+        if avail = 0 then continue := false
+        else begin
+          let b = avail land -avail in
+          let p = base + bit_index b in
+          (* bits strictly above [b]: lower re-arrivals wait a sweep *)
+          mask := -(b lsl 1);
+          hot.(wi) <- hot.(wi) land lnot b;
+          if try_advance p procs.(p) then begin
+            changed := true;
+            hot.(wi) <- hot.(wi) lor b
+          end
         end
-      end
+      done
     done;
     if !changed then rounds ()
   in
-  let process ev =
-    let t = ev lsr pbits in
-    if t >= !now then begin
-      now := t;
-      if tracing then Trace.counter_id depth_id (Pqueue.length events);
-      hot.(ev land pmask) <- true;
-      (* drain every event of this instant so one sweep sees them all *)
-      let rec batch () =
-        match Pqueue.peek events with
-        | Some ev' when ev' lsr pbits = t ->
-          ignore (Pqueue.pop events);
-          hot.(ev' land pmask) <- true;
-          batch ()
-        | _ -> ()
-      in
-      batch ();
-      rounds ()
-    end
+  (* advance to instant [t], draining every event scheduled on it so
+     one sweep sees them all *)
+  let process_at t =
+    now := t;
+    if tracing then Trace.counter_id depth_id (Iheap.length events);
+    while (not (Iheap.is_empty events)) && Iheap.top_key events = t do
+      set_hot (Iheap.top_pay events);
+      Iheap.drop events
+    done;
+    rounds ()
   in
   let rec run_all () =
-    match Pqueue.pop events with
-    | None -> ()
-    | Some ev ->
-      process ev;
+    if not (Iheap.is_empty events) then begin
+      process_at (Iheap.top_key events);
       run_all ()
+    end
   in
   (* process events strictly before [limit] ticks, leaving the rest
      queued *)
   let rec run_until limit =
-    match Pqueue.peek events with
-    | Some ev when ev lsr pbits < limit ->
-      ignore (Pqueue.pop events);
-      process ev;
+    if (not (Iheap.is_empty events)) && Iheap.top_key events < limit then begin
+      process_at (Iheap.top_key events);
       run_until limit
-    | _ -> ()
+    end
   in
-  let cmp_rec a b =
-    let c = Int.compare a.tr_start b.tr_start in
-    if c <> 0 then c
-    else
-      let c = Int.compare plan.proc_of.(a.tr_job) plan.proc_of.(b.tr_job) in
-      if c <> 0 then c
-      else
-        let c = Int.compare a.tr_frame b.tr_frame in
-        if c <> 0 then c else Int.compare a.tr_job b.tr_job
-  in
-  let presorted = ref false in
-  (* frames 0 and 1 each ran wholly inside their own window, and every
-     processor stands idle at the frame-2 boundary: the engine state
-     there (and at every later boundary, inductively) matches the
-     frame-1 boundary shifted by the hyperperiod, so each remaining
-     frame is frame 1's captured sequence shifted in time. *)
+  (* the head frames each ran wholly inside their own window, and every
+     processor stands idle at the post-template boundary: the engine
+     state there (and at every later boundary, inductively) matches the
+     template boundary shifted by the hyperperiod, so each remaining
+     frame is the template's captured sequence shifted in time. *)
   let steady_state_ok () =
     !tpl_n = n
-    && !nrecs = 2 * n
+    && !s_n = (tpl_frame + 1) * n
     && Array.for_all
          (fun ps ->
            Array.length ps.t_order = 0
-           || ((not ps.t_busy) && ps.t_frame = 2 && ps.t_missing = 0))
+           || ((not ps.t_busy)
+              && ps.t_frame = tpl_frame + 1
+              && ps.t_missing = 0))
          procs
     &&
     let ok = ref true in
-    for i = 0 to !nrecs - 1 do
-      let r = recs.(i) in
-      let bound = (r.tr_frame + 1) * plan.h_t in
-      if r.tr_finish >= bound then ok := false
+    let sf = !s_finish and sfr = !s_frame in
+    for i = 0 to !s_n - 1 do
+      if sf.(i) >= (sfr.(i) + 1) * plan.h_t then ok := false
     done;
     !ok
   in
+  let replayed = ref false in
   let replay () =
-    (* frames 0-1 sit in completion order; their starts all precede
-       frame 2's, so sorting just this prefix keeps [recs] globally
-       sorted as replay appends pre-sorted frames after it *)
-    let head = Array.sub recs 0 !nrecs in
-    Array.sort cmp_rec head;
-    Array.blit head 0 recs 0 !nrecs;
-    let order = Array.init n Fun.id in
-    Array.sort (fun a b -> cmp_rec tpl.(a) tpl.(b)) order;
-    let body_proc =
-      Array.map
-        (fun e -> if e.tr_skipped then -1 else (Graph.job g e.tr_job).Job.proc)
-        tpl
-    in
-    for f = 2 to frames - 1 do
-      let shift = (f - 1) * plan.h_t in
-      (* job bodies first, in frame 1's call order — the channel
-         read/write sequence is what makes results bit-identical *)
-      for i = 0 to n - 1 do
-        if body_proc.(i) >= 0 then
-          Netstate.run_job ~inputs:config.inputs state ~proc:body_proc.(i)
-            ~now:(Timebase.of_ticks plan.tb (tpl.(i).tr_invoked + shift))
-      done;
-      for k = 0 to n - 1 do
-        let e = tpl.(order.(k)) in
-        push_record
-          {
-            e with
-            tr_frame = f;
-            tr_invoked = e.tr_invoked + shift;
-            tr_start = e.tr_start + shift;
-            tr_finish = e.tr_finish + shift;
-            tr_deadline = e.tr_deadline + shift;
-          }
-      done
+    (* compact the template to its executed entries and dedup their
+       invocation instants: a frame has at most a handful of distinct
+       arrival times, so each frame converts each tick to a rational
+       once instead of once per job.  The program is built into the
+       pooled scratch arrays, comparing against the previous run's
+       contents on the way — when nothing changed (the common case:
+       the template is a function of (plan, sched, frames)), the
+       precomputed rationals are reused and the whole replay allocates
+       nothing. *)
+    let r_proc = sc.sc_r_proc in
+    let r_uidx = sc.sc_r_uidx in
+    let u_tick = sc.sc_u_tick in
+    let changed = ref (sc.sc_rep_m < 0) in
+    let n_u = ref 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if Bytes.get p_skip i = '\000' then begin
+        let inv = p_invoked.(i) in
+        let j = ref 0 in
+        while !j < !n_u && u_tick.(!j) <> inv do
+          incr j
+        done;
+        if !j = !n_u then begin
+          if u_tick.(!n_u) <> inv then changed := true;
+          u_tick.(!n_u) <- inv;
+          incr n_u
+        end;
+        r_proc.(!k) <- plan.body_proc.(p_job.(i));
+        r_uidx.(!k) <- !j;
+        incr k
+      end
     done;
-    presorted := true
+    let m = !k in
+    let n_u = !n_u in
+    let k_frames = frames - 1 - tpl_frame in
+    if
+      !changed || m <> sc.sc_rep_m || n_u <> sc.sc_rep_n_u
+      || k_frames <> sc.sc_rep_frames
+    then begin
+      (* all replay instants up front, so the steady-frame loop below
+         allocates nothing at all — the allocation gate in the perf
+         harness holds it to that *)
+      let u_rat = Array.make (max 1 (k_frames * n_u)) Rat.zero in
+      for f = 0 to k_frames - 1 do
+        let shift = (f + 1) * plan.h_t in
+        for j = 0 to n_u - 1 do
+          u_rat.((f * n_u) + j) <-
+            Timebase.of_ticks plan.tb (u_tick.(j) + shift)
+        done
+      done;
+      sc.sc_u_rat <- u_rat;
+      sc.sc_rep_m <- m;
+      sc.sc_rep_n_u <- n_u;
+      sc.sc_rep_frames <- k_frames
+    end;
+    let u_rat = sc.sc_u_rat in
+    for f = 0 to k_frames - 1 do
+      Netstate.run_jobs_fast state ~procs:r_proc ~now_idx:r_uidx ~nows:u_rat
+        ~now_base:(f * n_u) ~count:m
+    done;
+    replayed := true
   in
-  Array.fill hot 0 n_procs true;
+  for p = 0 to n_procs - 1 do
+    set_hot p
+  done;
   rounds ();
   (if replay_candidate then begin
-     run_until (2 * plan.h_t);
+     run_until ((tpl_frame + 1) * plan.h_t);
      if steady_state_ok () then Trace.with_span "engine.replay" replay
      else Trace.with_span "engine.eventloop" run_all
    end
    else Trace.with_span "engine.eventloop" run_all);
-  let m = !nrecs in
-  let sorted = if m = Array.length recs then recs else Array.sub recs 0 m in
-  if not !presorted then Array.sort cmp_rec sorted;
-  (* stats over the integer records, and job labels formatted once per
-     job id — not once per record, which made [Printf.sprintf] the
-     single hottest call of short simulations *)
-  let labels = Array.init (Graph.n_jobs g) (fun j -> Job.label (Graph.job g j)) in
+  (* statistics over the packed records; replayed frames contribute the
+     template's per-frame counts, whose miss and response figures are
+     shift-invariant *)
   let executed = ref 0
   and skipped = ref 0
   and misses = ref 0
   and max_resp = ref 0
   and max_frame = ref (-1) in
-  for i = 0 to m - 1 do
-    let r = sorted.(i) in
-    if r.tr_skipped then incr skipped
-    else begin
-      incr executed;
-      if r.tr_finish > r.tr_deadline then incr misses;
-      let resp = r.tr_finish - r.tr_invoked in
-      if resp > !max_resp then max_resp := resp;
-      if r.tr_frame > !max_frame then max_frame := r.tr_frame
-    end
-  done;
+  (let sj = !s_skip
+   and sfin = !s_finish
+   and sdl = !s_deadline
+   and sin = !s_invoked
+   and sfr = !s_frame in
+   for i = 0 to !s_n - 1 do
+     if Bytes.get sj i <> '\000' then incr skipped
+     else begin
+       incr executed;
+       if sfin.(i) > sdl.(i) then incr misses;
+       let resp = sfin.(i) - sin.(i) in
+       if resp > !max_resp then max_resp := resp;
+       if sfr.(i) > !max_frame then max_frame := sfr.(i)
+     end
+   done);
+  if !replayed then begin
+    let ex_t = ref 0 and sk_t = ref 0 and mi_t = ref 0 in
+    for i = 0 to n - 1 do
+      if Bytes.get p_skip i <> '\000' then incr sk_t
+      else begin
+        incr ex_t;
+        if p_finish.(i) > p_deadline.(i) then incr mi_t
+      end
+    done;
+    let k = frames - 1 - tpl_frame in
+    executed := !executed + (k * !ex_t);
+    skipped := !skipped + (k * !sk_t);
+    misses := !misses + (k * !mi_t);
+    if !ex_t > 0 then max_frame := frames - 1
+  end;
   if Metrics.enabled () then begin
     Metrics.add (Metrics.counter "engine.jobs_executed") !executed;
     Metrics.add (Metrics.counter "engine.jobs_skipped") !skipped;
     Metrics.add (Metrics.counter "engine.deadline_misses") !misses;
     Metrics.add (Metrics.counter "engine.frames") frames;
     Metrics.add (Metrics.counter "engine.queue_pushes") !q_pushes;
-    if !presorted then Metrics.incr (Metrics.counter "engine.replays")
+    if !replayed then Metrics.incr (Metrics.counter "engine.replays")
   end;
+  (* the scratch arrays belong to the pool and are overwritten by the
+     next run, so the (lazily built) trace captures exact-length copies
+     now — a few dozen entries when replay kept the records implicit *)
+  let c_n = !s_n in
+  let c_job = Array.sub !s_job 0 c_n
+  and c_frame = Array.sub !s_frame 0 c_n
+  and c_invoked = Array.sub !s_invoked 0 c_n
+  and c_start = Array.sub !s_start 0 c_n
+  and c_finish = Array.sub !s_finish 0 c_n
+  and c_deadline = Array.sub !s_deadline 0 c_n
+  and c_skip = Bytes.sub !s_skip 0 c_n in
+  let cp_job = if !replayed then Array.copy p_job else [||]
+  and cp_invoked = if !replayed then Array.copy p_invoked else [||]
+  and cp_start = if !replayed then Array.copy p_start else [||]
+  and cp_finish = if !replayed then Array.copy p_finish else [||]
+  and cp_deadline = if !replayed then Array.copy p_deadline else [||]
+  and cp_skip = if !replayed then Bytes.copy p_skip else Bytes.empty in
+  let trace =
+    lazy
+      begin
+        (* completed records sit in completion order; sort a permutation
+           by (start, proc, frame, job) — the reference trace order —
+           and materialize rationals only here.  With replay, frames
+           0-1 all precede frame 2 and each template frame is disjoint
+           from the next, so sorted blocks concatenate sorted. *)
+        let m = c_n in
+        let sj = c_job
+        and sfr = c_frame
+        and sin = c_invoked
+        and sst = c_start
+        and sfin = c_finish
+        and sdl = c_deadline
+        and ssk = c_skip in
+        let cmp a b =
+          let c = Int.compare sst.(a) sst.(b) in
+          if c <> 0 then c
+          else
+            let c = Int.compare plan.proc_of.(sj.(a)) plan.proc_of.(sj.(b)) in
+            if c <> 0 then c
+            else
+              let c = Int.compare sfr.(a) sfr.(b) in
+              if c <> 0 then c else Int.compare sj.(a) sj.(b)
+        in
+        let perm = Array.init m Fun.id in
+        Array.sort cmp perm;
+        let pick a = Array.init m (fun i -> a.(perm.(i))) in
+        let job = pick sj
+        and frame = pick sfr
+        and invoked = pick sin
+        and start = pick sst
+        and finish = pick sfin
+        and deadline = pick sdl in
+        let skipped = Bytes.init m (fun i -> Bytes.get ssk perm.(i)) in
+        let labels =
+          Array.init n (fun j -> Job.label (Graph.job g j))
+        in
+        let den = Timebase.den plan.tb in
+        let acc = ref [] in
+        if !replayed then begin
+          let tcmp a b =
+            let c = Int.compare cp_start.(a) cp_start.(b) in
+            if c <> 0 then c
+            else
+              let c =
+                Int.compare plan.proc_of.(cp_job.(a)) plan.proc_of.(cp_job.(b))
+              in
+              if c <> 0 then c else Int.compare cp_job.(a) cp_job.(b)
+          in
+          let tperm = Array.init n Fun.id in
+          Array.sort tcmp tperm;
+          let tpick a = Array.init n (fun i -> a.(tperm.(i))) in
+          let tjob = tpick cp_job
+          and tinv = tpick cp_invoked
+          and tstart = tpick cp_start
+          and tfin = tpick cp_finish
+          and tdl = tpick cp_deadline in
+          let tskip = Bytes.init n (fun i -> Bytes.get cp_skip tperm.(i)) in
+          let tframe = Array.make n tpl_frame in
+          for f = frames - 1 downto tpl_frame + 1 do
+            acc :=
+              Exec_trace.of_ticks ~den ~labels ~procs:plan.proc_of ~count:n
+                ~job:tjob ~frame:tframe ~invoked:tinv ~start:tstart
+                ~finish:tfin ~deadline:tdl ~skipped:tskip
+                ~tick_shift:((f - tpl_frame) * plan.h_t)
+                ~frame_shift:(f - tpl_frame) !acc
+          done
+        end;
+        Exec_trace.of_ticks ~den ~labels ~procs:plan.proc_of ~count:m ~job
+          ~frame ~invoked ~start ~finish ~deadline ~skipped ~tick_shift:0
+          ~frame_shift:0 !acc
+      end
+  in
   let rat = Timebase.of_ticks plan.tb in
-  let trace = ref [] in
-  for i = m - 1 downto 0 do
-    let r = sorted.(i) in
-    trace :=
-      {
-        Exec_trace.job = r.tr_job;
-        label = labels.(r.tr_job);
-        frame = r.tr_frame;
-        proc = plan.proc_of.(r.tr_job);
-        invoked = rat r.tr_invoked;
-        start = rat r.tr_start;
-        finish = rat r.tr_finish;
-        deadline = rat r.tr_deadline;
-        skipped = r.tr_skipped;
-      }
-      :: !trace
-  done;
-  let trace = !trace in
   let h = derived.Derive.hyperperiod in
   let frame_base frame = Rat.mul h (Rat.of_int frame) in
   let overhead_end frame =
     Rat.add (frame_base frame) (Platform.frame_overhead config.platform ~frame)
   in
+  (* O(#channels) snapshots decouple the result from the pooled state:
+     the next run may reset and reuse [state], and these keep reading
+     the arrays this run wrote *)
+  let chan_snap = Netstate.channel_snapshot state in
+  let out_snap = Netstate.output_snapshot state in
+  let materialize snaps =
+    List.map (fun (c, s) -> (c, Fppn.Channel.snapshot_history s)) snaps
+  in
   {
     trace;
-    channel_history = Netstate.channel_history state;
-    output_history = Netstate.output_history state;
+    channel_history = lazy (materialize chan_snap);
+    output_history = lazy (materialize out_snap);
     stats =
       {
         Exec_trace.executed = !executed;
@@ -869,15 +1241,65 @@ let exec_ticks net (derived : Derive.t) sched config ~assigned:_
         frames = !max_frame + 1;
       };
     unhandled_events;
-    overhead_segments = overhead_segments_of config ~frame_base ~overhead_end;
+    overhead_segments =
+      lazy (overhead_segments_of config ~frame_base ~overhead_end);
   }
+
+(* One-entry, domain-local memo of the compiled plan.  Benchmarks and
+   periodic re-simulation call [run] repeatedly with identical
+   arguments; compilation is pure for every compilable model ([Profile]
+   callbacks are required to be pure), so the plan can be reused
+   whenever all four ingredients are physically unchanged.  The memo is
+   per-domain, so concurrent runs never share an entry. *)
+(* Structural-enough config equality for the memo: scalars compare by
+   value, closures and rational lists by identity (callers that rebuild
+   [default_config] per run share the library-level defaults, so the
+   common case still hits). *)
+let same_config a b =
+  a == b
+  || (a.frames = b.frames && a.exec == b.exec && a.inputs == b.inputs
+     && a.sporadic == b.sporadic
+     && (a.platform == b.platform
+        || (a.platform.Platform.n_procs = b.platform.Platform.n_procs
+           && a.platform.Platform.overhead == b.platform.Platform.overhead)))
+
+type plan_memo = {
+  pm_net : Fppn.Network.t;
+  pm_derived : Derive.t;
+  pm_sched : Static_schedule.t;
+  pm_config : config;
+  pm_plan : tick_plan option;
+}
+
+let plan_memo_key : plan_memo option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let run net derived sched config =
   Trace.with_span "engine.run" (fun () ->
       let assigned, unhandled_events = prologue net derived sched config in
+      let memo = Domain.DLS.get plan_memo_key in
       match
-        Trace.with_span "engine.compile" (fun () ->
-            tick_compile net derived sched config ~assigned)
+        match !memo with
+        | Some m
+          when m.pm_net == net && m.pm_derived == derived
+               && m.pm_sched == sched
+               && same_config m.pm_config config ->
+          m.pm_plan
+        | _ ->
+          let plan =
+            Trace.with_span "engine.compile" (fun () ->
+                tick_compile net derived sched config ~assigned)
+          in
+          memo :=
+            Some
+              {
+                pm_net = net;
+                pm_derived = derived;
+                pm_sched = sched;
+                pm_config = config;
+                pm_plan = plan;
+              };
+          plan
       with
       | Some plan ->
         Trace.with_span "engine.exec.ticks" (fun () ->
@@ -895,4 +1317,4 @@ let run_reference net derived sched config =
 let signature r =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
-    (r.channel_history @ r.output_history)
+    (Lazy.force r.channel_history @ Lazy.force r.output_history)

@@ -38,17 +38,30 @@ type config = {
 
 val default_config : ?frames:int -> n_procs:int -> unit -> config
 
+(** Traces, histories and overhead segments are lazy: the compiled tick
+    core keeps its records as packed integer arrays and only
+    materializes the rational view on demand — callers that consume
+    just [stats] (benchmarks, gates) never pay for it.  Use the
+    accessors below; forcing is not synchronized across domains. *)
 type result = {
-  trace : Exec_trace.t;
-  channel_history : (string * Fppn.Value.t list) list;
+  trace : Exec_trace.t Lazy.t;
+  channel_history : (string * Fppn.Value.t list) list Lazy.t;
       (** [Value] is [Fppn.Value] *)
-  output_history : (string * Fppn.Value.t list) list;
+  output_history : (string * Fppn.Value.t list) list Lazy.t;
   stats : Exec_trace.stats;
   unhandled_events : (string * Rt_util.Rat.t) list;
       (** sporadic events falling in the final, unsimulated window *)
-  overhead_segments : (int * Rt_util.Rat.t * Rt_util.Rat.t) list;
+  overhead_segments : (int * Rt_util.Rat.t * Rt_util.Rat.t) list Lazy.t;
       (** per-frame runtime-overhead activity, for Fig. 6-style charts *)
 }
+
+val trace : result -> Exec_trace.t
+(** Forces and returns the trace, sorted by
+    (start, processor, frame, job). *)
+
+val channel_history : result -> (string * Fppn.Value.t list) list
+val output_history : result -> (string * Fppn.Value.t list) list
+val overhead_segments : result -> (int * Rt_util.Rat.t * Rt_util.Rat.t) list
 
 val run :
   Fppn.Network.t -> Taskgraph.Derive.t -> Sched.Static_schedule.t -> config -> result

@@ -27,24 +27,37 @@ let quantized_fraction wcet fraction =
   let milli = int_of_float (Float.round (fraction *. 1000.0)) in
   Rat.mul wcet (Rat.make milli 1000)
 
-let tick_extras t ~wcets =
+type durations =
+  | Fixed of Rat.t array
+  | Extras of Rat.t list
+  | Opaque
+
+let durations t ~jobs =
   match t with
-  | Constant -> Some []
+  | Constant -> Fixed (Array.map (fun j -> j.Taskgraph.Job.wcet) jobs)
+  | Scaled f -> (
+    try
+      Fixed (Array.map (fun j -> quantized_fraction j.Taskgraph.Job.wcet f) jobs)
+    with Rat.Overflow -> Opaque)
+  | Profile p -> (
+    (* deterministic per process, so one setup-time sample per job
+       covers the whole run; a raising profile degrades to [Opaque] *)
+    try Fixed (Array.map (fun j -> p j.Taskgraph.Job.proc_name) jobs)
+    with _ -> Opaque)
   (* [quantized_fraction] yields wcet·milli/1000, whose denominator
      always divides den(wcet)·1000 — covering that product per distinct
-     WCET makes every possible sample land on the tick grid *)
-  | Uniform _ | Scaled _ -> (
+     WCET makes every possible runtime draw land on the tick grid *)
+  | Uniform _ -> (
     try
-      Some
-        (List.map
-           (fun w ->
-             let d = Rat.den w in
-             if d > max_int / 1000 then raise Rat.Overflow
-             else Rat.make 1 (d * 1000))
-           wcets)
-    with Rat.Overflow -> None)
-  (* arbitrary user function: durations are not predictable at setup *)
-  | Profile _ -> None
+      Extras
+        (Array.to_list
+           (Array.map
+              (fun j ->
+                let d = Rat.den j.Taskgraph.Job.wcet in
+                if d > max_int / 1000 then raise Rat.Overflow
+                else Rat.make 1 (d * 1000))
+              jobs))
+    with Rat.Overflow -> Opaque)
 
 let sample t (job : Taskgraph.Job.t) =
   match t with

@@ -23,7 +23,10 @@ val scaled : float -> t
     under-estimation (measurement-based WCETs, Sec. V). *)
 
 val profile : (string -> Rt_util.Rat.t) -> t
-(** Fixed duration per process name. *)
+(** Fixed duration per process name.  The function must be pure: tick
+    compilation samples it once per job at setup ({!durations}), and
+    an impure profile would then diverge from the rational reference,
+    which samples per execution. *)
 
 val sample : t -> Taskgraph.Job.t -> Rt_util.Rat.t
 (** Duration of one job instance.  Stateful for {!uniform}. *)
@@ -32,9 +35,22 @@ val is_constant : t -> bool
 (** [true] iff {!sample} always returns the job's WCET ({!constant}) —
     lets compiled engines use a precomputed duration table. *)
 
-val tick_extras : t -> wcets:Rt_util.Rat.t list -> Rt_util.Rat.t list option
-(** Rationals whose denominators cover every duration {!sample} can
-    return for jobs drawn from [wcets], for seeding a
-    {!Rt_util.Timebase}.  [None] when durations are unpredictable at
-    setup ({!profile}) — callers must then stay on the exact rational
-    path. *)
+(** How a compiled engine can obtain durations without sampling
+    rationals in its hot loop. *)
+type durations =
+  | Fixed of Rt_util.Rat.t array
+      (** deterministic per job: [durations.(job)] is the exact value
+          {!sample} returns for that job on every invocation
+          ({!constant}, {!scaled}, {!profile}) *)
+  | Extras of Rt_util.Rat.t list
+      (** durations must still be drawn per execution ({!uniform}),
+          but every possible draw lands on a {!Rt_util.Timebase} grid
+          that covers these extra rationals *)
+  | Opaque
+      (** not representable at setup (overflowing quantization, raising
+          profile) — callers must stay on the exact rational path *)
+
+val durations : t -> jobs:Taskgraph.Job.t array -> durations
+(** Compiles the model against a concrete job set; [Fixed] durations
+    also make whole-frame replay sound, since the schedule of a frame
+    then depends only on the frame's sporadic stamps. *)

@@ -1,0 +1,36 @@
+(** Min-heap of [(int key, int payload)] pairs in two parallel flat
+    arrays — the allocation-free event queue of the compiled tick
+    engine.
+
+    Compared with {!Pqueue} this drops polymorphism, the comparator
+    closure and the insertion-order tie-break: callers that drain every
+    equal-key element before acting (as the tick engine's same-instant
+    batching does) are insensitive to same-key pop order, and keys wide
+    enough to need no payload packing lift {!Pqueue}'s encoding limits
+    (the tick engine previously packed the processor index into 6 low
+    bits of the event, capping networks at 64 processors).
+
+    Pushes and pops allocate only when the backing arrays double. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty heap; [capacity] presizes the backing arrays. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Empties the heap, keeping its capacity. *)
+
+val push : t -> key:int -> pay:int -> unit
+
+val top_key : t -> int
+(** Smallest key.  @raise Invalid_argument when empty. *)
+
+val top_pay : t -> int
+(** Payload pushed with the smallest key; ties yield an arbitrary
+    element among the smallest.  @raise Invalid_argument when empty. *)
+
+val drop : t -> unit
+(** Removes the top element.  @raise Invalid_argument when empty. *)

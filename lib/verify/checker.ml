@@ -160,7 +160,7 @@ let run ?(config = default_config) ~wcet net =
                    jitter_seed)
                 (rt.Engine.stats.Exec_trace.misses = 0)
                 (Printf.sprintf "%d miss(es)" rt.Engine.stats.Exec_trace.misses);
-              let violations = Exec_trace.check g rt.Engine.trace in
+              let violations = Exec_trace.check g (Engine.trace rt) in
               add
                 (Printf.sprintf "trace compliance, M=%d, jitter seed %d" m
                    jitter_seed)
@@ -191,7 +191,7 @@ let run ?(config = default_config) ~wcet net =
               (fun spec ->
                 match
                   Runtime.Latency.analyse g ~source:spec.l_source
-                    ~sink:spec.l_sink wcet_run.Engine.trace
+                    ~sink:spec.l_sink (Engine.trace wcet_run)
                 with
                 | l ->
                   add

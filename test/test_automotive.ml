@@ -81,11 +81,11 @@ let test_engine_behavior_end_to_end () =
   Alcotest.(check (list string)) "trace complies with the semantics" []
     (List.map
        (Format.asprintf "%a" Exec_trace.pp_violation)
-       (Exec_trace.check d.Derive.graph rt.Engine.trace));
+       (Exec_trace.check d.Derive.graph (Engine.trace rt)));
   (* 20 injector pulses per frame, knock retard visible in the ignition *)
-  let injector = List.assoc "injector" rt.Engine.output_history in
+  let injector = List.assoc "injector" (Engine.output_history rt) in
   Alcotest.(check int) "20 injector pulses" 20 (List.length injector);
-  let ignition = List.assoc "ignition" rt.Engine.output_history in
+  let ignition = List.assoc "ignition" (Engine.output_history rt) in
   Alcotest.(check int) "10 ignition updates" 10 (List.length ignition);
   (* before any knock event the retard is 0; after the 55 ms burst the
      spark output drops *)

@@ -248,7 +248,7 @@ let fig1_trace () =
       Engine.sporadic = [ ("CoefB", [ ms 50 ]) ];
       exec = Exec_time.uniform ~seed:4 ~min_fraction:0.4 }
   in
-  (d, (Engine.run net d sched cfg).Engine.trace)
+  (d, Engine.trace (Engine.run net d sched cfg))
 
 let test_trace_check_clean () =
   let d, trace = fig1_trace () in

@@ -235,7 +235,7 @@ let test_latency_fig1 () =
   let d, r = fig1_run () in
   let l =
     Runtime.Latency.analyse d.Derive.graph ~source:"InputA" ~sink:"OutputA"
-      r.Engine.trace
+      (Engine.trace r)
   in
   (* one OutputA job per frame, each fed by the frame's InputA job *)
   Alcotest.(check int) "one sample per frame" 3
@@ -259,7 +259,7 @@ let test_latency_requires_a_path () =
     (try
        ignore
          (Runtime.Latency.analyse d.Derive.graph ~source:"OutputA"
-            ~sink:"OutputB" r.Engine.trace);
+            ~sink:"OutputB" (Engine.trace r));
        false
      with Invalid_argument _ -> true)
 
@@ -279,7 +279,7 @@ let test_latency_deterministic_upper_bound () =
       { (Engine.default_config ~frames:2 ~n_procs:2 ()) with Engine.exec } in
     let r = Engine.run net d sched cfg in
     (Runtime.Latency.analyse d.Derive.graph ~source:"InputA" ~sink:"OutputA"
-       r.Engine.trace)
+       (Engine.trace r))
       .Runtime.Latency.max_reaction
   in
   let bound = run Exec_time.constant in
@@ -303,7 +303,7 @@ let test_latency_fms_chain () =
   let r = Engine.run net d sched (Engine.default_config ~frames:1 ~n_procs:1 ()) in
   let l =
     Runtime.Latency.analyse d.Derive.graph ~source:"SensorInput"
-      ~sink:"Performance" r.Engine.trace
+      ~sink:"Performance" (Engine.trace r)
   in
   Alcotest.(check int) "10 Performance jobs in the 10 s frame" 10
     (List.length l.Runtime.Latency.samples);
@@ -545,7 +545,7 @@ let sample_trace () =
     { (Engine.default_config ~frames:2 ~n_procs:2 ()) with
       Engine.sporadic = [ ("CoefB", [ ms 50 ]) ] }
   in
-  (Engine.run net d sched cfg).Engine.trace
+  Engine.trace (Engine.run net d sched cfg)
 
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in

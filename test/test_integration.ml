@@ -100,7 +100,7 @@ let prop_traces_comply_with_real_time_semantics =
       match pipeline ~n_procs params with
       | None -> true
       | Some (_, d, _, rt, _) ->
-        Exec_trace.check d.Derive.graph rt.Engine.trace = [])
+        Exec_trace.check d.Derive.graph (Engine.trace rt) = [])
 
 let prop_processor_count_invariance =
   qprop "output histories identical across processor counts" ~count:15
@@ -154,7 +154,7 @@ let prop_latency_wcet_bound_random =
               { (Engine.default_config ~frames:2 ~n_procs:2 ()) with Engine.exec }
             in
             (Runtime.Latency.analyse g ~source:src ~sink:snk
-               (Engine.run net d a.List_scheduler.schedule cfg).Engine.trace)
+               (Engine.trace (Engine.run net d a.List_scheduler.schedule cfg)))
               .Runtime.Latency.max_reaction
           in
           let bound = run Exec_time.constant in
@@ -312,7 +312,7 @@ let test_fft_output_correct_under_runtime () =
     { (Engine.default_config ~frames:2 ~n_procs:2 ()) with Engine.inputs = feed }
   in
   let rt = Engine.run net d sched config in
-  let spectra = List.assoc "spectrum" rt.Engine.output_history in
+  let spectra = List.assoc "spectrum" (Engine.output_history rt) in
   Alcotest.(check int) "two spectra" 2 (List.length spectra);
   List.iteri
     (fun i v ->

@@ -253,7 +253,7 @@ let test_all_lo_equals_plain_engine () =
        (Runtime.Engine.signature plain));
   (* traces coincide record for record *)
   Alcotest.(check int) "same record count"
-    (List.length plain.Runtime.Engine.trace)
+    (List.length (Runtime.Engine.trace plain))
     (List.length mc.Mc_engine.trace)
 
 let () =

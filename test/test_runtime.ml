@@ -63,7 +63,7 @@ let test_engine_respects_wcet_and_deadlines () =
         Alcotest.(check bool) "duration <= WCET" true
           Rat.(dur <= j.Taskgraph.Job.wcet)
       end)
-    r.Engine.trace
+    (Engine.trace r)
 
 let test_engine_precedence_order () =
   let net, d = fig1 () in
@@ -79,7 +79,7 @@ let test_engine_precedence_order () =
         rec_.Exec_trace.finish;
       Hashtbl.replace start (rec_.Exec_trace.job, rec_.Exec_trace.frame)
         rec_.Exec_trace.start)
-    r.Engine.trace;
+    (Engine.trace r);
   List.iter
     (fun (a, b) ->
       for f = 0 to 1 do
@@ -105,7 +105,7 @@ let test_engine_mutual_exclusion () =
         Hashtbl.replace by_proc rec_.Exec_trace.proc
           (rec_
           :: (try Hashtbl.find by_proc rec_.Exec_trace.proc with Not_found -> [])))
-    r.Engine.trace;
+    (Engine.trace r);
   Hashtbl.iter
     (fun _ records ->
       let sorted =
@@ -190,7 +190,7 @@ let test_boundary_closed_right () =
   (* S -> U: the event at t=100 joins the subset at b=100 and is seen by
      U's job at t=100 *)
   let _, _, rt = boundary_run ~sporadic_first:true in
-  let o = List.assoc "o" rt.Engine.output_history in
+  let o = List.assoc "o" (Engine.output_history rt) in
   Alcotest.(check (list (testable V.pp V.equal))) "handled at b=100"
     [
       V.Pair (V.Int 1, V.Absent);
@@ -211,7 +211,7 @@ let test_boundary_open_right () =
   (* U -> S: the event at t=100 is postponed to the subset at b=200, so
      U's job at t=100 still sees Absent, U at t=200 sees the config *)
   let _, _, rt = boundary_run ~sporadic_first:false in
-  let o = List.assoc "o" rt.Engine.output_history in
+  let o = List.assoc "o" (Engine.output_history rt) in
   Alcotest.(check (list (testable V.pp V.equal))) "postponed to b=200"
     [
       V.Pair (V.Int 1, V.Absent);
@@ -294,9 +294,9 @@ let test_frame_overhead_delays_start () =
         Alcotest.(check bool) "start delayed past the frame overhead" true
           Rat.(rec_.Exec_trace.start >= bound)
       end)
-    r.Engine.trace;
+    (Engine.trace r);
   Alcotest.(check int) "overhead segments reported" 2
-    (List.length r.Engine.overhead_segments)
+    (List.length (Engine.overhead_segments r))
 
 let test_per_access_overhead_inflates_duration () =
   let net, d = fig1 () in
@@ -314,7 +314,7 @@ let test_per_access_overhead_inflates_duration () =
     List.fold_left
       (fun acc (rec_ : Exec_trace.record) ->
         Rat.add acc (Rat.sub rec_.Exec_trace.finish rec_.Exec_trace.start))
-      Rat.zero r.Engine.trace
+      Rat.zero (Engine.trace r)
   in
   Alcotest.(check bool) "total busy time grows with per-access cost" true
     Rat.(dur inflated > dur base)

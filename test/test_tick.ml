@@ -5,7 +5,13 @@
    seed shipped with.  The two must agree bit-for-bit: same trace
    records (rationals reconstructed from ticks are structurally equal)
    and same channel/output histories, over random workloads covering
-   sporadic servers, execution-time jitter and multiple processors. *)
+   sporadic servers, execution-time jitter and multiple processors.
+
+   Beyond the random differential, targeted tests pin the replay
+   machinery's edges: sporadic stamps landing mid-frame must disable
+   hyperperiod replay, constant vs. variable durations must flip it on
+   and off, >64-process networks must exercise the multi-word hot set,
+   and pooled scratch reuse across runs must stay invisible. *)
 
 module Rat = Rt_util.Rat
 module Timebase = Rt_util.Timebase
@@ -14,6 +20,7 @@ module Exec_time = Runtime.Exec_time
 module Derive = Taskgraph.Derive
 module List_scheduler = Sched.List_scheduler
 module Randgen = Fppn_apps.Randgen
+module Metrics = Fppn_obs.Metrics
 
 let qprop name ?(count = 100) ?print gen f =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ?print gen f)
@@ -37,7 +44,7 @@ let case_gen =
     let* n_periodic = int_range 1 6 in
     let* n_sporadic = int_range 0 2 in
     let* n_procs = int_range 1 3 in
-    let* frames = int_range 1 4 in
+    let* frames = int_range 1 6 in
     let+ exec_kind = int_range 0 2 in
     { seed; n_periodic; n_sporadic; n_procs; frames; exec_kind })
 
@@ -89,42 +96,181 @@ let run_both c =
       let reference = Engine.run_reference net d sched (config ()) in
       Some (tick, reference))
 
+let identical tick reference =
+  List.equal
+    (fun (a : Runtime.Exec_trace.record) b -> a = b)
+    (Engine.trace tick) (Engine.trace reference)
+  && Engine.signature tick = Engine.signature reference
+  && tick.Engine.stats = reference.Engine.stats
+  && tick.Engine.unhandled_events = reference.Engine.unhandled_events
+
 let prop_differential =
   qprop "tick engine bit-identical to rational reference" ~count:120
     ~print:case_print case_gen
     (fun c ->
       match run_both c with
       | None -> true (* infeasible draw: nothing to compare *)
-      | Some (tick, reference) ->
-        List.equal
-          (fun (a : Runtime.Exec_trace.record) b -> a = b)
-          tick.Engine.trace reference.Engine.trace
-        && Engine.signature tick = Engine.signature reference
-        && tick.Engine.stats = reference.Engine.stats
-        && tick.Engine.unhandled_events = reference.Engine.unhandled_events)
+      | Some (tick, reference) -> identical tick reference)
 
-(* The profile model hides durations behind a closure, so tick
-   compilation must decline and the fallback must still be the exact
-   reference semantics. *)
-let test_profile_fallback () =
+(* The ISSUE-level acceptance bar, stated on its own: signatures (the
+   externally visible output histories) agree on 200 random instances. *)
+let prop_signature =
+  qprop "signature equality on 200 random instances" ~count:200
+    ~print:case_print case_gen
+    (fun c ->
+      match run_both c with
+      | None -> true
+      | Some (tick, reference) ->
+        Engine.signature tick = Engine.signature reference)
+
+(* --- targeted replay / pooling edges --------------------------------- *)
+
+(* Runs [f] with metrics collection on and returns its result together
+   with the final value of counter [name]. *)
+let with_counter name f =
+  let was = Metrics.enabled () in
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let r = f () in
+  let n = Metrics.counter_value (Metrics.counter name) in
+  Metrics.set_enabled was;
+  (r, n)
+
+let fig1_setup ~n_procs =
   let net = Fppn_apps.Fig1.network () in
   let d = Derive.derive_exn ~wcet:Fppn_apps.Fig1.wcet net in
-  let sched =
-    match snd (List_scheduler.auto ~n_procs:2 d.Derive.graph) with
-    | Some a -> a.List_scheduler.schedule
-    | None -> Alcotest.fail "fig1 unschedulable"
+  match snd (List_scheduler.auto ~n_procs d.Derive.graph) with
+  | Some a -> (net, d, a.List_scheduler.schedule)
+  | None -> Alcotest.fail "fig1 unschedulable"
+
+(* Constant durations on a stamp-free run let the engine capture one
+   template frame and replay the rest; variable durations must force
+   every frame through the event loop.  Both must match the reference. *)
+let test_replay_engagement () =
+  let net, d, sched = fig1_setup ~n_procs:2 in
+  let config exec =
+    { (Engine.default_config ~frames:8 ~n_procs:2 ()) with Engine.exec = exec }
   in
+  let tick, replays =
+    with_counter "engine.replays" (fun () ->
+        Engine.run net d sched (config Exec_time.constant))
+  in
+  Alcotest.(check int) "constant durations replay" 1 replays;
+  let reference = Engine.run_reference net d sched (config Exec_time.constant) in
+  Alcotest.(check bool) "replayed run identical" true (identical tick reference);
+  let variable () = Exec_time.uniform ~seed:11 ~min_fraction:0.25 in
+  let tick, replays =
+    with_counter "engine.replays" (fun () ->
+        Engine.run net d sched (config (variable ())))
+  in
+  Alcotest.(check int) "variable durations never replay" 0 replays;
+  let reference = Engine.run_reference net d sched (config (variable ())) in
+  Alcotest.(check bool)
+    "event-loop run identical" true (identical tick reference)
+
+(* A sporadic arrival strictly inside a steady frame (CoefB at t=650,
+   frame [600,800)) must disable replay entirely — the stamp changes
+   that frame's job set — while the tick event loop still reproduces
+   the reference bit-for-bit. *)
+let test_midframe_sporadic () =
+  let net, d, sched = fig1_setup ~n_procs:2 in
+  let config () =
+    {
+      (Engine.default_config ~frames:6 ~n_procs:2 ()) with
+      Engine.sporadic = [ ("CoefB", [ ms 650 ]) ];
+    }
+  in
+  let tick, replays =
+    with_counter "engine.replays" (fun () -> Engine.run net d sched (config ()))
+  in
+  Alcotest.(check int) "mid-frame stamp disables replay" 0 replays;
+  let reference = Engine.run_reference net d sched (config ()) in
+  Alcotest.(check bool)
+    "sporadic run identical" true (identical tick reference)
+
+(* The compiled core packs ready/running processors into 63-bit hot
+   words; networks past 64 processes/processors must spill into the
+   second word and still agree with the reference. *)
+let test_many_procs () =
+  let params =
+    {
+      Randgen.default_params with
+      seed = 4242;
+      n_periodic = 70;
+      n_sporadic = 0;
+      channel_density = 0.03;
+    }
+  in
+  let net = Randgen.network params in
+  let wcet = Randgen.wcet ~scale:wcet_scale (Derive.const_wcet Rat.one) net in
+  let d = Derive.derive_exn ~wcet net in
+  match snd (List_scheduler.auto ~n_procs:70 d.Derive.graph) with
+  | None -> Alcotest.fail "70-process draw unschedulable"
+  | Some a ->
+    let sched = a.List_scheduler.schedule in
+    let config = Engine.default_config ~frames:3 ~n_procs:70 () in
+    let tick = Engine.run net d sched config in
+    let reference = Engine.run_reference net d sched config in
+    Alcotest.(check bool)
+      ">64-process run identical" true (identical tick reference)
+
+(* Plan, state and scratch pools are reused across runs; a second run
+   must be bit-identical to the first, and the first run's lazily
+   materialised results must survive the second run overwriting the
+   pooled arrays (snapshots must not alias the pools). *)
+let test_pooled_reruns () =
+  let net, d, sched = fig1_setup ~n_procs:2 in
+  let config = Engine.default_config ~frames:6 ~n_procs:2 () in
+  let reference = Engine.run_reference net d sched config in
+  let r1 = Engine.run net d sched config in
+  let r2 = Engine.run net d sched config in
+  Alcotest.(check bool)
+    "second pooled run identical" true (identical r2 reference);
+  (* force r1's lazy trace/histories only now, after r2 reused the pools *)
+  Alcotest.(check bool)
+    "earlier results survive a later run" true (identical r1 reference)
+
+(* [Exec_time.profile] exposes per-job durations through
+   [Exec_time.durations], so the tick engine compiles it rather than
+   falling back; the "engine.frames" counter is only emitted by the
+   compiled core, proving which path ran. *)
+let test_profile_tick () =
+  let net, d, sched = fig1_setup ~n_procs:2 in
   let config =
     {
       (Engine.default_config ~frames:3 ~n_procs:2 ()) with
       Engine.exec = Exec_time.profile (fun _ -> ms 1);
     }
   in
-  let r1 = Engine.run net d sched config in
+  let r1, tick_frames =
+    with_counter "engine.frames" (fun () -> Engine.run net d sched config)
+  in
+  Alcotest.(check int) "profile compiles onto tick path" 3 tick_frames;
   let r2 = Engine.run_reference net d sched config in
-  Alcotest.(check bool)
-    "profile fallback identical" true
-    (r1.Engine.trace = r2.Engine.trace && Engine.signature r1 = Engine.signature r2)
+  Alcotest.(check bool) "profile run identical" true (identical r1 r2)
+
+(* Genuine fallback: a profile that raises for some process hides its
+   durations behind the exception, so [Exec_time.durations] degrades to
+   [Opaque], tick compilation declines, and [Engine.run] must execute
+   the exact rational interpreter — observable as no "engine.frames"
+   counter.  The raising process is fig1's sporadic CoefB with no
+   stamps configured: its server slots are all skipped, so the
+   poisoned profile is never sampled at runtime. *)
+let test_rat_fallback () =
+  let net, d, sched = fig1_setup ~n_procs:2 in
+  let profile () =
+    Exec_time.profile (fun name -> if name = "CoefB" then raise Exit else ms 1)
+  in
+  let config exec =
+    { (Engine.default_config ~frames:3 ~n_procs:2 ()) with Engine.exec = exec }
+  in
+  let r1, tick_frames =
+    with_counter "engine.frames" (fun () ->
+        Engine.run net d sched (config (profile ())))
+  in
+  Alcotest.(check int) "opaque durations: rational path ran" 0 tick_frames;
+  let r2 = Engine.run_reference net d sched (config (profile ())) in
+  Alcotest.(check bool) "fallback run identical" true (identical r1 r2)
 
 (* --- Timebase -------------------------------------------------------- *)
 
@@ -176,7 +322,16 @@ let () =
   Alcotest.run "tick_engine"
     [
       ( "differential",
-        [ prop_differential; Alcotest.test_case "profile fallback" `Quick test_profile_fallback ] );
+        [
+          prop_differential;
+          prop_signature;
+          Alcotest.test_case "replay engagement" `Quick test_replay_engagement;
+          Alcotest.test_case "mid-frame sporadic" `Quick test_midframe_sporadic;
+          Alcotest.test_case ">64 processes" `Quick test_many_procs;
+          Alcotest.test_case "pooled reruns" `Quick test_pooled_reruns;
+          Alcotest.test_case "profile tick-compiles" `Quick test_profile_tick;
+          Alcotest.test_case "rational fallback" `Quick test_rat_fallback;
+        ] );
       ( "timebase",
         [
           Alcotest.test_case "basic" `Quick test_timebase_basic;

@@ -178,7 +178,7 @@ let test_translate_matches_engine () =
       Alcotest.(check string) "same job order" a.Exec_trace.label b.Exec_trace.label;
       Alcotest.(check bool) "same start" true (Rat.equal a.Exec_trace.start b.Exec_trace.start);
       Alcotest.(check bool) "same finish" true (Rat.equal a.Exec_trace.finish b.Exec_trace.finish))
-    rt.Engine.trace ta.Translate.trace
+    (Engine.trace rt) ta.Translate.trace
 
 let test_translate_matches_zero_delay () =
   let net, d, sched = fig1_setup ~n_procs:3 in
@@ -215,7 +215,7 @@ let test_translate_with_overhead_model () =
         (Rat.equal a.Exec_trace.start b.Exec_trace.start);
       Alcotest.(check bool) ("finish of " ^ a.Exec_trace.label) true
         (Rat.equal a.Exec_trace.finish b.Exec_trace.finish))
-    rt.Engine.trace ta.Translate.trace;
+    (Engine.trace rt) ta.Translate.trace;
   (* no job starts before the frame overhead has elapsed *)
   List.iter
     (fun (r : Exec_trace.record) ->

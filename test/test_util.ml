@@ -1,4 +1,5 @@
 module Pqueue = Rt_util.Pqueue
+module Iheap = Rt_util.Iheap
 module Bitset = Rt_util.Bitset
 module Digraph = Rt_util.Digraph
 module Prng = Rt_util.Prng
@@ -78,6 +79,74 @@ let prop_pqueue_stable =
       List.sort compare drained
       = List.sort compare (List.mapi (fun i k -> (k, i)) keys)
       && ordered drained)
+
+(* --- Iheap ------------------------------------------------------------ *)
+
+let iheap_drain h =
+  let rec go acc =
+    if Iheap.is_empty h then List.rev acc
+    else begin
+      let k = Iheap.top_key h and p = Iheap.top_pay h in
+      Iheap.drop h;
+      go ((k, p) :: acc)
+    end
+  in
+  go []
+
+let test_iheap_basic () =
+  let h = Iheap.create ~capacity:1 () in
+  Alcotest.(check bool) "empty" true (Iheap.is_empty h);
+  List.iter (fun k -> Iheap.push h ~key:k ~pay:(k * 7)) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Iheap.length h);
+  Alcotest.(check int) "top key" 1 (Iheap.top_key h);
+  Alcotest.(check int) "top pay rides its key" 7 (Iheap.top_pay h);
+  Alcotest.(check (list (pair int int)))
+    "drains in key order"
+    [ (1, 7); (1, 7); (3, 21); (4, 28); (5, 35) ]
+    (iheap_drain h);
+  Alcotest.(check bool) "empty after drain" true (Iheap.is_empty h);
+  Alcotest.check_raises "top_key on empty"
+    (Invalid_argument "Iheap.top_key: empty heap") (fun () ->
+      ignore (Iheap.top_key h));
+  Iheap.push h ~key:9 ~pay:0;
+  Iheap.clear h;
+  Alcotest.(check int) "clear empties" 0 (Iheap.length h)
+
+let prop_iheap_sorts =
+  qprop "iheap drains keys in sorted order with payloads attached"
+    QCheck2.Gen.(list_size (int_range 0 300) (int_range (-1000) 1000))
+    (fun keys ->
+      (* capacity 1 forces the backing arrays through every doubling *)
+      let h = Iheap.create ~capacity:1 () in
+      List.iter (fun k -> Iheap.push h ~key:k ~pay:(k lxor 0x2a)) keys;
+      let drained = iheap_drain h in
+      List.map fst drained = List.sort Int.compare keys
+      && List.for_all (fun (k, p) -> p = k lxor 0x2a) drained)
+
+let prop_iheap_interleaved =
+  (* pushes interleaved with pops, mirrored against a sorted-list model *)
+  qprop "iheap matches a sorted-list model under interleaving"
+    QCheck2.Gen.(list_size (int_range 0 200) (option (int_range 0 1000)))
+    (fun ops ->
+      let h = Iheap.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some k ->
+            Iheap.push h ~key:k ~pay:k;
+            model := List.sort Int.compare (k :: !model);
+            true
+          | None -> (
+            match !model with
+            | [] -> Iheap.is_empty h
+            | m :: rest ->
+              let ok = (not (Iheap.is_empty h)) && Iheap.top_key h = m in
+              if ok then Iheap.drop h;
+              model := rest;
+              ok))
+        ops
+      && Iheap.length h = List.length !model)
 
 (* --- Bitset ---------------------------------------------------------- *)
 
@@ -346,6 +415,12 @@ let () =
           prop_pqueue_sorts;
           prop_pqueue_interleaved;
           prop_pqueue_stable;
+        ] );
+      ( "iheap",
+        [
+          Alcotest.test_case "basic" `Quick test_iheap_basic;
+          prop_iheap_sorts;
+          prop_iheap_interleaved;
         ] );
       ( "bitset",
         [
