@@ -1273,7 +1273,11 @@ let run_gate ~smoke ~alloc
      the deterministic allocation check below still catches the
      classic engine regressions (allocation creep) at any speed. *)
   let tolerance_for name =
-    if String.equal name "engine-sim-fig1-m2" then 0.35 else tolerance
+    if
+      String.equal name "engine-sim-fig1-m2"
+      || String.equal name "engine-sharded-m4"
+    then 0.35
+    else tolerance
   in
   let failures = ref 0 in
   Printf.printf "gate: comparing against %s (tolerance %d%%)\n" baseline_path
@@ -1359,7 +1363,11 @@ let run_perf ~pool ~smoke ?gate ~jobs_requested path =
     Fppn_fuzz.Report.cases_per_s r
   in
   let fuzz1 = measure_rate (fun () -> fuzz_rate last1 1) in
+  let steals0 = Pool.steals () in
   let fuzzn = measure (fun () -> fuzz_rate lastn jobs) in
+  (* steal count across the jobsN runs: proof the work-stealing pool
+     actually redistributed cases, not just that N domains existed *)
+  let fuzz_steals = Pool.steals () - steals0 in
   let fuzz_deterministic =
     match (!last1, !lastn) with
     | Some a, Some b ->
@@ -1368,9 +1376,12 @@ let run_perf ~pool ~smoke ?gate ~jobs_requested path =
         (Fppn_fuzz.Report.to_json (Fppn_fuzz.Report.normalize_timing b))
     | _ -> false
   in
-  Printf.printf "  fuzz-campaign: %.1f cases/s (jobs=1) vs %.1f cases/s (jobs=%d), %s\n"
+  Printf.printf
+    "  fuzz-campaign: %.1f cases/s (jobs=1) vs %.1f cases/s (jobs=%d), %s, \
+     %d steals\n"
     (snd fuzz1) (snd fuzzn) jobs
-    (if fuzz_deterministic then "reports identical" else "REPORTS DIFFER");
+    (if fuzz_deterministic then "reports identical" else "REPORTS DIFFER")
+    fuzz_steals;
   (* stage 2: heuristic-portfolio list scheduling on the 812-job FMS *)
   let fms_g =
     (Derive.derive_exn ~wcet:Fppn_apps.Fms.wcet (Fppn_apps.Fms.reduced ()))
@@ -1567,6 +1578,88 @@ let run_perf ~pool ~smoke ?gate ~jobs_requested path =
     "  cosched-slots-m4: %.3f s (jobs=1) vs %.3f s (jobs=%d), makespan %g ms\n"
     (snd coslot1) (snd coslotn) jobs
     (Rat.to_float coslot.Sched.Cosched.makespan);
+  (* stage 7: sharded engine on a large Randgen network (10^4 periodic
+     processes, M=4) — the sequential compiled core versus
+     Engine.run_sharded with one shard per processor, both reported as
+     jobs/s like stage 4.  The wcet scale keeps every duration at one
+     tick of the 10^4-process network's timebase, so each frame fits
+     its 100 ms budget on 4 processors and the sharded preconditions
+     (fixed durations >= 1 tick, no per-access cost) hold.  Metrics
+     are enabled around the sharded runs so the JSON records that the
+     sharded path itself engaged — a result that silently measured the
+     sequential fallback would gate on the wrong code path. *)
+  let shard_procs = 4 in
+  let shard_n_periodic = 10_000 in
+  let shard_net, shard_d, shard_sched =
+    let params =
+      { Fppn_apps.Randgen.default_params with
+        seed = 7;
+        n_periodic = shard_n_periodic;
+        n_sporadic = 0;
+        periods = [ 100 ];
+        channel_density = 3e-4 }
+    in
+    let net = Fppn_apps.Randgen.network params in
+    let wcet =
+      Fppn_apps.Randgen.wcet ~scale:(Rat.make 1 100_000)
+        (Derive.const_wcet Rat.one) net
+    in
+    let d = Derive.derive_exn ~wcet net in
+    (* the heuristic portfolio would price every priority order on a
+       10^4-job graph; one ALAP/EDF pass is enough for a throughput
+       workload *)
+    let sched =
+      List_scheduler.schedule_with ~heuristic:Priority.Alap_edf
+        ~n_procs:shard_procs d.Derive.graph
+    in
+    (net, d, sched)
+  in
+  let shard_iters = 4 in
+  let shard_cfg =
+    Engine.default_config ~frames:4 ~n_procs:shard_procs ()
+  in
+  let shard_rate run =
+    ignore (run ());
+    let executed = ref 0 in
+    let (), dt =
+      timed (fun () ->
+          for _ = 1 to shard_iters do
+            let r = run () in
+            executed := !executed + r.Engine.stats.Exec_trace.executed
+          done)
+    in
+    safe_div (float_of_int !executed) dt
+  in
+  let shard1 =
+    measure_rate (fun () ->
+        shard_rate (fun () -> Engine.run shard_net shard_d shard_sched shard_cfg))
+  in
+  let metrics_were = Fppn_obs.Metrics.enabled () in
+  Fppn_obs.Metrics.set_enabled true;
+  Fppn_obs.Metrics.reset ();
+  let shardn =
+    measure_rate (fun () ->
+        shard_rate (fun () ->
+            Engine.run_sharded ~shards:shard_procs shard_net shard_d shard_sched
+              shard_cfg))
+  in
+  let cval name =
+    Fppn_obs.Metrics.counter_value (Fppn_obs.Metrics.counter name)
+  in
+  let shard_runs = cval "engine.sharded_runs" in
+  let shard_fallbacks = cval "engine.shard_fallbacks" in
+  let shard_msgs = cval "engine.xshard_messages" in
+  let shard_cut =
+    Fppn_obs.Metrics.gauge_value (Fppn_obs.Metrics.gauge "engine.shard_cut_edges")
+  in
+  Fppn_obs.Metrics.set_enabled metrics_were;
+  Fppn_obs.Metrics.reset ();
+  Printf.printf
+    "  engine-sharded-m4: %.0f jobs/s sequential vs %.0f jobs/s sharded \
+     (K=%d, %d processes, %d sharded runs / %d fallbacks, %d cross-shard \
+     msgs, cut %.0f edges)\n"
+    (snd shard1) (snd shardn) shard_procs shard_n_periodic shard_runs
+    shard_fallbacks shard_msgs shard_cut;
   let stage ~name ~metric ~higher_is_better ?speedup ?extra variants =
     let fields =
       [
@@ -1599,7 +1692,10 @@ let run_perf ~pool ~smoke ?gate ~jobs_requested path =
               ~higher_is_better:true
               ~speedup:(safe_div (snd fuzzn) (snd fuzz1))
               ~extra:
-                [ Printf.sprintf "\"deterministic\": %b" fuzz_deterministic ]
+                [
+                  Printf.sprintf "\"deterministic\": %b" fuzz_deterministic;
+                  Printf.sprintf "\"steals\": %d" fuzz_steals;
+                ]
               [
                 ("jobs1", jvariant ~jobs:1 fuzz1);
                 ("jobsN", jvariant ~jobs fuzzn);
@@ -1658,6 +1754,23 @@ let run_perf ~pool ~smoke ?gate ~jobs_requested path =
                 ("jobs1", jvariant ~jobs:1 coslot1);
                 ("jobsN", jvariant ~jobs coslotn);
               ];
+            stage ~name:"engine-sharded-m4" ~metric:"jobs_per_s"
+              ~higher_is_better:true
+              ~speedup:(safe_div (snd shardn) (snd shard1))
+              ~extra:
+                [
+                  Printf.sprintf "\"processes\": %d" shard_n_periodic;
+                  Printf.sprintf "\"shards\": %d" shard_procs;
+                  Printf.sprintf "\"iterations\": %d" shard_iters;
+                  Printf.sprintf "\"sharded_runs\": %d" shard_runs;
+                  Printf.sprintf "\"fallbacks\": %d" shard_fallbacks;
+                  Printf.sprintf "\"xshard_messages\": %d" shard_msgs;
+                  Printf.sprintf "\"cut_edges\": %s" (jfloat shard_cut);
+                ]
+              [
+                ("jobs1", jdist ~jobs:1 shard1);
+                ("shardsK", jdist ~jobs:shard_procs shardn);
+              ];
           ];
         "  ]";
         "}";
@@ -1677,6 +1790,7 @@ let run_perf ~pool ~smoke ?gate ~jobs_requested path =
            ("engine-sim-fig1-m2", `Rate, engine1);
            ("cosched-fair-m4", `Seconds_stable, cofair1);
            ("cosched-slots-m4", `Seconds_stable, coslot1);
+           ("engine-sharded-m4", `Rate, shard1);
          ])
     gate
 
@@ -1688,9 +1802,11 @@ let usage () =
   prerr_endline
     "usage: main.exe [--jobs N] [--json FILE] [--smoke] [--gate BASELINE]\n\
      \  --jobs N        worker domains for parallel sections/sweeps\n\
-     \                  (default: recommended domain count; capped at it)\n\
+     \                  (default: recommended domain count)\n\
      \  --force-domains do not cap --jobs at the recommended domain count\n\
-     \                  (measure real multi-domain pools on 1-CPU boxes)\n\
+     \                  (the default: rate stages must measure real\n\
+     \                  multi-domain pools, even oversubscribed)\n\
+     \  --cap-domains   cap --jobs at the recommended domain count\n\
      \  --json FILE     run the perf-regression harness and write FILE\n\
      \  --smoke         tiny budgets / single repetition (with --json)\n\
      \  --gate BASELINE after --json, fail if any stage regressed more\n\
@@ -1699,7 +1815,7 @@ let usage () =
 
 let () =
   let jobs = ref (Pool.default_jobs ()) in
-  let force_domains = ref false in
+  let force_domains = ref true in
   let json_out = ref None in
   let smoke = ref false in
   let gate = ref None in
@@ -1718,6 +1834,9 @@ let () =
       | "--force-domains" ->
         force_domains := true;
         parse (i + 1)
+      | "--cap-domains" ->
+        force_domains := false;
+        parse (i + 1)
       | "--smoke" ->
         smoke := true;
         parse (i + 1)
@@ -1728,9 +1847,10 @@ let () =
   in
   parse 1;
   let jobs_requested = !jobs in
-  (* parallel stages on a recommended_domains = 1 box measure nothing
-     real unless the pool is forced wider; --force-domains opts into
-     oversubscription knowingly *)
+  (* rate stages commit their jobsN numbers to BENCH.json, and those
+     numbers are meaningless if the pool was silently capped to one
+     domain — so honoring --jobs even past the recommended domain
+     count is the default, and --cap-domains opts back into capping *)
   let effective =
     if !force_domains then max 1 jobs_requested
     else Pool.clamp_jobs jobs_requested

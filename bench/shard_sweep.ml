@@ -1,0 +1,112 @@
+(* Shard-count sweep backing the EXPERIMENTS.md sharding table.
+
+   Builds the same 10^4-process Randgen network as the bench harness's
+   engine-sharded-m4 stage (seed 7, single 100 ms period, channel
+   density 3e-4, M = 4) and times Engine.run_sharded at K = 1, 2, 4
+   shards against the sequential engine, reporting jobs/s medians plus
+   the partition's cut size and per-run cross-shard message count.
+   Regenerate the table with
+
+     dune exec bench/shard_sweep.exe
+
+   Results are checked for bit-identity against the sequential run on
+   every K before being reported, so a silently-fallback run (which
+   would time the wrong code path) shows up as "fallback" instead of a
+   number. *)
+
+module Rat = Rt_util.Rat
+module Derive = Taskgraph.Derive
+module Priority = Sched.Priority
+module List_scheduler = Sched.List_scheduler
+module Engine = Runtime.Engine
+module Exec_trace = Runtime.Exec_trace
+module Metrics = Fppn_obs.Metrics
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let () =
+  let n_procs = 4 in
+  let n_periodic = 10_000 in
+  let params =
+    { Fppn_apps.Randgen.default_params with
+      seed = 7;
+      n_periodic;
+      n_sporadic = 0;
+      periods = [ 100 ];
+      channel_density = 3e-4 }
+  in
+  let net = Fppn_apps.Randgen.network params in
+  let wcet =
+    Fppn_apps.Randgen.wcet ~scale:(Rat.make 1 100_000)
+      (Derive.const_wcet Rat.one) net
+  in
+  let d = Derive.derive_exn ~wcet net in
+  let sched =
+    List_scheduler.schedule_with ~heuristic:Priority.Alap_edf ~n_procs
+      d.Derive.graph
+  in
+  let cfg = Engine.default_config ~frames:4 ~n_procs () in
+  let iters = 4 in
+  let reps = 3 in
+  let rate run =
+    ignore (run ());
+    let executed = ref 0 in
+    let (), dt =
+      timed (fun () ->
+          for _ = 1 to iters do
+            let r = run () in
+            executed := !executed + r.Engine.stats.Exec_trace.executed
+          done)
+    in
+    float_of_int !executed /. dt
+  in
+  let measure run = median (List.init reps (fun _ -> rate run)) in
+  let seq_result = Engine.run net d sched cfg in
+  let seq_sig = Engine.signature seq_result in
+  let seq = measure (fun () -> Engine.run net d sched cfg) in
+  Printf.printf
+    "shard sweep: %d processes, %d channels, %d jobs / %d precedence edges \
+     per hyperperiod, M=%d, 4 frames x %d iterations, %d reps\n"
+    n_periodic
+    (List.length (Fppn.Network.channels net))
+    (Taskgraph.Graph.n_jobs d.Derive.graph)
+    (List.length (Taskgraph.Graph.edges d.Derive.graph))
+    n_procs iters reps;
+  Printf.printf "  %-10s %14s %10s %12s %10s\n" "variant" "jobs/s" "speedup"
+    "xshard msgs" "cut edges";
+  Printf.printf "  %-10s %14.0f %10s %12s %10s\n" "sequential" seq "1.00x" "-"
+    "-";
+  List.iter
+    (fun k ->
+      Metrics.set_enabled true;
+      Metrics.reset ();
+      let r = Engine.run_sharded ~shards:k net d sched cfg in
+      let identical = Engine.signature r = seq_sig in
+      let fallbacks =
+        Metrics.counter_value (Metrics.counter "engine.shard_fallbacks")
+      in
+      let msgs =
+        Metrics.counter_value (Metrics.counter "engine.xshard_messages")
+      in
+      let cut = Metrics.gauge_value (Metrics.gauge "engine.shard_cut_edges") in
+      let v =
+        measure (fun () -> Engine.run_sharded ~shards:k net d sched cfg)
+      in
+      Metrics.set_enabled false;
+      Metrics.reset ();
+      if not identical then
+        Printf.printf "  K=%-8d OUTPUT DIFFERS FROM SEQUENTIAL\n" k
+      else if k > 1 && fallbacks > 0 then
+        Printf.printf "  K=%-8d fallback (sharded preconditions unmet)\n" k
+      else
+        Printf.printf "  K=%-8d %14.0f %9.2fx %12d %10.0f\n" k v (v /. seq)
+          msgs cut)
+    [ 1; 2; 4 ]

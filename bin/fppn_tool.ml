@@ -567,8 +567,8 @@ let schedule_cmd = Cmd.v (Cmd.info "schedule" ~doc:sched_doc) schedule_term
 let sched_cmd = Cmd.v (Cmd.info "sched" ~doc:(sched_doc ^ " (alias of schedule)")) schedule_term
 
 let simulate_term, simulate_doc =
-  let run app_name seed n_procs frames heuristic jitter overhead density json_out
-      csv_out per_process use_schedule latency svg_out trace_out =
+  let run app_name seed n_procs frames heuristic jitter overhead density shards
+      json_out csv_out per_process use_schedule latency svg_out trace_out =
     obs_begin trace_out;
     let app = resolve_app app_name seed in
     let d = derive_app app in
@@ -614,7 +614,16 @@ let simulate_term, simulate_doc =
         inputs = app.inputs;
       }
     in
-    let r = Engine.run app.net d s config in
+    (* sharded and sequential runs are bit-identical, so everything
+       printed below is independent of the shard count — the shard-gate
+       byte-compares this command's output across --shards values *)
+    let r =
+      if shards = 1 then Engine.run app.net d s config
+      else
+        Engine.run_sharded
+          ?shards:(if shards >= 1 then Some shards else None)
+          app.net d s config
+    in
     Format.printf "%a@." Runtime.Exec_trace.pp_stats r.Engine.stats;
     if per_process then
       Format.printf "%a" Runtime.Exec_trace.pp_by_process
@@ -690,6 +699,15 @@ let simulate_term, simulate_doc =
       & info [ "density" ] ~docv:"D"
           ~doc:"Sporadic event density in [0,1] (default: per-application).")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Run the engine on K cooperating domains (bit-identical to K=1; \
+             falls back to the sequential core when sharding preconditions \
+             fail). 0 = auto (recommended domain count).")
+  in
   let json_out =
     Arg.(
       value & opt (some string) None
@@ -725,7 +743,7 @@ let simulate_term, simulate_doc =
   in
   ( Term.(
       const run $ app_arg $ seed_arg $ procs_arg $ frames_arg $ heuristic_arg
-      $ jitter $ overhead $ density $ json_out $ csv_out $ per_process
+      $ jitter $ overhead $ density $ shards $ json_out $ csv_out $ per_process
       $ use_schedule $ latency $ svg_out $ trace_out_arg),
     "Run the online static-order policy (Sec. IV)" )
 

@@ -4,8 +4,20 @@ let on = ref false
 let set_enabled b = on := b
 let enabled () = !on
 
-type counter = int Atomic.t
+(* Counters are striped per domain and merged on read: an increment
+   lands in the stripe indexed by the caller's domain id, so concurrent
+   workers (fuzz cases, shard engines) never bounce one cache line or
+   CAS word between domains on the hot path.  Totals are exact — every
+   increment is in exactly one stripe — so counter values stay
+   deterministic across worker counts as long as the set of increments
+   is.  [stripes] is a power of two; distinct live domains may share a
+   stripe (ids are masked), which costs contention, never counts. *)
+let stripes = 16
+
+type counter = int Atomic.t array (* length [stripes] *)
 type gauge = float Atomic.t
+
+let stripe () = (Domain.self () :> int) land (stripes - 1)
 
 type histogram = {
   bounds : float array;
@@ -33,10 +45,13 @@ let registered tbl name make =
   Mutex.unlock reg_mu;
   v
 
-let counter name = registered counters_tbl name (fun () -> Atomic.make 0)
-let incr c = ignore (Atomic.fetch_and_add c 1)
-let add c n = ignore (Atomic.fetch_and_add c n)
-let counter_value c = Atomic.get c
+let counter name =
+  registered counters_tbl name (fun () ->
+      Array.init stripes (fun _ -> Atomic.make 0))
+
+let incr c = ignore (Atomic.fetch_and_add (Array.unsafe_get c (stripe ())) 1)
+let add c n = ignore (Atomic.fetch_and_add (Array.unsafe_get c (stripe ())) n)
+let counter_value c = Array.fold_left (fun acc s -> acc + Atomic.get s) 0 c
 
 let gauge name = registered gauges_tbl name (fun () -> Atomic.make 0.0)
 let set_gauge g v = Atomic.set g v
@@ -84,11 +99,12 @@ let sorted_bindings tbl =
   Mutex.unlock reg_mu;
   List.sort (fun (a, _) (b, _) -> String.compare a b) l
 
-let counters () = List.map (fun (k, c) -> (k, Atomic.get c)) (sorted_bindings counters_tbl)
+let counters () =
+  List.map (fun (k, c) -> (k, counter_value c)) (sorted_bindings counters_tbl)
 
 let reset () =
   Mutex.lock reg_mu;
-  Hashtbl.iter (fun _ c -> Atomic.set c 0) counters_tbl;
+  Hashtbl.iter (fun _ c -> Array.iter (fun s -> Atomic.set s 0) c) counters_tbl;
   Hashtbl.iter (fun _ g -> Atomic.set g 0.0) gauges_tbl;
   Hashtbl.iter
     (fun _ h ->
@@ -102,7 +118,7 @@ let reset () =
 
 let snapshot () =
   let counters =
-    List.map (fun (k, c) -> (k, Json.Int (Atomic.get c))) (sorted_bindings counters_tbl)
+    List.map (fun (k, c) -> (k, Json.Int (counter_value c))) (sorted_bindings counters_tbl)
   in
   let gauges =
     List.map (fun (k, g) -> (k, Json.Float (Atomic.get g))) (sorted_bindings gauges_tbl)

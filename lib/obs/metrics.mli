@@ -2,10 +2,13 @@
     histograms, with deterministic JSON snapshots.
 
     Registration is idempotent — asking for a name again returns the
-    same instrument — and instruments are updated with atomics, so
-    counter totals are deterministic across worker counts as long as
-    the {e set} of increments is (every fuzz verdict bumps exactly one
-    counter no matter which domain ran the case).
+    same instrument.  Counters are striped per domain and merged on
+    read: an increment touches only the calling domain's stripe, so
+    parallel workers never contend on a shared word, while totals stay
+    exact and deterministic across worker counts as long as the
+    {e set} of increments is (every fuzz verdict bumps exactly one
+    counter no matter which domain ran the case).  Gauges and
+    histograms remain single shared atomics.
 
     The {!enabled} flag is advisory: hot-path call sites check it
     before doing any bookkeeping; the instruments themselves always

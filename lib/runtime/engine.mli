@@ -72,6 +72,28 @@ val run :
     graph, if [frames <= 0], or if a sporadic trace violates its
     generator's [(m,T)] constraint. *)
 
+val run_sharded :
+  ?shards:int ->
+  Fppn.Network.t -> Taskgraph.Derive.t -> Sched.Static_schedule.t -> config -> result
+(** {!run} on [shards] cooperating domains (default: the host's
+    {!Rt_util.Pool.recommended_domains}, clamped to the platform's
+    processor count).  The scheduled processors are cut into shards by
+    {!Partition.make}; each shard first solves the integer timing
+    recurrence for its own processors, exchanging the finish ticks of
+    shard-crossing precedence edges through single-writer mailboxes
+    drained at frame barriers, then re-executes the job bodies in
+    (frame, start, processor, job) order with the same cross-shard
+    waits.  The result — trace, channel and output histories, stats —
+    is bit-identical to {!run}'s.
+
+    Sharding engages only when the compiled plan has fixed, strictly
+    positive tick durations, no per-access cost, and every pair of
+    jobs sharing a channel is ordered by a precedence path; otherwise
+    (and on frame spill, i.e. overload past a frame boundary, or an
+    order-infeasible schedule) the run transparently falls back to the
+    sequential core, counted by the [engine.shard_fallbacks] metric.
+    Raises as {!run}. *)
+
 val run_reference :
   Fppn.Network.t -> Taskgraph.Derive.t -> Sched.Static_schedule.t -> config -> result
 (** {!run} forced onto the exact rational interpreter core — the

@@ -1,0 +1,125 @@
+module Rat = Rt_util.Rat
+module Graph = Taskgraph.Graph
+module Job = Taskgraph.Job
+module Derive = Taskgraph.Derive
+module Static_schedule = Sched.Static_schedule
+
+type t = {
+  shards : int;
+  shard_of_proc : int array;
+  procs_of_shard : int array array;
+  load : float array;
+  cut_edges : int;
+  total_edges : int;
+}
+
+let shards t = t.shards
+let shard_of_proc t p = t.shard_of_proc.(p)
+let procs_of_shard t s = t.procs_of_shard.(s)
+let cut_edges t = t.cut_edges
+let total_edges t = t.total_edges
+let load t = t.load
+
+(* Greedy MHEFT-flavoured placement: processors in decreasing Prop. 3.1
+   load order, each placed on the shard with the strongest precedence
+   affinity among those still under the balance cap (average shard load
+   plus ten percent); when every shard is over the cap, all of them are
+   candidates again so the heaviest processors still spread.  Ties fall
+   to the lighter shard, then the lower index, so the cut is a pure
+   function of (graph, schedule, shards). *)
+let make ~shards (derived : Derive.t) sched =
+  let g = derived.Derive.graph in
+  let n = Graph.n_jobs g in
+  let n_procs = Static_schedule.n_procs sched in
+  let k = max 1 (min shards (max 1 n_procs)) in
+  let proc_of = Array.init n (Static_schedule.proc sched) in
+  (* per-processor load: sum of scheduled jobs' WCETs (Prop. 3.1's
+     per-resource demand over one frame) *)
+  let jobs = Graph.jobs g in
+  let proc_load = Array.make (max 1 n_procs) 0.0 in
+  for j = 0 to n - 1 do
+    proc_load.(proc_of.(j)) <-
+      proc_load.(proc_of.(j)) +. Rat.to_float jobs.(j).Job.wcet
+  done;
+  (* inter-processor precedence weight, dense: processor counts are
+     small (schedules name each resource explicitly) *)
+  let edges = Graph.edges g in
+  let weight = Array.make_matrix (max 1 n_procs) (max 1 n_procs) 0 in
+  let total_edges = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      incr total_edges;
+      let pu = proc_of.(u) and pv = proc_of.(v) in
+      if pu <> pv then begin
+        weight.(pu).(pv) <- weight.(pu).(pv) + 1;
+        weight.(pv).(pu) <- weight.(pv).(pu) + 1
+      end)
+    edges;
+  let order = Array.init n_procs Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare proc_load.(b) proc_load.(a) in
+      if c <> 0 then c else Int.compare a b)
+    order;
+  let total_load = Array.fold_left ( +. ) 0.0 proc_load in
+  let cap = 1.1 *. total_load /. float_of_int k in
+  let shard_of_proc = Array.make (max 1 n_procs) 0 in
+  let shard_load = Array.make k 0.0 in
+  let members = Array.make k [] in
+  Array.iter
+    (fun p ->
+      let affinity s =
+        List.fold_left (fun acc q -> acc + weight.(p).(q)) 0 members.(s)
+      in
+      let fits s = shard_load.(s) +. proc_load.(p) <= cap in
+      let any_fits =
+        let rec go s = s < k && (fits s || go (s + 1)) in
+        go 0
+      in
+      let best = ref 0 and best_aff = ref min_int in
+      for s = 0 to k - 1 do
+        if (not any_fits) || fits s then begin
+          let a = affinity s in
+          if
+            a > !best_aff
+            || (a = !best_aff && shard_load.(s) < shard_load.(!best))
+          then begin
+            best := s;
+            best_aff := a
+          end
+        end
+      done;
+      shard_of_proc.(p) <- !best;
+      shard_load.(!best) <- shard_load.(!best) +. proc_load.(p);
+      members.(!best) <- p :: members.(!best))
+    order;
+  let procs_of_shard =
+    Array.map (fun l -> Array.of_list (List.sort Int.compare l)) members
+  in
+  let cut_edges =
+    List.fold_left
+      (fun acc (u, v) ->
+        if shard_of_proc.(proc_of.(u)) <> shard_of_proc.(proc_of.(v)) then
+          acc + 1
+        else acc)
+      0 edges
+  in
+  {
+    shards = k;
+    shard_of_proc;
+    procs_of_shard;
+    load = shard_load;
+    cut_edges;
+    total_edges = !total_edges;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d shard(s), cut %d/%d precedence edge(s)@," t.shards
+    t.cut_edges t.total_edges;
+  Array.iteri
+    (fun s procs ->
+      Format.fprintf ppf "  shard %d: procs [%s], load %.3f@," s
+        (String.concat ";" (Array.to_list (Array.map string_of_int procs)))
+        t.load.(s))
+    t.procs_of_shard;
+  Format.fprintf ppf "@]"

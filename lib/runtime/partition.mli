@@ -1,0 +1,31 @@
+(** K-way processor partitioning for the sharded engine.
+
+    Cuts the scheduled processor set into [K] shards, trying to keep
+    precedence-coupled processors co-sharded (few cross-shard task
+    edges means few mailbox synchronisations per frame) while keeping
+    the Prop. 3.1 per-shard load — the summed WCET demand of each
+    shard's processors over one frame — balanced.  The placement is a
+    deterministic greedy pass (MHEFT-flavoured: heaviest processor
+    first, strongest-affinity shard under a 1.1x balance cap wins), so
+    a given (graph, schedule, K) always yields the same partition. *)
+
+type t = {
+  shards : int;  (** effective shard count, clamped to [1 .. n_procs] *)
+  shard_of_proc : int array;
+  procs_of_shard : int array array;  (** ascending processor ids *)
+  load : float array;  (** per-shard Prop. 3.1 load (WCET sum) *)
+  cut_edges : int;  (** task-graph edges crossing shards *)
+  total_edges : int;
+}
+
+val make : shards:int -> Taskgraph.Derive.t -> Sched.Static_schedule.t -> t
+(** [make ~shards derived sched] partitions [sched]'s processors.
+    [shards] is clamped to [1 .. n_procs]. *)
+
+val shards : t -> int
+val shard_of_proc : t -> int -> int
+val procs_of_shard : t -> int -> int array
+val cut_edges : t -> int
+val total_edges : t -> int
+val load : t -> float array
+val pp : Format.formatter -> t -> unit

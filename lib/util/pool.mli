@@ -1,16 +1,22 @@
-(** Fixed-size domain pool with order-preserving parallel combinators.
+(** Fixed-size domain pool with order-preserving parallel combinators
+    over work-stealing index ranges.
 
     The pool owns [jobs - 1] worker domains (the caller is the
-    [jobs]-th participant), all pulling chunks of work from a shared
-    queue.  Results are merged {e in input order}, so every combinator
-    is observably deterministic regardless of worker count or
-    interleaving — and [jobs = 1] never spawns a domain and executes
-    the exact sequential code path (a plain left-to-right loop), so
-    callers are bit-for-bit compatible with their pre-pool behavior.
+    [jobs]-th participant).  Each combinator call splits its index
+    space into per-worker ranges claimed from the front in adaptively
+    sized blocks (an eighth of the remainder, never below the grain);
+    an idle worker steals the upper half of the fullest remaining
+    range (steal-half).  Ranges migrate atomically between exactly two
+    slots, so every index runs exactly once, and results are keyed by
+    input index — every combinator is observably deterministic
+    regardless of worker count, stealing or interleaving.  [jobs = 1]
+    never spawns a domain and executes the exact sequential code path
+    (a plain left-to-right loop), so callers are bit-for-bit compatible
+    with their pre-pool behavior.
 
-    Blocked callers {e help}: while waiting for their own chunks they
-    drain other tasks from the shared queue, so nested [parallel_map]
-    calls from inside a worker cannot deadlock. *)
+    Blocked callers {e help}: while waiting for their own call they
+    drain other tasks from the shared task queue, so nested
+    [parallel_map] calls from inside a worker cannot deadlock. *)
 
 type t
 
@@ -31,18 +37,33 @@ val self_id : unit -> int
     timings) to the domain that actually ran them without threading
     the pool handle through. *)
 
+val with_self_id : int -> (unit -> 'a) -> 'a
+(** [with_self_id id f] runs [f] with {!self_id} reading [id] on the
+    calling domain, restoring the previous id afterwards.  For domains
+    that participate in parallel work outside any pool (the sharded
+    engine's shard domains), so their trace lanes and attributions
+    stay distinguishable. *)
+
 val pending : t -> int
 (** Number of tasks currently enqueued and not yet picked up by any
     worker (a point-in-time queue-depth reading, taken under the pool
     lock). *)
 
+val steals : unit -> int
+(** Cumulative successful range steals across all pools in this
+    process (monotone).  Observability layers sample a delta around a
+    region; a reading is exact only while no combinator call is in
+    flight. *)
+
 val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()]: a sensible default for CPU-
-    bound work on this host. *)
+(** Alias of {!recommended_domains}. *)
 
 val recommended_domains : unit -> int
-(** Alias of {!default_jobs}: the largest worker count this host can
-    run without oversubscription. *)
+(** The largest worker count this host can run without
+    oversubscription: [Domain.recommended_domain_count ()] clamped to
+    the container's cgroup CPU quota (both v1 [cpu.cfs_quota_us] /
+    [cpu.cfs_period_us] and v2 [cpu.max] layouts are probed; an absent
+    or unlimited quota leaves the count unclamped).  Memoized. *)
 
 val clamp_jobs : int -> int
 (** [clamp_jobs requested] caps a requested parallelism degree to
@@ -61,14 +82,16 @@ val with_pool : jobs:int -> (t -> 'a) -> 'a
 
 val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map pool f arr] is [Array.map f arr] with the
-    applications distributed over the pool in index chunks of size
-    [chunk] (default: input size over [4 * jobs], at least 1).
-    Results are positioned by input index, so the output is identical
-    to the sequential map for any deterministic [f].
+    applications distributed over the pool's work-stealing ranges.
+    [chunk] sets the minimum claim grain (default: input size over
+    [4 * jobs], at least 1); actual claims adapt down from an eighth
+    of a range's remainder to that grain.  Results are positioned by
+    input index, so the output is identical to the sequential map for
+    any deterministic [f].
 
     If one or more applications raise, the exception raised for the
     {e smallest} input index is re-raised in the caller (after all
-    in-flight chunks have drained); remaining chunks are abandoned.
+    in-flight blocks have drained); remaining blocks are abandoned.
     With [jobs = 1] the applications run left to right in the calling
     domain and the first exception propagates immediately. *)
 
