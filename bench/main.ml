@@ -1578,18 +1578,21 @@ let run_perf ~pool ~smoke ?gate ~jobs_requested path =
     "  cosched-slots-m4: %.3f s (jobs=1) vs %.3f s (jobs=%d), makespan %g ms\n"
     (snd coslot1) (snd coslotn) jobs
     (Rat.to_float coslot.Sched.Cosched.makespan);
-  (* stage 7: sharded engine on a large Randgen network (10^4 periodic
-     processes, M=4) — the sequential compiled core versus
+  (* stage 7: sharded engine on a large Randgen network (2·10^4
+     periodic processes, M=4) — the sequential compiled core versus
      Engine.run_sharded with one shard per processor, both reported as
-     jobs/s like stage 4.  The wcet scale keeps every duration at one
-     tick of the 10^4-process network's timebase, so each frame fits
-     its 100 ms budget on 4 processors and the sharded preconditions
-     (fixed durations >= 1 tick, no per-access cost) hold.  Metrics
-     are enabled around the sharded runs so the JSON records that the
-     sharded path itself engaged — a result that silently measured the
-     sequential fallback would gate on the wrong code path. *)
+     jobs/s like stage 4.  At 20000 jobs per hyperperiod the instance
+     sits beyond the old 16384-job closure cap: only the quotient-level
+     certificate lets the sharded path engage at all.  The wcet scale
+     keeps every duration at one tick of the network's timebase, so
+     each frame fits its 100 ms budget on 4 processors and the sharded
+     preconditions (fixed durations >= 1 tick, no per-access cost)
+     hold.  Metrics are enabled around the sharded runs so the JSON
+     records that the sharded path itself engaged — a result that
+     silently measured the sequential fallback would gate on the wrong
+     code path. *)
   let shard_procs = 4 in
-  let shard_n_periodic = 10_000 in
+  let shard_n_periodic = 20_000 in
   let shard_net, shard_d, shard_sched =
     let params =
       { Fppn_apps.Randgen.default_params with

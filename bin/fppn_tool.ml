@@ -130,9 +130,23 @@ let resolve_app name seed =
       inputs = Fppn.Netstate.no_inputs;
       default_sporadic_density = 0.5;
     }
+  | "random-wide" ->
+    (* >16384-job, one-job-per-process stress shape for the sharded
+       engine's static certification path *)
+    let net = Fppn_apps.Randgen.build_exn (Fppn_apps.Randgen.wide_spec ()) in
+    {
+      net;
+      (* tiny fixed durations so thousands of one-job processes fit one
+         hyperperiod frame on a few processors *)
+      wcet =
+        Fppn_apps.Randgen.wcet ~scale:(Rat.make 1 100_000)
+          (Derive.const_wcet Rat.one) net;
+      inputs = Fppn.Netstate.no_inputs;
+      default_sporadic_density = 0.0;
+    }
   | other ->
     Printf.eprintf
-      "unknown application %S (expected fig1, fft, fft-overhead, fms, fms-original, automotive, random)\n"
+      "unknown application %S (expected fig1, fft, fft-overhead, fms, fms-original, automotive, random, random-wide)\n"
       other;
     exit 2
 
@@ -995,10 +1009,86 @@ let lint_cmd =
           error-severity findings.")
     term
 
+let certify_cmd =
+  let run app_name seed format check =
+    let model =
+      if Filename.check_suffix app_name ".fppn" then
+        (* certify the AST model so unbuildable networks still get a
+           (rejecting) certificate with positioned diagnostics *)
+        let src = load_file app_name in
+        match Fppn_lang.Parser.parse src with
+        | ast -> Some (Fppn_lint.Model.of_ast ~file:app_name ast)
+        | exception Fppn_lang.Lexer.Error (msg, pos)
+        | exception Fppn_lang.Parser.Error (msg, pos) ->
+          Format.eprintf "%a@." Fppn_lint.Diagnostic.pp
+            (Fppn_lint.Diagnostic.make ~file:app_name ~pos
+               Fppn_lint.Diagnostic.Source_error
+               ~subject:("file " ^ Filename.basename app_name)
+               msg);
+          None
+      else
+        let app = resolve_app app_name seed in
+        Some
+          (Fppn_lint.Model.of_network
+             ~wcet:(fun name -> Some (app.wcet name))
+             app.net)
+    in
+    match model with
+    | None -> exit 2
+    | Some model ->
+      let cert = Fppn_lint.Certificate.of_model model in
+      let diags = Fppn_lint.Certificate.diagnostics cert in
+      (match format with
+      | `Text ->
+        Format.printf "%a" Fppn_lint.Certificate.pp cert;
+        if diags <> [] then Format.printf "%a" Fppn_lint.Diagnostic.pp_list diags
+      | `Json -> print_endline (Fppn_lint.Certificate.to_json cert));
+      if check then begin
+        (* machine-check the serialized artifact: JSON round-trip, then
+           re-validate against a fresh analysis of the model *)
+        let checked =
+          match Fppn_lint.Certificate.of_json (Fppn_lint.Certificate.to_json cert) with
+          | Error e -> Error ("round-trip: " ^ e)
+          | Ok cert' -> Fppn_lint.Certificate.validate cert' model
+        in
+        match checked with
+        | Ok () -> ()
+        | Error e ->
+          Printf.eprintf "certificate self-check failed: %s\n" e;
+          exit 1
+      end;
+      if Fppn_lint.Diagnostic.has_errors diags then exit 1
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: text (verdict table) or json (the stable \
+                certificate schema, version 1).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Also machine-check the certificate: serialize, re-parse and \
+                validate it against a fresh analysis.")
+  in
+  let term = Term.(const run $ app_arg $ seed_arg $ format $ check) in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Static shardability certification: per-channel job-ordering \
+          verdicts proven at the (process, hyperperiod-phase) quotient \
+          level (codes FPPN060-062) — the certificate Engine.run_sharded \
+          consumes. Exits 1 on error-severity findings, 2 when the source \
+          never reached the analyzer, like lint.")
+    term
+
 let fuzz_cmd =
   let run seed budget procs frames jitter_seeds permutations no_boundary
       max_periodic max_sporadic no_shrink shrink_budget inject json_out jobs
-      static trace_out =
+      static certify trace_out =
     obs_begin trace_out;
     let parse_ints what s =
       try List.map int_of_string (String.split_on_char ',' s)
@@ -1016,7 +1106,22 @@ let fuzz_cmd =
           "unknown injection %S (none|channel-flip|sporadic-flip)\n" other;
         exit 2
     in
-    if static then begin
+    if certify then begin
+      (* certificate-vs-engine differential: accepts run sharded
+         bit-identically, rejects fall back or are unbuildable *)
+      let summary =
+        Fppn_fuzz.Static_diff.certify ~log:print_endline ~max_periodic
+          ~max_sporadic ~seed ~budget ()
+      in
+      Format.printf "%a@." Fppn_fuzz.Static_diff.pp_certify summary;
+      if not (Fppn_fuzz.Static_diff.certify_passed summary) then begin
+        print_endline
+          "self-test FAILED: the shardability certificate disagreed with the \
+           engine or the job-level closure";
+        exit 3
+      end
+    end
+    else if static then begin
       (* lint-vs-oracle differential: no engine runs at all *)
       let summary =
         Fppn_fuzz.Static_diff.run ~log:print_endline ~max_periodic
@@ -1175,11 +1280,23 @@ let fuzz_cmd =
              the static analyzer, and clean workloads must lint without \
              errors.")
   in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Run the certificate-vs-engine differential: \
+             certificate-accepted workloads must run sharded \
+             bit-identically to the sequential core, rejected ones must \
+             fall back or be unbuildable, and the certificate must agree \
+             with the legacy job-level closure throughout.")
+  in
   let term =
     Term.(
       const run $ seed_arg $ budget $ procs $ frames $ jitter_seeds
       $ permutations $ no_boundary $ max_periodic $ max_sporadic $ no_shrink
-      $ shrink_budget $ inject $ json_out $ jobs $ static $ trace_out_arg)
+      $ shrink_budget $ inject $ json_out $ jobs $ static $ certify
+      $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -1192,7 +1309,7 @@ let fuzz_cmd =
     term
 
 let profile_cmd =
-  let run app_name seed n_procs frames heuristic jitter top trace_out =
+  let run app_name seed n_procs frames heuristic jitter top trace_out shards =
     Obs_trace.set_enabled true;
     Obs_metrics.set_enabled true;
     let app = resolve_app app_name seed in
@@ -1215,7 +1332,11 @@ let profile_cmd =
         inputs = app.inputs;
       }
     in
-    let r = Engine.run app.net d s config in
+    let r =
+      match shards with
+      | None -> Engine.run app.net d s config
+      | Some k -> Engine.run_sharded ~shards:k app.net d s config
+    in
     Format.printf "%a@." Runtime.Exec_trace.pp_stats r.Engine.stats;
     let hotspots = Obs_trace.hotspots () in
     let total_self =
@@ -1256,10 +1377,20 @@ let profile_cmd =
       value & opt int 15
       & info [ "top" ] ~docv:"N" ~doc:"Number of hotspot rows to print.")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Profile Engine.run_sharded on K shards instead of the \
+             sequential core; the metrics snapshot then shows \
+             engine.certify_ticks (and engine.shard_* counters).")
+  in
   let term =
     Term.(
       const run $ app_arg $ seed_arg $ procs_arg $ frames_arg $ heuristic_arg
-      $ jitter $ top $ trace_out_arg)
+      $ jitter $ top $ trace_out_arg $ shards)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -1420,7 +1551,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            info_cmd; lint_cmd; check_cmd; fuzz_cmd; report_cmd; derive_cmd;
+            info_cmd; lint_cmd; certify_cmd; check_cmd; fuzz_cmd; report_cmd; derive_cmd;
             schedule_cmd; sched_cmd; exact_cmd; simulate_cmd; run_cmd;
             profile_cmd; trace_validate_cmd; buffers_cmd; dimension_cmd;
             rta_cmd; fmt_cmd; dot_cmd;

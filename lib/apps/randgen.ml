@@ -82,6 +82,22 @@ let spec_of_params p =
   in
   { label = Printf.sprintf "random%d" p.seed; periods; chans; sporadics }
 
+let wide_spec ?(n = 16500) ?(pairs = 64) () =
+  if n < 1 then invalid_arg "Randgen.wide_spec: need >= 1 periodic";
+  let pairs = max 0 (min pairs (n / 2)) in
+  (* hand-built (no PRNG, no O(n^2) draw loop): n one-job-per-hyperperiod
+     processes plus [pairs] disjoint directly-related channel pairs *)
+  let chans =
+    List.init pairs (fun i ->
+        { cw = 2 * i; cr = (2 * i) + 1; fifo = false; rev_fp = false; no_fp = false })
+  in
+  {
+    label = Printf.sprintf "wide%d" n;
+    periods = Array.make n 100;
+    chans;
+    sporadics = [];
+  }
+
 (* --- mutation hooks ---------------------------------------------------- *)
 
 let flip_channel_fp spec ~writer ~reader =

@@ -67,6 +67,16 @@ val spec_of_params : params -> spec
 (** Deterministic in [params.seed]; mutation-free builds of the result
     equal {!network}[ params]. *)
 
+val wide_spec : ?n:int -> ?pairs:int -> unit -> spec
+(** [wide_spec ~n ~pairs ()] (defaults 16500 / 64): a deliberately
+    {e wide} network — [n] periodic processes, all with period 100, so
+    the derived graph has exactly [n] jobs per hyperperiod (one each),
+    plus [pairs] disjoint blackboard channel pairs [P2i -> P2i+1] with
+    the default direct priority edge.  Built directly (no PRNG, no
+    O(n^2) density loop), it is the stress shape for the sharded
+    engine's static certification: >16384 jobs while every channel pair
+    stays trivially [Ordered]. *)
+
 val build : spec -> (Fppn.Network.t, string) result
 (** [Error] when a mutation broke well-formedness (e.g. a flipped FP
     edge closing a priority cycle). *)

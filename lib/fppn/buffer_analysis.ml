@@ -5,6 +5,9 @@ type channel_report = {
   kind : Channel.kind;
   max_occupancy : int;
   final_occupancy : int;
+  writes_per_h : Rat.t;
+  reads_per_h : Rat.t;
+  drift_exact : Rat.t;
   writes_per_hyperperiod : float;
   reads_per_hyperperiod : float;
   drift : float;
@@ -89,7 +92,10 @@ let analyse ?(hyperperiods = 4) ?sporadic ?(inputs = Netstate.no_inputs) net =
           state
       | Trace.Wait _ | Trace.Job_start _ | Trace.Job_end _ -> ())
     res.Semantics.trace;
-  let per_h n = float_of_int n /. float_of_int hyperperiods in
+  (* exact per-hyperperiod rates: counts are integers divided by the
+     integer hyperperiod count, so every rate is rational — floats are
+     derived views only and never feed a decision *)
+  let per_h n = Rat.make n hyperperiods in
   let channels =
     List.sort
       (fun a b -> String.compare a.channel b.channel)
@@ -98,29 +104,35 @@ let analyse ?(hyperperiods = 4) ?sporadic ?(inputs = Netstate.no_inputs) net =
            let kind, occ, peak, writes, reads, warm =
              Hashtbl.find state c.Network.ch_name
            in
-           let drift =
+           let drift_exact =
              (* steady-state growth per hyperperiod, past the transient *)
              match (kind, !warm) with
-             | Channel.Blackboard, _ -> 0.0
+             | Channel.Blackboard, _ -> Rat.zero
              | Channel.Fifo, Some w when hyperperiods > 1 ->
-               float_of_int (!occ - w) /. float_of_int (hyperperiods - 1)
-             | Channel.Fifo, _ -> per_h !writes -. per_h !reads
+               Rat.make (!occ - w) (hyperperiods - 1)
+             | Channel.Fifo, _ -> Rat.sub (per_h !writes) (per_h !reads)
            in
+           let writes_per_h = per_h !writes and reads_per_h = per_h !reads in
            {
              channel = c.Network.ch_name;
              kind;
              max_occupancy = !peak;
              final_occupancy = !occ;
-             writes_per_hyperperiod = per_h !writes;
-             reads_per_hyperperiod = per_h !reads;
-             drift;
+             writes_per_h;
+             reads_per_h;
+             drift_exact;
+             writes_per_hyperperiod = Rat.to_float writes_per_h;
+             reads_per_hyperperiod = Rat.to_float reads_per_h;
+             drift = Rat.to_float drift_exact;
            })
          decls)
   in
   { horizon; hyperperiods; channels }
 
 let unbounded_channels t =
-  List.filter (fun r -> r.kind = Channel.Fifo && r.drift > 0.0) t.channels
+  List.filter
+    (fun r -> r.kind = Channel.Fifo && Rat.sign r.drift_exact > 0)
+    t.channels
 
 let bound_of t name =
   Option.map (fun r -> r.max_occupancy)
@@ -139,5 +151,7 @@ let pp ppf t =
         (Channel.kind_to_string r.kind)
         r.max_occupancy r.final_occupancy r.writes_per_hyperperiod
         r.reads_per_hyperperiod r.drift
-        (if r.kind = Channel.Fifo && r.drift > 0.0 then "  << UNBOUNDED" else ""))
+        (if r.kind = Channel.Fifo && Rat.sign r.drift_exact > 0 then
+           "  << UNBOUNDED"
+         else ""))
     t.channels

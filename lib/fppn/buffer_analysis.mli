@@ -19,12 +19,20 @@ type channel_report = {
   max_occupancy : int;
       (** peak item count observed over the analysed horizon *)
   final_occupancy : int;
-  writes_per_hyperperiod : float;
-      (** averaged over the analysed hyperperiods *)
-  reads_per_hyperperiod : float;
+  writes_per_h : Rt_util.Rat.t;
+      (** exact write count averaged over the analysed hyperperiods *)
+  reads_per_h : Rt_util.Rat.t;
       (** consuming reads only (blackboard reads never consume) *)
+  drift_exact : Rt_util.Rat.t;
+      (** exact [writes − reads] per hyperperiod past the startup
+          transient; sign [> 0] on FIFOs ⇒ unbounded.  This is the
+          field every decision in this module uses — a drift of 1/3
+          per hyperperiod is caught exactly instead of hinging on
+          float rounding. *)
+  writes_per_hyperperiod : float;  (** [Rat.to_float writes_per_h] *)
+  reads_per_hyperperiod : float;  (** [Rat.to_float reads_per_h] *)
   drift : float;
-      (** [writes − reads] per hyperperiod; [> 0] on FIFOs ⇒ unbounded *)
+      (** [Rat.to_float drift_exact] — derived display view only *)
 }
 
 type t = {
@@ -46,8 +54,8 @@ val analyse :
     @raise Invalid_argument like [Semantics.invocations]. *)
 
 val unbounded_channels : t -> channel_report list
-(** FIFOs whose drift is positive: their occupancy grows every
-    hyperperiod. *)
+(** FIFOs whose exact drift ({!channel_report.drift_exact}) is
+    positive: their occupancy grows every hyperperiod. *)
 
 val bound_of : t -> string -> int option
 (** Max occupancy of a channel by name. *)

@@ -53,3 +53,50 @@ val passed : inject:Campaign.inject -> summary -> bool
     [No_injection]: no clean spec linted with errors. *)
 
 val pp : Format.formatter -> summary -> unit
+
+(** {1 Certificate differential}
+
+    Closes the loop on static shardability certification
+    ({!Fppn_lint.Certificate}): a certificate-accept must run
+    [Engine.run_sharded] bit-identically to [Engine.run], a
+    certificate-reject must fall back (never engage the sharded path)
+    or be provably order-violating — unbuildable, since
+    [Randgen.build] refuses exactly the Def. 2.1 violations
+    {!Fppn_apps.Randgen.seed_race} plants.  Every buildable case also
+    cross-checks the certificate against the legacy job-level closure
+    ([Engine.closure_conflicts_ordered]), both directly and via
+    [Engine.closure_cross_check], which stays enabled for the whole
+    campaign. *)
+
+type certify_summary = {
+  cc_cases : int;
+  cc_accepts : int;  (** certificate says shardable *)
+  cc_rejects : int;  (** certificate refuses (every other case is raced) *)
+  cc_unbuildable_rejects : int;
+      (** rejected specs the builder also refuses: provably order-violating *)
+  cc_engaged : int;  (** runs where the sharded path actually engaged *)
+  cc_fallbacks : int;  (** buildable runs that fell back to the core *)
+  cc_mismatches : int;  (** sharded-vs-sequential signature diffs — must be 0 *)
+  cc_disagreements : int;
+      (** certificate-vs-closure or certificate-vs-builder conflicts —
+          must be 0 *)
+  cc_wall_time_s : float;
+}
+
+val certify :
+  ?log:(string -> unit) ->
+  ?max_periodic:int ->
+  ?max_sporadic:int ->
+  seed:int ->
+  budget:int ->
+  unit ->
+  certify_summary
+(** Runs [budget] cases on 2 processors / 2 shards / 2 frames with
+    metrics and {!Runtime.Engine.closure_cross_check} enabled
+    (restored afterwards). *)
+
+val certify_passed : certify_summary -> bool
+(** No mismatches, no disagreements, at least one engaged accept and
+    at least one reject. *)
+
+val pp_certify : Format.formatter -> certify_summary -> unit

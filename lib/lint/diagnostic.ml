@@ -21,6 +21,9 @@ type code =
   | Deadline_exceeds_period
   | Wcet_exceeds_deadline
   | Utilization_bound
+  | Unordered_channel_pair
+  | Sporadic_shard_hazard
+  | Partition_cut_hotspot
 
 let code_number = function
   | Source_error -> 0
@@ -43,6 +46,9 @@ let code_number = function
   | Deadline_exceeds_period -> 50
   | Wcet_exceeds_deadline -> 51
   | Utilization_bound -> 52
+  | Unordered_channel_pair -> 60
+  | Sporadic_shard_hazard -> 61
+  | Partition_cut_hotspot -> 62
 
 let code_id c = Printf.sprintf "FPPN%03d" (code_number c)
 
@@ -87,6 +93,19 @@ let all_codes =
       Error,
       "total utilization exceeds the processor count (Prop. 3.1 necessary \
        bound); reported as info when no processor count is given" );
+    ( Unordered_channel_pair,
+      Error,
+      "channel-sharing process pair has job invocations no precedence path \
+       orders (witness-free pair named); the sharded engine cannot run this \
+       network deterministically" );
+    ( Sporadic_shard_hazard,
+      Warning,
+      "channel ordering cannot be certified statically (sporadic-stamp shard \
+       hazard: the hyperperiod fold is undefined or beyond budget)" );
+    ( Partition_cut_hotspot,
+      Info,
+      "channel accessors jointly exceed the balanced-partition share, so any \
+       balanced cut into two or more shards must separate them" );
   ]
 
 let default_severity c =

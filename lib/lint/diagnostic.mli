@@ -1,6 +1,6 @@
 (** Structured, source-mapped diagnostics for the static analyzer.
 
-    Every finding carries a {e stable} code ([FPPN000..FPPN052]) so
+    Every finding carries a {e stable} code ([FPPN000..FPPN062]) so
     tooling can filter, baseline and diff lint output across versions;
     codes are never renumbered, only added.  A diagnostic is anchored
     either to a source position (when the network came from a [.fppn]
@@ -30,6 +30,9 @@ type code =
   | Deadline_exceeds_period     (* FPPN050 *)
   | Wcet_exceeds_deadline       (* FPPN051 *)
   | Utilization_bound           (* FPPN052 *)
+  | Unordered_channel_pair      (* FPPN060: certification, Interference *)
+  | Sporadic_shard_hazard       (* FPPN061 *)
+  | Partition_cut_hotspot       (* FPPN062 *)
 
 val code_id : code -> string
 (** The stable identifier, e.g. ["FPPN010"]. *)

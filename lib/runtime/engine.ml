@@ -1349,18 +1349,17 @@ let run_reference net derived sched config =
 (* [run]'s domain and always returns [run]'s answer.                   *)
 (* ------------------------------------------------------------------ *)
 
-(* transitive closure beyond this many jobs costs more memory than the
-   sharding can win back; larger instances fall back to [run] *)
-let max_closure_jobs = 16384
-
 (* Every pair of jobs of channel-conflicting processes must be ordered
    by a precedence path, else two bodies touching one channel could
    race (or replay in the wrong order) across shards.  Networks whose
    channel accessors are directly priority-related always pass: the
    derivation orders every such job pair by construction (Def. 2.1),
    and transitive reduction preserves reachability.  Checked with a
-   per-job descendant bitset built in one reverse-topological sweep. *)
-let conflicts_ordered (g : Graph.t) net =
+   per-job descendant bitset built in one reverse-topological sweep —
+   O(J^2) memory, so this is no longer how [run_sharded] gates itself
+   (the static certificate below is); it survives as the debug
+   cross-validation oracle and for tests. *)
+let closure_conflicts_ordered (g : Graph.t) net =
   let n = Graph.n_jobs g in
   let pairs =
     List.filter_map
@@ -1371,8 +1370,7 @@ let conflicts_ordered (g : Graph.t) net =
       (Network.channels net)
   in
   pairs = []
-  || n <= max_closure_jobs
-     && begin
+  || begin
           let wds = (n + 62) / 63 in
           let reach = Array.make (n * wds) 0 in
           List.iter
@@ -1424,7 +1422,6 @@ type shard_plan = {
   sp_mb_time : int Atomic.t array;
   sp_mb_timing : int Atomic.t array;  (* phase-1 tag: frame + 1 *)
   sp_mb_body : int Atomic.t array;  (* phase-2 tag: frame + 1 *)
-  sp_safe : bool;
 }
 
 let build_shard_plan net (derived : Derive.t) sched plan ~k =
@@ -1489,7 +1486,6 @@ let build_shard_plan net (derived : Derive.t) sched plan ~k =
     sp_mb_time = atoms ();
     sp_mb_timing = atoms ();
     sp_mb_body = atoms ();
-    sp_safe = conflicts_ordered g net;
   }
 
 let shard_plan_key : shard_plan option ref Domain.DLS.key =
@@ -1509,6 +1505,55 @@ let pooled_shard_plan net derived sched plan ~k =
     in
     pool := Some sp;
     sp
+
+(* Shardability is decided by the static certificate (Fppn_lint):
+   per-channel path-ordering proven on (process, hyperperiod-phase)
+   classes, independent of the job count — this is what lifted the old
+   16384-job closure cap.  The verdict depends only on the network, so
+   it is DLS-memoized on physical equality like the plans above.  With
+   [closure_cross_check] on, every decision is re-derived with the
+   legacy job-bitset closure and a certificate that accepts what the
+   closure rejects is a hard error (the reverse is a permitted
+   conservative abstention, e.g. past the class-sweep budget). *)
+let closure_cross_check = ref false
+
+let certificate_key : (Network.t * bool) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let certified_shardable net (derived : Derive.t) =
+  let pool = Domain.DLS.get certificate_key in
+  let ok =
+    match !pool with
+    | Some (n, ok) when n == net -> ok
+    | _ ->
+      let t0 = Trace.now_ns () in
+      let ok =
+        Trace.with_span "engine.certify" (fun () ->
+            Fppn_lint.Certificate.shardable
+              (Fppn_lint.Certificate.of_network net))
+      in
+      if Metrics.enabled () then
+        Metrics.add
+          (Metrics.counter "engine.certify_ticks")
+          (Trace.now_ns () - t0);
+      pool := Some (net, ok);
+      ok
+  in
+  if !closure_cross_check then begin
+    let t0 = Trace.now_ns () in
+    let legacy = closure_conflicts_ordered derived.Derive.graph net in
+    if Metrics.enabled () then
+      Metrics.add
+        (Metrics.counter "engine.closure_check_ticks")
+        (Trace.now_ns () - t0);
+    if ok && not legacy then
+      invalid_arg
+        (Printf.sprintf
+           "Engine: certificate accepts network %s but the job-closure check \
+            finds an unordered channel pair"
+           (Network.name net))
+  end;
+  ok
 
 (* sense-reversing spin barrier; [bail] lets waiters leave when another
    shard aborted (the abort flags are set before that shard stops
@@ -1961,10 +2006,9 @@ let run_sharded ?shards net derived sched config =
               plan.per_access_t > 0
               || not (Array.for_all (fun d -> d >= 1) durs)
             then fallback ()
+            else if not (certified_shardable net derived) then fallback ()
             else begin
               let sp = pooled_shard_plan net derived sched plan ~k in
-              if not sp.sp_safe then fallback ()
-              else
                 match
                   Trace.with_span "engine.exec.sharded" (fun () ->
                       exec_sharded net derived sched config ~unhandled_events

@@ -87,12 +87,33 @@ val run_sharded :
     is bit-identical to {!run}'s.
 
     Sharding engages only when the compiled plan has fixed, strictly
-    positive tick durations, no per-access cost, and every pair of
-    jobs sharing a channel is ordered by a precedence path; otherwise
-    (and on frame spill, i.e. overload past a frame boundary, or an
-    order-infeasible schedule) the run transparently falls back to the
-    sequential core, counted by the [engine.shard_fallbacks] metric.
-    Raises as {!run}. *)
+    positive tick durations, no per-access cost, and the static
+    shardability certificate ({!Fppn_lint.Certificate}) proves every
+    pair of jobs sharing a channel ordered by a precedence path — a
+    process-level quotient argument, so there is no job-count cap;
+    certification is DLS-memoized per network and its (one-off) cost
+    is the [engine.certify_ticks] metric.  Otherwise (and on frame
+    spill, i.e. overload past a frame boundary, or an order-infeasible
+    schedule) the run transparently falls back to the sequential core,
+    counted by the [engine.shard_fallbacks] metric.  Raises as
+    {!run}. *)
+
+val closure_conflicts_ordered : Taskgraph.Graph.t -> Fppn.Network.t -> bool
+(** The legacy job-level check: every pair of jobs of
+    channel-conflicting processes is ordered by a precedence path,
+    decided with per-job descendant bitsets — O(J^2) bits, kept as the
+    ground-truth oracle for the certificate (tests, fuzzing,
+    {!closure_cross_check}).  No longer gates {!run_sharded}. *)
+
+val closure_cross_check : bool ref
+(** Debug mode (default [false]): when set, every {!run_sharded}
+    shardability decision is re-derived with
+    {!closure_conflicts_ordered} (timed into the
+    [engine.closure_check_ticks] metric), and a certificate that
+    accepts a network the job-closure rejects raises
+    [Invalid_argument].  The reverse — certificate abstains where the
+    closure would accept, e.g. beyond the class-sweep budget — is a
+    permitted conservative fallback. *)
 
 val run_reference :
   Fppn.Network.t -> Taskgraph.Derive.t -> Sched.Static_schedule.t -> config -> result

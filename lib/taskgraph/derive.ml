@@ -166,13 +166,59 @@ let derive ?(reduce = true) ~wcet net =
         Array.of_list (List.mapi (fun id j -> { j with Job.id }) seq)
       in
       let m = Array.length jobs_arr in
-      (* step 3: precedence edges between <J-ordered related jobs *)
-      let related p q = p = q || Digraph.has_edge fp' p q || Digraph.has_edge fp' q p in
+      (* step 3: precedence edges between <J-ordered related jobs.
+         Instead of the all-pairs O(m^2) scan, walk each job's related
+         process columns (per-process job-id lists, ascending) and merge
+         their tails — same edges, same (a ascending, then b ascending)
+         insertion order, at O(E + m * degree). *)
       let dag = Digraph.create m in
+      let cols = Array.make n [] in
+      for a = m - 1 downto 0 do
+        let p = jobs_arr.(a).Job.proc in
+        cols.(p) <- a :: cols.(p)
+      done;
+      let cols = Array.map Array.of_list cols in
+      let nbrs =
+        Array.init n (fun p ->
+            p
+            :: List.filter
+                 (fun q -> q <> p)
+                 (List.sort_uniq Int.compare
+                    (Digraph.succs fp' p @ Digraph.preds fp' p)))
+      in
+      (* cur.(q): first position in cols.(q) holding a job id > a; each
+         cursor only moves forward over the whole sweep *)
+      let cur = Array.make n 0 in
       for a = 0 to m - 1 do
-        for b = a + 1 to m - 1 do
-          if related jobs_arr.(a).Job.proc jobs_arr.(b).Job.proc then
-            Digraph.add_edge dag a b
+        let p = jobs_arr.(a).Job.proc in
+        let qs = nbrs.(p) in
+        List.iter
+          (fun q ->
+            let col = cols.(q) in
+            let len = Array.length col in
+            while cur.(q) < len && col.(cur.(q)) <= a do
+              cur.(q) <- cur.(q) + 1
+            done)
+          qs;
+        (* ascending merge of the related columns' tails *)
+        let qs_arr = Array.of_list qs in
+        let kcols = Array.length qs_arr in
+        let pos = Array.init kcols (fun i -> cur.(qs_arr.(i))) in
+        let continue = ref true in
+        while !continue do
+          let best = ref (-1) and best_b = ref max_int in
+          for i = 0 to kcols - 1 do
+            let col = cols.(qs_arr.(i)) in
+            if pos.(i) < Array.length col && col.(pos.(i)) < !best_b then begin
+              best := i;
+              best_b := col.(pos.(i))
+            end
+          done;
+          if !best < 0 then continue := false
+          else begin
+            Digraph.add_edge dag a !best_b;
+            pos.(!best) <- pos.(!best) + 1
+          end
         done
       done;
       let raw_edges = Digraph.n_edges dag in

@@ -25,6 +25,13 @@ val const_wcet : Rt_util.Rat.t -> wcet_map
 val wcet_of_list : Rt_util.Rat.t -> (string * Rt_util.Rat.t) list -> wcet_map
 (** [wcet_of_list default assoc]. *)
 
+val server_period :
+  user_period:Rt_util.Rat.t -> deadline:Rt_util.Rat.t -> Rt_util.Rat.t
+(** Transformed server period [T_p']: the user period when
+    [deadline > user_period], else footnote 3's largest fraction
+    [T_u/q < deadline].  Exported so static analyses can fold sporadic
+    processes exactly as the derivation does. *)
+
 type server_info = {
   sporadic : int;  (** process index in the source network *)
   user : int;  (** [u(p)] *)

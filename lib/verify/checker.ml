@@ -101,6 +101,28 @@ let run ?(config = default_config) ~wcet net =
       (Printf.sprintf "H = %s ms, %d jobs, %d edges"
          (Rat.to_string d.Derive.hyperperiod)
          (Taskgraph.Graph.n_jobs g) (Taskgraph.Graph.n_edges g));
+    (* static shardability certification: every channel's accessor jobs
+       proven precedence-ordered at the quotient level — the gate
+       Engine.run_sharded consults.  Hazards/hotspots surface in the
+       detail either way. *)
+    (let cert =
+       Fppn_lint.Certificate.of_network ~wcet:(fun n -> Some (wcet n)) net
+     in
+     let diags = Fppn_lint.Certificate.diagnostics cert in
+     (* hazards (abstentions) and hotspots are not failures — only a
+        proven unordered pair (FPPN060, error severity) is *)
+     add "static certification (shardability)"
+       (not (Fppn_lint.Diagnostic.has_errors diags))
+       (if diags = [] then
+          Printf.sprintf "all %d channel(s) ordered, %d classes"
+            (List.length cert.Fppn_lint.Certificate.channels)
+            cert.Fppn_lint.Certificate.classes
+        else
+          Format.asprintf "%a"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+               Fppn_lint.Diagnostic.pp)
+            diags));
     let load = (Analysis.load g).Analysis.value in
     let traces =
       sporadic_traces net d ~frames:config.frames ~seed:config.seed
