@@ -1663,6 +1663,100 @@ let run_perf ~pool ~smoke ?gate ~jobs_requested path =
      msgs, cut %.0f edges)\n"
     (snd shard1) (snd shardn) shard_procs shard_n_periodic shard_runs
     shard_fallbacks shard_msgs shard_cut;
+  (* stage 8: multi-tenant service throughput — 200 small tenants
+     co-resident on M=4 behind MPR admission, scripted sporadic events
+     pushed through the MPSC queue each epoch, rate = tenant engine
+     jobs per second across the epoch loop.  Same workload in smoke and
+     full modes (rate stages stay gate-comparable). *)
+  let svc_tenants = 200 in
+  let svc_procs = 4 in
+  let svc =
+    Fppn_service.Service.create ~queue_capacity:8192 ~procs:svc_procs
+      ~frames:2 ()
+  in
+  let svc_rejected = ref 0 in
+  for i = 0 to svc_tenants - 1 do
+    let params =
+      {
+        Fppn_apps.Randgen.seed = 1000 + (7919 * i);
+        n_periodic = 2;
+        n_sporadic = 1;
+        periods = [ 50; 100 ];
+        channel_density = 0.4;
+        max_burst = 2;
+      }
+    in
+    let net = Fppn_apps.Randgen.network params in
+    let wcet =
+      Fppn_apps.Randgen.wcet ~scale:(Rat.make 1 2000)
+        (Derive.const_wcet Rat.one) net
+    in
+    match
+      Fppn_service.Service.register svc ~name:(Printf.sprintf "t%03d" i) ~wcet
+        net
+    with
+    | Ok _ -> ()
+    | Error _ -> incr svc_rejected
+  done;
+  let svc_admitted = List.length (Fppn_service.Service.tenants svc) in
+  let svc_targets =
+    Array.of_list
+      (List.filter_map
+         (fun ten ->
+           match Fppn_service.Tenant.sporadic_events ten with
+           | [] -> None
+           | sp ->
+             let hp_ms =
+               int_of_float
+                 (Rat.to_float (Fppn_service.Tenant.hyperperiod ten))
+             in
+             Some
+               ( ten.Fppn_service.Tenant.name,
+                 Array.of_list (List.map fst sp),
+                 max 1 (hp_ms * 2) ))
+         (Fppn_service.Service.tenants svc))
+  in
+  let svc_epoch_events = 1024 in
+  let svc_submit seed =
+    let prng = Rt_util.Prng.create seed in
+    for _ = 1 to svc_epoch_events do
+      let tname, sp_names, horizon_ms =
+        svc_targets.(Rt_util.Prng.int prng (Array.length svc_targets))
+      in
+      let process = sp_names.(Rt_util.Prng.int prng (Array.length sp_names)) in
+      let stamp = Rat.of_int (Rt_util.Prng.int prng horizon_ms) in
+      ignore (Fppn_service.Service.submit svc ~tenant:tname ~process ~stamp)
+    done
+  in
+  let svc_iters = 4 in
+  let svc_events_consumed = ref 0 in
+  let svc_rate pool_opt =
+    (* one unmeasured warmup epoch compiles every tenant's engine plan *)
+    svc_submit 17;
+    ignore (Fppn_service.Service.run_epoch ?pool:pool_opt svc);
+    let jobs_done = ref 0 in
+    let (), dt =
+      timed (fun () ->
+          for e = 1 to svc_iters do
+            svc_submit (31 * e);
+            let r = Fppn_service.Service.run_epoch ?pool:pool_opt svc in
+            jobs_done := !jobs_done + r.Fppn_service.Service.jobs_executed;
+            svc_events_consumed :=
+              !svc_events_consumed + r.Fppn_service.Service.events_consumed
+          done)
+    in
+    safe_div (float_of_int !jobs_done) dt
+  in
+  let svc1 = measure_rate (fun () -> svc_rate None) in
+  let svcn = measure_rate (fun () -> svc_rate (Some pool)) in
+  let svc_oracle =
+    List.for_all snd (Fppn_service.Service.verify ~pool svc)
+  in
+  Printf.printf
+    "  service-mixed-m4: %.0f jobs/s (jobs=1) vs %.0f jobs/s (jobs=%d), %d/%d \
+     tenants admitted, oracle %s\n"
+    (snd svc1) (snd svcn) jobs svc_admitted svc_tenants
+    (if svc_oracle then "ok" else "MISMATCH");
   let stage ~name ~metric ~higher_is_better ?speedup ?extra variants =
     let fields =
       [
@@ -1774,6 +1868,24 @@ let run_perf ~pool ~smoke ?gate ~jobs_requested path =
                 ("jobs1", jdist ~jobs:1 shard1);
                 ("shardsK", jdist ~jobs:shard_procs shardn);
               ];
+            stage ~name:"service-mixed-m4" ~metric:"jobs_per_s"
+              ~higher_is_better:true
+              ~speedup:(safe_div (snd svcn) (snd svc1))
+              ~extra:
+                [
+                  Printf.sprintf "\"tenants\": %d" svc_tenants;
+                  Printf.sprintf "\"admitted\": %d" svc_admitted;
+                  Printf.sprintf "\"rejected\": %d" !svc_rejected;
+                  Printf.sprintf "\"procs\": %d" svc_procs;
+                  Printf.sprintf "\"epochs_per_sample\": %d" svc_iters;
+                  Printf.sprintf "\"events_per_epoch\": %d" svc_epoch_events;
+                  Printf.sprintf "\"events_consumed\": %d" !svc_events_consumed;
+                  Printf.sprintf "\"oracle\": %b" svc_oracle;
+                ]
+              [
+                ("jobs1", jdist ~jobs:1 svc1);
+                ("jobsN", jdist ~jobs svcn);
+              ];
           ];
         "  ]";
         "}";
@@ -1794,6 +1906,7 @@ let run_perf ~pool ~smoke ?gate ~jobs_requested path =
            ("cosched-fair-m4", `Seconds_stable, cofair1);
            ("cosched-slots-m4", `Seconds_stable, coslot1);
            ("engine-sharded-m4", `Rate, shard1);
+           ("service-mixed-m4", `Rate, svc1);
          ])
     gate
 

@@ -1541,6 +1541,274 @@ let dot_cmd =
   let term = Term.(const run $ app_arg $ seed_arg $ taskgraph) in
   Cmd.v (Cmd.info "dot" ~doc:"Export Graphviz DOT") term
 
+(* --- serve --------------------------------------------------------------- *)
+
+module Service = Fppn_service.Service
+module Service_tenant = Fppn_service.Tenant
+module Admission = Fppn_service.Admission
+module Service_report = Fppn_service.Report
+
+let serve_doc =
+  "Host applications as co-resident tenants of a multi-tenant service: MPR \
+   admission control at the door, an async event queue at the side, and an \
+   epoch loop running every tenant's deterministic engine plan over a shared \
+   worker pool"
+
+let serve_cmd =
+  let run apps tenants procs frames epochs events producers seed
+      queue_capacity jobs reject_demo verify min_admitted json_out =
+    if procs <= 0 || frames <= 0 || epochs < 0 then begin
+      Printf.eprintf "serve: --procs, --frames must be positive\n";
+      exit 2
+    end;
+    let svc = Service.create ~queue_capacity ~procs ~frames () in
+    let rows = ref [] in
+    let register name (wcet : Derive.wcet_map) ?inputs net =
+      match Service.register svc ~name ~wcet ?inputs net with
+      | Ok ten ->
+        rows :=
+          {
+            Service_report.row_name = name;
+            row_decision = Admission.Accepted ten.Service_tenant.interface;
+          }
+          :: !rows
+      | Error reason ->
+        rows :=
+          { Service_report.row_name = name; row_decision = Admission.Rejected reason }
+          :: !rows
+    in
+    if apps <> "" then
+      List.iter
+        (fun a ->
+          let app = resolve_app a seed in
+          register a app.wcet ~inputs:app.inputs app.net)
+        (String.split_on_char ',' apps);
+    (* scripted small tenants: 2 periodic + 1 sporadic process each, WCET
+       at 1/2000 of the period, so hundreds of MPR interfaces fit M=4 *)
+    for i = 0 to tenants - 1 do
+      let params =
+        {
+          Fppn_apps.Randgen.seed = seed + (7919 * (i + 1));
+          n_periodic = 2;
+          n_sporadic = 1;
+          periods = [ 50; 100 ];
+          channel_density = 0.4;
+          max_burst = 2;
+        }
+      in
+      let net = Fppn_apps.Randgen.network params in
+      let wcet =
+        Fppn_apps.Randgen.wcet ~scale:(Rat.make 1 2000)
+          (Derive.const_wcet Rat.one) net
+      in
+      register (Printf.sprintf "rnd%03d" i) wcet net
+    done;
+    let demo_failed = ref false in
+    if reject_demo then begin
+      (* five independent period-100 processes at 70ms WCET each: the
+         Prop. 3.1 bound still passes on M >= 4 (ceil 3.5 = 4), but no
+         MPR contract covers the demand - a deterministic, machine-
+         readable MPR rejection *)
+      let params =
+        {
+          Fppn_apps.Randgen.seed;
+          n_periodic = 5;
+          n_sporadic = 0;
+          periods = [ 100 ];
+          channel_density = 0.0;
+          max_burst = 1;
+        }
+      in
+      let net = Fppn_apps.Randgen.network params in
+      let wcet =
+        Fppn_apps.Randgen.wcet ~scale:(Rat.make 7 10)
+          (Derive.const_wcet Rat.one) net
+      in
+      match Service.register svc ~name:"heavy" ~wcet net with
+      | Ok _ ->
+        Printf.eprintf "reject-demo: heavy tenant was unexpectedly admitted\n";
+        demo_failed := true
+      | Error reason ->
+        rows :=
+          { Service_report.row_name = "heavy"; row_decision = Admission.Rejected reason }
+          :: !rows;
+        Printf.printf "reject-demo: %s\n"
+          (Json.to_string (Admission.reason_to_json reason));
+        (match reason with
+        | Admission.No_interface _ | Admission.Compose_utilization _
+        | Admission.Compose_concurrency _ -> ()
+        | _ ->
+          Printf.eprintf
+            "reject-demo: rejection was not an MPR reason (need procs >= 4?)\n";
+          demo_failed := true)
+    end;
+    let rows = List.rev !rows in
+    Service_report.admission_table Format.std_formatter rows;
+    let resident = List.length (Service.tenants svc) in
+    Printf.printf "resident: %d tenants on M=%d (%d rejected)\n" resident procs
+      (List.length rows - resident);
+    if resident < min_admitted then begin
+      Printf.eprintf "serve: only %d tenants admitted, need %d\n" resident
+        min_admitted;
+      exit 1
+    end;
+    (* sporadic-capable targets for the scripted producers *)
+    let targets =
+      Array.of_list
+        (List.filter_map
+           (fun ten ->
+             match Service_tenant.sporadic_events ten with
+             | [] -> None
+             | sp ->
+               let hp_ms =
+                 int_of_float (Rat.to_float (Service_tenant.hyperperiod ten))
+               in
+               Some
+                 ( ten.Service_tenant.name,
+                   Array.of_list (List.map fst sp),
+                   max 1 (hp_ms * frames) ))
+           (Service.tenants svc))
+    in
+    let reports = ref [] in
+    let jobs =
+      Rt_util.Pool.clamp_jobs
+        (if jobs <= 0 then Rt_util.Pool.default_jobs () else jobs)
+    in
+    let oracle = ref None in
+    Rt_util.Pool.with_pool ~jobs (fun pool ->
+        for e = 1 to epochs do
+          if Array.length targets > 0 && events > 0 && producers > 0 then begin
+            (* async ingestion: each producer is its own domain pushing
+               into the MPSC queue; queue-full submits are dropped and
+               counted as backpressure *)
+            let per = max 1 (events / producers) in
+            let doms =
+              List.init producers (fun p ->
+                  Domain.spawn (fun () ->
+                      let prng = Rt_util.Prng.create (seed + (131 * e) + p) in
+                      for _ = 1 to per do
+                        let tname, sp_names, horizon_ms =
+                          targets.(Rt_util.Prng.int prng (Array.length targets))
+                        in
+                        let process =
+                          sp_names.(Rt_util.Prng.int prng (Array.length sp_names))
+                        in
+                        let stamp = Rat.of_int (Rt_util.Prng.int prng horizon_ms) in
+                        ignore (Service.submit svc ~tenant:tname ~process ~stamp)
+                      done))
+            in
+            List.iter Domain.join doms
+          end;
+          let r = Service.run_epoch ~pool svc in
+          reports := r :: !reports;
+          Printf.printf
+            "epoch %d: drained %d, consumed %d, dropped %d, backpressure %d, \
+             jobs %d, misses %d (%.4fs)\n"
+            r.Service.epoch r.Service.events_drained r.Service.events_consumed
+            r.Service.events_dropped (Service.backpressure svc)
+            r.Service.jobs_executed r.Service.deadline_misses r.Service.wall_s
+        done;
+        if verify then oracle := Some (Service.verify ~pool svc));
+    (match !oracle with
+    | None -> ()
+    | Some results ->
+      let bad = List.filter (fun (_, ok) -> not ok) results in
+      Printf.printf "determinism oracle: %d/%d tenants match their standalone run\n"
+        (List.length results - List.length bad)
+        (List.length results);
+      List.iter (fun (n, _) -> Printf.eprintf "oracle mismatch: %s\n" n) bad;
+      if bad <> [] then exit 1);
+    Option.iter
+      (fun path ->
+        let doc =
+          Service_report.serve_json ~status:(Service.status_json svc)
+            ~admissions:rows ~epochs:(List.rev !reports) ~oracle:!oracle
+        in
+        let oc = open_out path in
+        output_string oc (Json.to_string doc);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "serve report written to %s\n" path)
+      json_out;
+    if !demo_failed then exit 1
+  in
+  let apps_opt =
+    Arg.(
+      value & opt string ""
+      & info [ "apps" ] ~docv:"A,B,…"
+          ~doc:"Comma-separated applications (names or .fppn files) to \
+                register as tenants.")
+  in
+  let tenants_opt =
+    Arg.(
+      value & opt int 0
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:"Additionally register $(docv) small random tenants.")
+  in
+  let epochs_opt =
+    Arg.(
+      value & opt int 2
+      & info [ "epochs" ] ~docv:"E" ~doc:"Service epochs to run.")
+  in
+  let events_opt =
+    Arg.(
+      value & opt int 256
+      & info [ "events" ] ~docv:"N"
+          ~doc:"Scripted sporadic events submitted per epoch (split across \
+                producers).")
+  in
+  let producers_opt =
+    Arg.(
+      value & opt int 2
+      & info [ "producers" ] ~docv:"P"
+          ~doc:"Producer domains submitting events concurrently.")
+  in
+  let queue_opt =
+    Arg.(
+      value & opt int 4096
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Ingestion queue capacity (rounded up to a power of two); \
+                overflow counts as backpressure.")
+  in
+  let jobs_opt =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:"Worker pool size for tenant epochs (0 = one per core).")
+  in
+  let reject_demo_flag =
+    Arg.(
+      value & flag
+      & info [ "reject-demo" ]
+          ~doc:"Try to register a deliberately over-demanding tenant and \
+                require a machine-readable MPR rejection (exit 1 otherwise).")
+  in
+  let verify_flag =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"After the last epoch, replay every tenant's most recent epoch \
+                standalone and require signature equality (exit 1 otherwise).")
+  in
+  let min_admitted_opt =
+    Arg.(
+      value & opt int 0
+      & info [ "min-admitted" ] ~docv:"N"
+          ~doc:"Fail (exit 1) unless at least $(docv) tenants are resident.")
+  in
+  let json_opt =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the full serve report as JSON.")
+  in
+  let term =
+    Term.(
+      const run $ apps_opt $ tenants_opt $ procs_arg $ frames_arg $ epochs_opt
+      $ events_opt $ producers_opt $ seed_arg $ queue_opt $ jobs_opt
+      $ reject_demo_flag $ verify_flag $ min_admitted_opt $ json_opt)
+  in
+  Cmd.v (Cmd.info "serve" ~doc:serve_doc) term
+
 let () =
   let doc =
     "Deterministic execution of real-time multiprocessor applications \
@@ -1554,5 +1822,5 @@ let () =
             info_cmd; lint_cmd; certify_cmd; check_cmd; fuzz_cmd; report_cmd; derive_cmd;
             schedule_cmd; sched_cmd; exact_cmd; simulate_cmd; run_cmd;
             profile_cmd; trace_validate_cmd; buffers_cmd; dimension_cmd;
-            rta_cmd; fmt_cmd; dot_cmd;
+            rta_cmd; serve_cmd; fmt_cmd; dot_cmd;
           ]))

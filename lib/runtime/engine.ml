@@ -1555,28 +1555,70 @@ let certified_shardable net (derived : Derive.t) =
   end;
   ok
 
-(* sense-reversing spin barrier; [bail] lets waiters leave when another
-   shard aborted (the abort flags are set before that shard stops
-   arriving, so nobody waits on a dead party) *)
+(* Sense-reversing frame barrier with a bounded spin followed by
+   mutex/condvar parking.  A pure spin is fine when every shard owns a
+   core, but oversubscribed hosts (more shards than cores — exactly the
+   situation Pool.recommended_domains cannot rule out when the caller
+   forces a shard count) would burn whole scheduler quanta busy-waiting
+   while the shard that everyone waits for is descheduled.  Waiters
+   therefore spin [barrier_spin_budget] iterations of Domain.cpu_relax
+   (cheap when the barrier turns over quickly) and then park on the
+   barrier's condvar; the last arriver flips the sense under the lock
+   and broadcasts, so there is no lost-wakeup window.
+
+   [bail] lets waiters leave when another shard aborted.  Spinners poll
+   it; parked waiters re-check it on every wakeup, so abort setters
+   must call [barrier_wake] after raising their flag (the abort paths
+   in [exec_sharded] funnel through [abort_wake]). *)
 type shard_barrier = {
   parties : int;
   arrived : int Atomic.t;
   sense : int Atomic.t;
+  lock : Mutex.t;
+  cond : Condition.t;
 }
 
 let make_barrier parties =
-  { parties; arrived = Atomic.make 0; sense = Atomic.make 0 }
+  {
+    parties;
+    arrived = Atomic.make 0;
+    sense = Atomic.make 0;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+  }
+
+let barrier_spin_budget = 4096
+
+let barrier_wake b =
+  Mutex.lock b.lock;
+  Condition.broadcast b.cond;
+  Mutex.unlock b.lock
 
 let barrier_await b ~bail =
   let s = Atomic.get b.sense in
   if Atomic.fetch_and_add b.arrived 1 = b.parties - 1 then begin
     Atomic.set b.arrived 0;
-    Atomic.set b.sense (s + 1)
+    Mutex.lock b.lock;
+    Atomic.set b.sense (s + 1);
+    Condition.broadcast b.cond;
+    Mutex.unlock b.lock
   end
-  else
-    while Atomic.get b.sense = s && not (bail ()) do
+  else begin
+    let spins = ref 0 in
+    while
+      Atomic.get b.sense = s && not (bail ()) && !spins < barrier_spin_budget
+    do
+      incr spins;
       Domain.cpu_relax ()
-    done
+    done;
+    if Atomic.get b.sense = s && not (bail ()) then begin
+      Mutex.lock b.lock;
+      while Atomic.get b.sense = s && not (bail ()) do
+        Condition.wait b.cond b.lock
+      done;
+      Mutex.unlock b.lock
+    end
+  end
 
 type shard_recs = {
   sr_job : int array;
@@ -1630,6 +1672,16 @@ let exec_sharded net (derived : Derive.t) sched config ~unhandled_events plan
      move knows the system is alive and resets its stall count *)
   let epoch = Atomic.make 0 in
   let b_timing = make_barrier k and b_body = make_barrier k in
+  (* every abort-flag raise must wake parked barrier waiters, or they
+     would sleep on a condvar nobody signals again *)
+  let abort_wake () =
+    barrier_wake b_timing;
+    barrier_wake b_body
+  in
+  let set_stalled () =
+    Atomic.set stalled true;
+    abort_wake ()
+  in
   let recs =
     Array.init k (fun s ->
         let cap =
@@ -1740,7 +1792,10 @@ let exec_sharded net (derived : Derive.t) sched config ~unhandled_events plan
                   r.sr_start.(ri) <- !t;
                   r.sr_finish.(ri) <- finish;
                   r.sr_n <- ri + 1;
-                  if finish > frame_end then Atomic.set spilled true;
+                  if finish > frame_end then begin
+                    Atomic.set spilled true;
+                    abort_wake ()
+                  end;
                   completions.(job) <- completions.(job) + 1;
                   fin.(job) <- finish;
                   prevf.(i) <- finish;
@@ -1772,7 +1827,7 @@ let exec_sharded net (derived : Derive.t) sched config ~unhandled_events plan
             end
             else begin
               incr guard;
-              if !guard > shard_stall_limit then Atomic.set stalled true
+              if !guard > shard_stall_limit then set_stalled ()
             end;
             Domain.cpu_relax ()
           end
@@ -1833,7 +1888,7 @@ let exec_sharded net (derived : Derive.t) sched config ~unhandled_events plan
                 end
                 else begin
                   incr guard;
-                  if !guard > shard_stall_limit then Atomic.set stalled true
+                  if !guard > shard_stall_limit then set_stalled ()
                 end;
                 Domain.cpu_relax ()
               end
@@ -1858,7 +1913,9 @@ let exec_sharded net (derived : Derive.t) sched config ~unhandled_events plan
   in
   let guarded s () =
     try run_shard s
-    with e -> ignore (Atomic.compare_and_set error None (Some e))
+    with e ->
+      ignore (Atomic.compare_and_set error None (Some e));
+      abort_wake ()
   in
   let domains =
     Array.init (k - 1) (fun i ->

@@ -81,7 +81,9 @@ val run_sharded :
     {!Partition.make}; each shard first solves the integer timing
     recurrence for its own processors, exchanging the finish ticks of
     shard-crossing precedence edges through single-writer mailboxes
-    drained at frame barriers, then re-executes the job bodies in
+    drained at frame barriers (sense-reversing, with a bounded spin
+    before parking on a condvar, so oversubscribed hosts do not burn a
+    core per waiting shard), then re-executes the job bodies in
     (frame, start, processor, job) order with the same cross-shard
     waits.  The result — trace, channel and output histories, stats —
     is bit-identical to {!run}'s.

@@ -1,0 +1,72 @@
+module Rat = Rt_util.Rat
+module Mpsc_ring = Rt_util.Mpsc_ring
+module Event = Fppn.Event
+
+type event = { ev_tenant : string; ev_process : string; ev_stamp : Rat.t }
+
+type t = { ring : event Mpsc_ring.t; refused : int Atomic.t }
+
+let create ~capacity = { ring = Mpsc_ring.create ~capacity; refused = Atomic.make 0 }
+let capacity t = Mpsc_ring.capacity t.ring
+
+let submit t ev =
+  let ok = Mpsc_ring.try_push t.ring ev in
+  if not ok then Atomic.incr t.refused;
+  ok
+
+let drain ?max t = Mpsc_ring.drain ?max t.ring
+let pending t = Mpsc_ring.length t.ring
+let submitted t = Mpsc_ring.pushed t.ring
+let rejected t = Atomic.get t.refused
+
+(* Greedy thinning of one ascending stamp list against the (m, T)
+   sporadic constraint.  Keeping a stamp [s] is safe iff fewer than [m]
+   already-kept stamps lie in [(s - T, s]]: any violating window of an
+   ascending trace is contained in the window ending at its own latest
+   stamp, so checking each stamp at append time covers all windows. *)
+let thin (gen : Event.t) stamps =
+  let m = gen.Event.burst and t = gen.Event.period in
+  let kept_rev, dropped =
+    List.fold_left
+      (fun (kept, dropped) s ->
+        let lo = Rat.sub s t in
+        let in_window =
+          (* kept is descending, so stop at the first stamp <= lo *)
+          let rec count acc = function
+            | x :: rest when Rat.( > ) x lo -> count (acc + 1) rest
+            | _ -> acc
+          in
+          count 0 kept
+        in
+        if in_window < m then (s :: kept, dropped) else (kept, dropped + 1))
+      ([], 0) stamps
+  in
+  (List.rev kept_rev, dropped)
+
+let legalize ~generators ~horizon events =
+  let by_process = Hashtbl.create 8 in
+  let dropped = ref 0 in
+  List.iter
+    (fun ev ->
+      match List.assoc_opt ev.ev_process generators with
+      | None -> incr dropped
+      | Some _ when Rat.sign ev.ev_stamp < 0 || Rat.( >= ) ev.ev_stamp horizon ->
+        incr dropped
+      | Some _ ->
+        let prev =
+          Option.value (Hashtbl.find_opt by_process ev.ev_process) ~default:[]
+        in
+        Hashtbl.replace by_process ev.ev_process (ev.ev_stamp :: prev))
+    events;
+  let traces =
+    List.filter_map
+      (fun (name, gen) ->
+        match Hashtbl.find_opt by_process name with
+        | None -> None
+        | Some stamps ->
+          let kept, d = thin gen (List.sort Rat.compare stamps) in
+          dropped := !dropped + d;
+          if kept = [] then None else Some (name, kept))
+      generators
+  in
+  (traces, !dropped)

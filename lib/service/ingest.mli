@@ -1,0 +1,56 @@
+(** Asynchronous sporadic-event ingestion.
+
+    Producers on any domain {!submit} events into a bounded MPSC queue
+    ({!Rt_util.Mpsc_ring}); the service thread {!drain}s the queue once
+    per epoch and {!legalize}s each tenant's batch into sporadic traces
+    the engine accepts: stamps clamped to the epoch horizon
+    [\[0, frames·H)] and thinned to the generator's [(m, T)] sporadic
+    constraint (at most [m] events in any half-closed window of length
+    [T] — the same rule {!Fppn.Event.is_valid_sporadic_trace} checks
+    and Fig. 2's window mapping assumes).  Events that do not fit are
+    {e dropped and counted}, never silently reordered: determinism of
+    the run is the tenant engine's job, admission of the event stream
+    is this module's. *)
+
+type event = {
+  ev_tenant : string;
+  ev_process : string;  (** sporadic process name within the tenant *)
+  ev_stamp : Rt_util.Rat.t;  (** epoch-relative, in ms *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** Bounded queue; capacity rounds up to a power of two (min 2). *)
+
+val capacity : t -> int
+
+val submit : t -> event -> bool
+(** Lock-free, safe from any domain.  [false] means the queue was full
+    (backpressure): the event is dropped and counted in {!rejected} —
+    the producer decides whether to retry. *)
+
+val drain : ?max:int -> t -> event list
+(** Consumer only (the service epoch loop).  FIFO order. *)
+
+val pending : t -> int
+
+val submitted : t -> int
+(** Accepted by {!submit} so far. *)
+
+val rejected : t -> int
+(** Refused by {!submit} (queue full) so far. *)
+
+val legalize :
+  generators:(string * Fppn.Event.t) list ->
+  horizon:Rt_util.Rat.t ->
+  event list ->
+  (string * Rt_util.Rat.t list) list * int
+(** One tenant's drained batch to engine-legal sporadic traces.
+    Per process: stamps sorted ascending, then greedily kept while the
+    trace stays valid (a stamp survives iff fewer than [m] kept stamps
+    lie in its window [(s − T, s]] — sufficient for validity of the
+    whole ascending trace).  Stamps outside [\[0, horizon)] and events
+    naming no sporadic generator are dropped.  Returns the kept traces
+    (only processes with at least one stamp) and the dropped count.
+    The result always satisfies {!Fppn.Event.is_valid_sporadic_trace}. *)

@@ -1,0 +1,50 @@
+module Json = Rt_util.Json
+
+type admission_row = { row_name : string; row_decision : Admission.decision }
+
+let admission_table ppf rows =
+  let width =
+    List.fold_left (fun acc r -> max acc (String.length r.row_name)) 6 rows
+  in
+  Format.fprintf ppf "%-*s  %-8s  %s@." width "tenant" "verdict"
+    "interface / reason";
+  List.iter
+    (fun r ->
+      match r.row_decision with
+      | Admission.Accepted iface ->
+        Format.fprintf ppf "%-*s  %-8s  %a@." width r.row_name "admitted"
+          Mpr.pp iface
+      | Admission.Rejected reason ->
+        Format.fprintf ppf "%-*s  %-8s  %a@." width r.row_name "rejected"
+          Admission.pp_reason reason)
+    rows
+
+let admission_json rows =
+  Json.Arr
+    (List.map
+       (fun r ->
+         match Admission.decision_to_json r.row_decision with
+         | Json.Obj fields -> Json.Obj (("name", Json.Str r.row_name) :: fields)
+         | other -> other)
+       rows)
+
+let serve_json ~status ~admissions ~epochs ~oracle =
+  let base =
+    [
+      ("status", status);
+      ("admissions", admission_json admissions);
+      ("epochs", Json.Arr (List.map Service.epoch_report_to_json epochs));
+    ]
+  in
+  let oracle_fields =
+    match oracle with
+    | None -> []
+    | Some results ->
+      [
+        ( "oracle",
+          Json.Obj
+            (List.map (fun (name, ok) -> (name, Json.Bool ok)) results) );
+        ("oracle_ok", Json.Bool (List.for_all snd results));
+      ]
+  in
+  Json.Obj (base @ oracle_fields)

@@ -1,0 +1,26 @@
+(** Human- and machine-readable reporting for the serve driver: the
+    admission table (who got in, on what MPR contract, who was turned
+    away and why) and the combined serve document written by
+    [fppn-tool serve --json]. *)
+
+type admission_row = {
+  row_name : string;
+  row_decision : Admission.decision;
+}
+
+val admission_table : Format.formatter -> admission_row list -> unit
+(** Aligned text table: name, verdict, interface or rejection reason. *)
+
+val admission_json : admission_row list -> Rt_util.Json.t
+(** [[{"name": ..., "accepted": ..., ...}, ...]] — each row is
+    {!Admission.decision_to_json} plus the candidate name. *)
+
+val serve_json :
+  status:Rt_util.Json.t ->
+  admissions:admission_row list ->
+  epochs:Service.epoch_report list ->
+  oracle:(string * bool) list option ->
+  Rt_util.Json.t
+(** The full serve document: service status, admission table, per-epoch
+    reports, and (when --verify ran) the per-tenant determinism oracle
+    with an [oracle_ok] conjunction. *)

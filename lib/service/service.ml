@@ -1,0 +1,223 @@
+module Rat = Rt_util.Rat
+module Json = Rt_util.Json
+module Pool = Rt_util.Pool
+module Metrics = Fppn_obs.Metrics
+
+let m_ingested = Metrics.counter "service.events_ingested"
+let m_dropped = Metrics.counter "service.events_dropped"
+let m_backpressure = Metrics.counter "service.events_backpressure"
+let m_epochs = Metrics.counter "service.epochs"
+let m_jobs = Metrics.counter "service.jobs_executed"
+let m_misses = Metrics.counter "service.deadline_misses"
+let g_tenants = Metrics.gauge "service.tenants"
+
+type t = {
+  procs : int;
+  frames : int;
+  queue : Ingest.t;
+  mutable residents : Tenant.t list;  (* registration order *)
+  mutable epochs : int;
+  mutable dropped_total : int;
+  mutable backpressure_seen : int;  (* Ingest rejects already counted *)
+}
+
+type epoch_report = {
+  epoch : int;
+  events_drained : int;
+  events_dropped : int;
+  events_consumed : int;
+  jobs_executed : int;
+  deadline_misses : int;
+  wall_s : float;
+}
+
+let create ?(queue_capacity = 1024) ~procs ~frames () =
+  if procs <= 0 then invalid_arg "Service.create: procs <= 0";
+  if frames <= 0 then invalid_arg "Service.create: frames <= 0";
+  {
+    procs;
+    frames;
+    queue = Ingest.create ~capacity:queue_capacity;
+    residents = [];
+    epochs = 0;
+    dropped_total = 0;
+    backpressure_seen = 0;
+  }
+
+let procs t = t.procs
+let frames t = t.frames
+let tenants t = t.residents
+let find t name = List.find_opt (fun ten -> ten.Tenant.name = name) t.residents
+
+let resident_interfaces t =
+  List.map (fun ten -> ten.Tenant.interface) t.residents
+
+let register ?pool ?inputs t ~name ~wcet net =
+  if find t name <> None then Error (Admission.Duplicate_tenant name)
+  else
+    let derive = Taskgraph.Derive.derive_exn ~wcet net in
+    let cand = Admission.candidate ~name ~wcet net derive in
+    match Admission.decide ~procs:t.procs ~resident:(resident_interfaces t) cand with
+    | Admission.Rejected r -> Error r
+    | Admission.Accepted interface -> (
+      let min_procs = max 1 cand.Admission.c_lower_bound in
+      match
+        Tenant.build_plan ?pool ?inputs ~derive ~min_procs ~max_procs:t.procs
+          ~wcet net
+      with
+      | Error searched -> Error (Admission.No_schedule { procs = searched })
+      | Ok plan ->
+        let ten =
+          Tenant.make ~name ~plan ~interface ~taskset:cand.Admission.c_taskset
+            ~load:cand.Admission.c_load
+            ~lower_bound:cand.Admission.c_lower_bound
+        in
+        t.residents <- t.residents @ [ ten ];
+        Metrics.set_gauge g_tenants (float_of_int (List.length t.residents));
+        Ok ten)
+
+let retire t name =
+  let before = List.length t.residents in
+  t.residents <- List.filter (fun ten -> ten.Tenant.name <> name) t.residents;
+  let removed = List.length t.residents < before in
+  if removed then
+    Metrics.set_gauge g_tenants (float_of_int (List.length t.residents));
+  removed
+
+let submit t ~tenant ~process ~stamp =
+  let ok =
+    Ingest.submit t.queue
+      { Ingest.ev_tenant = tenant; ev_process = process; ev_stamp = stamp }
+  in
+  if ok then Metrics.incr m_ingested;
+  ok
+
+let queue_pending t = Ingest.pending t.queue
+let backpressure t = Ingest.rejected t.queue
+
+let run_epoch ?pool t =
+  let t0 = Fppn_obs.Trace.now_ns () in
+  (* account queue-full rejects that accumulated since last epoch *)
+  let bp = Ingest.rejected t.queue in
+  Metrics.add m_backpressure (bp - t.backpressure_seen);
+  t.backpressure_seen <- bp;
+  let events = Ingest.drain t.queue in
+  let drained = List.length events in
+  let by_tenant = Hashtbl.create 16 in
+  let unaddressed = ref 0 in
+  List.iter
+    (fun (ev : Ingest.event) ->
+      if find t ev.Ingest.ev_tenant = None then incr unaddressed
+      else
+        let prev =
+          Option.value (Hashtbl.find_opt by_tenant ev.Ingest.ev_tenant)
+            ~default:[]
+        in
+        Hashtbl.replace by_tenant ev.Ingest.ev_tenant (ev :: prev))
+    events;
+  let legalized_for ten =
+    match Hashtbl.find_opt by_tenant ten.Tenant.name with
+    | None -> ([], 0)
+    | Some evs ->
+      let horizon =
+        Rat.mul (Rat.of_int t.frames) (Tenant.hyperperiod ten)
+      in
+      Ingest.legalize
+        ~generators:(Tenant.sporadic_events ten)
+        ~horizon (List.rev evs)
+  in
+  let work =
+    Array.of_list
+      (List.map (fun ten -> (ten, legalized_for ten)) t.residents)
+  in
+  let dropped =
+    !unaddressed
+    + Array.fold_left (fun acc (_, (_, d)) -> acc + d) 0 work
+  in
+  let run (ten, (sporadic, _)) =
+    Tenant.run_epoch ten ~frames:t.frames ~sporadic
+  in
+  let outcomes =
+    match pool with
+    | Some pool -> Pool.parallel_map pool run work
+    | None -> Array.map run work
+  in
+  let consumed =
+    Array.fold_left
+      (fun acc (_, (sporadic, _)) ->
+        acc
+        + List.fold_left (fun a (_, stamps) -> a + List.length stamps) 0 sporadic)
+      0 work
+  in
+  let jobs =
+    Array.fold_left (fun acc (o : Tenant.outcome) -> acc + o.executed) 0 outcomes
+  in
+  let misses =
+    Array.fold_left (fun acc (o : Tenant.outcome) -> acc + o.misses) 0 outcomes
+  in
+  t.epochs <- t.epochs + 1;
+  t.dropped_total <- t.dropped_total + dropped;
+  Metrics.incr m_epochs;
+  Metrics.add m_dropped dropped;
+  Metrics.add m_jobs jobs;
+  Metrics.add m_misses misses;
+  let wall_s =
+    float_of_int (Fppn_obs.Trace.now_ns () - t0) /. 1e9
+  in
+  {
+    epoch = t.epochs;
+    events_drained = drained;
+    events_dropped = dropped;
+    events_consumed = consumed;
+    jobs_executed = jobs;
+    deadline_misses = misses;
+    wall_s;
+  }
+
+let verify ?pool t =
+  let ran =
+    Array.of_list
+      (List.filter (fun ten -> ten.Tenant.last_signature <> None) t.residents)
+  in
+  let check ten =
+    let standalone = Tenant.standalone_signature ten ~frames:t.frames in
+    (ten.Tenant.name, ten.Tenant.last_signature = Some standalone)
+  in
+  let results =
+    match pool with
+    | Some pool -> Pool.parallel_map pool check ran
+    | None -> Array.map check ran
+  in
+  Array.to_list results
+
+let epoch_report_to_json r =
+  Json.Obj
+    [
+      ("epoch", Json.Int r.epoch);
+      ("events_drained", Json.Int r.events_drained);
+      ("events_dropped", Json.Int r.events_dropped);
+      ("events_consumed", Json.Int r.events_consumed);
+      ("jobs_executed", Json.Int r.jobs_executed);
+      ("deadline_misses", Json.Int r.deadline_misses);
+      ("wall_s", Json.Float r.wall_s);
+    ]
+
+let status_json t =
+  let total_bandwidth =
+    List.fold_left
+      (fun acc ten -> Rat.add acc (Mpr.bandwidth ten.Tenant.interface))
+      Rat.zero t.residents
+  in
+  Json.Obj
+    [
+      ("procs", Json.Int t.procs);
+      ("frames", Json.Int t.frames);
+      ("epochs", Json.Int t.epochs);
+      ("tenants", Json.Arr (List.map Tenant.to_json t.residents));
+      ("total_bandwidth", Json.Float (Rat.to_float total_bandwidth));
+      ("queue_capacity", Json.Int (Ingest.capacity t.queue));
+      ("queue_pending", Json.Int (Ingest.pending t.queue));
+      ("events_submitted", Json.Int (Ingest.submitted t.queue));
+      ("events_backpressure", Json.Int (Ingest.rejected t.queue));
+      ("events_dropped", Json.Int t.dropped_total);
+    ]

@@ -1,0 +1,92 @@
+(** The multi-tenant FPPN service: a registry of co-resident
+    applications, MPR admission control at the door, an async event
+    queue at the side, and an epoch loop that runs every tenant's
+    deterministic engine plan over the shared worker pool.
+
+    Determinism contract: co-residency must be unobservable.  Every
+    tenant's epoch is an independent {!Runtime.Engine.run} on its own
+    elaborated network — tenants share worker domains and nothing else
+    — so each tenant's output signature must equal the signature of the
+    same epoch run standalone.  {!verify} checks exactly that, and the
+    [@service-gate] build alias runs it over 100+ tenants.
+
+    Metrics (under [service.*]): [events_ingested], [events_dropped]
+    (illegal or unaddressed), [events_backpressure] (queue-full
+    rejects), [epochs], [jobs_executed], [deadline_misses], and the
+    [service.tenants] gauge. *)
+
+type t
+
+type epoch_report = {
+  epoch : int;  (** 1-based epoch number just completed *)
+  events_drained : int;  (** pulled off the queue this epoch *)
+  events_dropped : int;  (** unknown tenant/process, out of horizon, or thinned by the [(m,T)] rule *)
+  events_consumed : int;  (** fed into tenant engines this epoch *)
+  jobs_executed : int;
+  deadline_misses : int;
+  wall_s : float;
+}
+
+val create : ?queue_capacity:int -> procs:int -> frames:int -> unit -> t
+(** A service hosting tenants on [procs] shared processors, running
+    [frames] hyperperiod frames per tenant per epoch.  [queue_capacity]
+    (default 1024) bounds the ingestion queue.
+    @raise Invalid_argument if [procs <= 0] or [frames <= 0]. *)
+
+val procs : t -> int
+val frames : t -> int
+val tenants : t -> Tenant.t list
+(** In registration order. *)
+
+val find : t -> string -> Tenant.t option
+val resident_interfaces : t -> Mpr.t list
+
+val register :
+  ?pool:Rt_util.Pool.t ->
+  ?inputs:Fppn.Netstate.input_feed ->
+  t ->
+  name:string ->
+  wcet:Taskgraph.Derive.wcet_map ->
+  Fppn.Network.t ->
+  (Tenant.t, Admission.reason) result
+(** Admission: name uniqueness, the Prop. 3.1 load bound, MPR interface
+    generation, composition with the resident interfaces
+    ({!Admission.decide}), then construction of a feasible static
+    schedule ({!Tenant.build_plan}) — any failure is a machine-readable
+    {!Admission.reason}.  On success the tenant is resident and will
+    run from the next epoch on.
+    @raise Taskgraph.Derive.Error when the network is outside the
+    derivable subclass. *)
+
+val retire : t -> string -> bool
+(** Removes a tenant; its reserved bandwidth is freed for future
+    admissions.  [false] if no tenant has that name.  Never affects the
+    verdict that admitted the remaining residents (composition is
+    antitone in the set). *)
+
+val submit : t -> tenant:string -> process:string -> stamp:Rt_util.Rat.t -> bool
+(** Queue a sporadic event for [tenant]'s process, stamped relative to
+    the {e next} epoch's origin.  Lock-free, callable from any domain.
+    [false] = queue full (counted as backpressure). *)
+
+val queue_pending : t -> int
+val backpressure : t -> int
+
+val run_epoch : ?pool:Rt_util.Pool.t -> t -> epoch_report
+(** Drains the queue, legalizes each tenant's batch
+    ({!Ingest.legalize}), then runs every tenant's epoch, in parallel
+    over [pool] when given (each tenant is touched by exactly one
+    worker; results are published by the pool join).  Tenant order
+    never affects any tenant's output — each epoch is an independent
+    engine run. *)
+
+val verify : ?pool:Rt_util.Pool.t -> t -> (string * bool) list
+(** The determinism oracle: for every tenant that has run at least one
+    epoch, replay its most recent epoch standalone
+    ({!Tenant.standalone_signature}) and compare signatures.  All
+    [true] iff co-residency was unobservable. *)
+
+val epoch_report_to_json : epoch_report -> Rt_util.Json.t
+val status_json : t -> Rt_util.Json.t
+(** Service-level snapshot: platform, tenant table (with interfaces),
+    composed bandwidth, queue and counter state. *)

@@ -1,0 +1,102 @@
+(** A resident application of the multi-tenant service: an elaborated
+    FPPN together with everything the service needs to run it
+    deterministically — the Sec. III-A derivation, a feasible static
+    schedule, the engine configuration, and the MPR interface admission
+    granted it ({!Mpr.t}).
+
+    A tenant's execution is {e epoch}-based: each epoch the service
+    hands it the legalized sporadic events collected since the last
+    epoch and runs [frames] hyperperiod frames of its own engine plan.
+    The tenant records the events and the resulting output signature so
+    {!Service.verify} can replay the exact same epoch standalone and
+    compare — the per-tenant determinism oracle of the paper's
+    Prop. 4.1, lifted to a shared host. *)
+
+type plan = {
+  net : Fppn.Network.t;
+  wcet : Taskgraph.Derive.wcet_map;
+  inputs : Fppn.Netstate.input_feed;
+  derive : Taskgraph.Derive.t;
+  schedule : Sched.Static_schedule.t;
+  n_procs : int;  (** processors the static schedule occupies *)
+}
+
+val build_plan :
+  ?pool:Rt_util.Pool.t ->
+  ?inputs:Fppn.Netstate.input_feed ->
+  ?derive:Taskgraph.Derive.t ->
+  min_procs:int ->
+  max_procs:int ->
+  wcet:Taskgraph.Derive.wcet_map ->
+  Fppn.Network.t ->
+  (plan, int) result
+(** Derives the task graph (or reuses [derive] if the caller already
+    has it) and searches [M = min_procs, …, max_procs]
+    for the first processor count where {!Sched.List_scheduler.auto}
+    finds a feasible schedule.  [Error searched_up_to] when none is —
+    the raw material for a [No_schedule] admission rejection.
+    @raise Taskgraph.Derive.Error when the network is outside the
+    derivable subclass.
+    @raise Invalid_argument when [min_procs < 1] or
+    [max_procs < min_procs]. *)
+
+type t = {
+  name : string;
+  plan : plan;
+  interface : Mpr.t;  (** the admitted MPR contract *)
+  taskset : Mpr.task list;
+  load : Rt_util.Rat.t;  (** Prop. 3.1 precedence-aware load *)
+  lower_bound : int;  (** [⌈Load⌉] *)
+  mutable epochs_run : int;
+  mutable events_consumed : int;  (** sporadic events fed so far *)
+  mutable last_events : (string * Rt_util.Rat.t list) list;
+      (** the sporadic traces of the most recent epoch *)
+  mutable last_signature : (string * Fppn.Value.t list) list option;
+      (** output signature of the most recent epoch *)
+}
+
+val make :
+  name:string ->
+  plan:plan ->
+  interface:Mpr.t ->
+  taskset:Mpr.task list ->
+  load:Rt_util.Rat.t ->
+  lower_bound:int ->
+  t
+
+val hyperperiod : t -> Rt_util.Rat.t
+
+val sporadic_events : t -> (string * Fppn.Event.t) list
+(** The sporadic processes of the tenant's network with their
+    generators, for event legalization ([(m, T)] window constraint and
+    horizon clamp). *)
+
+val config :
+  t -> frames:int -> sporadic:(string * Rt_util.Rat.t list) list ->
+  Runtime.Engine.config
+(** The engine configuration for one epoch: the tenant's own platform
+    size [plan.n_procs], constant execution times at WCET, the given
+    legalized sporadic traces. *)
+
+type outcome = {
+  signature : (string * Fppn.Value.t list) list;
+  executed : int;  (** jobs the engine ran this epoch *)
+  misses : int;  (** deadline misses this epoch *)
+}
+
+val run_epoch :
+  t -> frames:int -> sporadic:(string * Rt_util.Rat.t list) list -> outcome
+(** Runs one epoch on the tenant's plan ({!Runtime.Engine.run}),
+    records [sporadic] and the resulting signature on the tenant, and
+    returns the outcome.  Raises as {!Runtime.Engine.run} (in
+    particular on an illegal sporadic trace — the service legalizes
+    before calling). *)
+
+val standalone_signature :
+  t -> frames:int -> (string * Fppn.Value.t list) list
+(** The determinism oracle: re-runs the tenant's {e last} epoch (same
+    events, same frames) as a fresh standalone sequential
+    {!Runtime.Engine.run} and returns its signature.  Equal to
+    [last_signature] iff co-residency did not perturb the tenant. *)
+
+val to_json : t -> Rt_util.Json.t

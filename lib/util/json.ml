@@ -7,19 +7,64 @@ type t =
   | Arr of t list
   | Obj of (string * t) list
 
+(* Length of the valid UTF-8 sequence starting at [i] (whose lead byte
+   is >= 0x80), or 0 if the bytes there are not well-formed UTF-8
+   (stray continuation, overlong form, surrogate, > U+10FFFF, or a
+   truncated sequence). *)
+let utf8_run s i =
+  let n = String.length s in
+  let cont k = k < n && Char.code s.[k] land 0xc0 = 0x80 in
+  let b0 = Char.code s.[i] in
+  if b0 < 0xc2 then 0 (* continuation byte or overlong C0/C1 lead *)
+  else if b0 <= 0xdf then if cont (i + 1) then 2 else 0
+  else if b0 <= 0xef then begin
+    if not (cont (i + 1) && cont (i + 2)) then 0
+    else
+      let b1 = Char.code s.[i + 1] in
+      if b0 = 0xe0 && b1 < 0xa0 then 0 (* overlong *)
+      else if b0 = 0xed && b1 > 0x9f then 0 (* surrogate *)
+      else 3
+  end
+  else if b0 <= 0xf4 then begin
+    if not (cont (i + 1) && cont (i + 2) && cont (i + 3)) then 0
+    else
+      let b1 = Char.code s.[i + 1] in
+      if b0 = 0xf0 && b1 < 0x90 then 0 (* overlong *)
+      else if b0 = 0xf4 && b1 > 0x8f then 0 (* > U+10FFFF *)
+      else 4
+  end
+  else 0
+
 let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
+  let n = String.length s in
+  let b = Buffer.create (n + 8) in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | '"' -> Buffer.add_string b "\\\""
+    | '\\' -> Buffer.add_string b "\\\\"
+    | '\n' -> Buffer.add_string b "\\n"
+    | '\t' -> Buffer.add_string b "\\t"
+    | '\r' -> Buffer.add_string b "\\r"
+    | '\b' -> Buffer.add_string b "\\b"
+    | '\012' -> Buffer.add_string b "\\f"
+    | c when Char.code c < 0x20 ->
+      Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+    | c when Char.code c < 0x80 -> Buffer.add_char b c
+    | c -> (
+      (* bytes >= 0x80: copy well-formed UTF-8 through verbatim; a
+         byte that is not part of a valid sequence is escaped as
+         \u00XX (its Latin-1 code point), which the reader inverts —
+         so emitted documents are always valid UTF-8 and arbitrary
+         byte strings still round-trip *)
+      match utf8_run s !i with
+      | 0 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | len ->
+        Buffer.add_substring b s !i len;
+        i := !i + len - 1));
+    incr i
+  done;
   Buffer.contents b
 
 let number_to_string f =
@@ -106,15 +151,41 @@ let parse text =
              | '/' -> Buffer.add_char b '/'
              | 'n' -> Buffer.add_char b '\n'
              | 't' -> Buffer.add_char b '\t'
+             | 'r' -> Buffer.add_char b '\r'
+             | 'b' -> Buffer.add_char b '\b'
+             | 'f' -> Buffer.add_char b '\012'
              | 'u' ->
-               (* the writers never emit multibyte escapes; keep the raw
-                  sequence rather than decoding UTF-16 *)
                if !pos + 4 >= n then fail "truncated \\u escape"
                else begin
-                 Buffer.add_string b (String.sub text (!pos - 1) 6);
+                 let hex = String.sub text (!pos + 1) 4 in
+                 let valid =
+                   String.for_all
+                     (function
+                       | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+                       | _ -> false)
+                     hex
+                 in
+                 (match
+                    if valid then int_of_string_opt ("0x" ^ hex) else None
+                  with
+                 | None -> fail "bad \\u escape"
+                 | Some cp when cp < 0x100 ->
+                   (* inverts the writer's byte escapes (control chars
+                      and stray non-UTF-8 bytes): one byte out *)
+                   Buffer.add_char b (Char.chr cp)
+                 | Some cp when cp < 0x800 ->
+                   Buffer.add_char b (Char.chr (0xc0 lor (cp lsr 6)));
+                   Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+                 | Some cp ->
+                   (* three-byte UTF-8; unpaired surrogates encode as
+                      WTF-8 rather than failing *)
+                   Buffer.add_char b (Char.chr (0xe0 lor (cp lsr 12)));
+                   Buffer.add_char b
+                     (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+                   Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f))));
                  pos := !pos + 4
                end
-             | c -> Buffer.add_char b c);
+             | _ -> fail "bad escape");
           incr pos;
           go ()
         | c ->

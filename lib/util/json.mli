@@ -21,8 +21,13 @@ type t =
 
 val escape : string -> string
 (** Escaped string {e content} (no surrounding quotes): double quote,
-    backslash, newline and tab by their two-character escapes, any
-    other control character below [0x20] as [\uXXXX]. *)
+    backslash, newline, tab, carriage return, backspace and form feed
+    by their two-character escapes, any other control character below
+    [0x20] as [\uXXXX].  Bytes [>= 0x80] forming well-formed UTF-8 are
+    copied verbatim; a stray byte that is {e not} valid UTF-8 is
+    escaped as [\u00XX] (its Latin-1 code point), so the emitted
+    document is always valid UTF-8 and {!parse} inverts the encoding
+    for arbitrary byte strings ([parse (to_string (Str s)) = Str s]). *)
 
 val number_to_string : float -> string
 (** Canonical float rendering: ["%.12g"] — compact for integral values
@@ -37,8 +42,11 @@ exception Malformed of string
 
 val parse : string -> t
 (** Strict reader for the subset the writers emit: objects, arrays,
-    strings (common escapes; [\uXXXX] kept verbatim rather than decoded
-    to UTF-8), numbers, booleans, null.  All numbers parse as {!Float}.
+    strings, numbers, booleans, null.  All numbers parse as {!Float}.
+    String escapes: the common two-character forms, plus [\uXXXX] —
+    code points below [U+0100] decode to the single byte of that value
+    (inverting {!escape}'s control-character and stray-byte escapes),
+    higher code points decode to UTF-8 (unpaired surrogates as WTF-8).
     @raise Malformed on any syntax error or trailing garbage. *)
 
 val parse_opt : string -> t option

@@ -1,0 +1,87 @@
+(* Vyukov bounded queue, specialized to many producers / one consumer.
+
+   Each slot carries a sequence number.  Invariants (mod wrapping):
+   - seq = index            : slot free, ready for the producer of
+                              ticket [index]
+   - seq = index + 1        : slot filled, ready for the consumer
+   - seq = index + capacity : slot consumed, free for the next lap
+
+   A producer claims ticket [t] by CASing [tail] from [t] to [t+1]
+   after seeing [seq = t]; it then writes the payload and publishes
+   with [seq := t + 1].  The consumer at [head = h] waits for
+   [seq = h + 1], takes the payload, and releases with
+   [seq := h + capacity].  Payload cells are plain (non-atomic): every
+   access is ordered by the slot's own sequence atomic, so no two
+   domains ever race on a cell. *)
+
+type 'a t = {
+  mask : int;
+  seq : int Atomic.t array;
+  cells : 'a option array;
+  tail : int Atomic.t;  (* producers *)
+  head : int Atomic.t;  (* consumer *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Mpsc_ring.create: capacity <= 0";
+  let cap =
+    let c = ref 2 in
+    while !c < capacity do
+      c := !c * 2
+    done;
+    !c
+  in
+  {
+    mask = cap - 1;
+    seq = Array.init cap Atomic.make;
+    cells = Array.make cap None;
+    tail = Atomic.make 0;
+    head = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let try_push t x =
+  let rec go () =
+    let ticket = Atomic.get t.tail in
+    let i = ticket land t.mask in
+    let s = Atomic.get t.seq.(i) in
+    if s = ticket then
+      if Atomic.compare_and_set t.tail ticket (ticket + 1) then begin
+        t.cells.(i) <- Some x;
+        Atomic.set t.seq.(i) (ticket + 1);
+        true
+      end
+      else go () (* lost the ticket race; retry with the new tail *)
+    else if s < ticket then false (* slot not yet consumed: full *)
+    else go () (* another producer already advanced; reload *)
+  in
+  go ()
+
+let pop t =
+  let h = Atomic.get t.head in
+  let i = h land t.mask in
+  if Atomic.get t.seq.(i) = h + 1 then begin
+    let x = t.cells.(i) in
+    t.cells.(i) <- None;
+    Atomic.set t.seq.(i) (h + t.mask + 1);
+    Atomic.set t.head (h + 1);
+    x
+  end
+  else None
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+
+let drain ?max t =
+  let budget = match max with Some m -> m | None -> length t in
+  let rec go n acc =
+    if n >= budget then List.rev acc
+    else
+      match pop t with
+      | Some x -> go (n + 1) (x :: acc)
+      | None -> List.rev acc
+  in
+  go 0 []
+
+let pushed t = Atomic.get t.tail
+let popped t = Atomic.get t.head

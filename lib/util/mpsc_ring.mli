@@ -1,0 +1,45 @@
+(** Bounded lock-free multi-producer single-consumer ring.
+
+    The service layer's event ingestion queue: any number of producer
+    domains [try_push] concurrently while one consumer domain drains.
+    Slots carry sequence numbers (Vyukov's bounded-queue protocol), so
+    a push is one CAS on the tail plus a plain write published by the
+    slot's own atomic — producers never contend with the consumer, and
+    a full ring is detected without locking ([try_push] returns
+    [false]: that is the backpressure signal, counted by the caller).
+
+    The consumer side ([pop], [drain], [length]) must only ever be
+    called from one domain at a time; producers may call [try_push]
+    from any domain, including the consumer's. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] holds at least [capacity] elements (rounded up
+    to a power of two, minimum 2).
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+(** The actual (rounded) capacity. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue from any domain.  [false] when the ring is full — the
+    element is {e not} stored; the caller decides whether to retry,
+    drop, or count backpressure. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue the oldest element (consumer domain only). *)
+
+val drain : ?max:int -> 'a t -> 'a list
+(** Pop up to [max] elements (default: everything currently visible),
+    oldest first (consumer domain only).  Elements pushed concurrently
+    with the drain may or may not be included; they are never lost. *)
+
+val length : 'a t -> int
+(** Approximate occupancy (exact when no push is in flight). *)
+
+val pushed : 'a t -> int
+(** Total elements successfully pushed since creation (monotone). *)
+
+val popped : 'a t -> int
+(** Total elements popped since creation (monotone, consumer side). *)

@@ -138,6 +138,25 @@ let run ?(config = default_config) ~wcet net =
        the paper's own necessary condition: report them as informational
        and only demand feasibility above the bound *)
     let lower_bound = max 1 (Rat.ceil load) in
+    (* service admission: the MPR contract the multi-tenant service
+       would grant this network on an otherwise-empty platform of the
+       largest checked size.  Acceptance must be consistent with the
+       Prop. 3.1 lower bound (the admission test checks it first); a
+       rejection is a legitimate verdict, surfaced in the detail. *)
+    (let m = List.fold_left max 1 config.processor_counts in
+     let cand =
+       Fppn_service.Admission.candidate ~name:(Network.name net) ~wcet net d
+     in
+     let decision = Fppn_service.Admission.decide ~procs:m ~resident:[] cand in
+     let passed =
+       match decision with
+       | Fppn_service.Admission.Accepted _ -> lower_bound <= m
+       | Fppn_service.Admission.Rejected _ -> true
+     in
+     add
+       (Printf.sprintf "service admission (MPR), M=%d" m)
+       passed
+       (Format.asprintf "%a" Fppn_service.Admission.pp_decision decision));
     List.iter
       (fun m ->
         if m < lower_bound then

@@ -3,6 +3,8 @@ module Iheap = Rt_util.Iheap
 module Bitset = Rt_util.Bitset
 module Digraph = Rt_util.Digraph
 module Prng = Rt_util.Prng
+module Mpsc_ring = Rt_util.Mpsc_ring
+module Json = Rt_util.Json
 module Table = Rt_util.Table
 module Gantt = Rt_util.Gantt
 module Dot = Rt_util.Dot
@@ -348,6 +350,140 @@ let test_prng_shuffle_pick () =
   Alcotest.check_raises "pick empty" (Invalid_argument "Prng.pick: empty list")
     (fun () -> ignore (Prng.pick g []))
 
+(* --- Mpsc_ring -------------------------------------------------------- *)
+
+let test_mpsc_basic () =
+  let r = Mpsc_ring.create ~capacity:5 in
+  Alcotest.(check int) "capacity rounds up to a power of two" 8
+    (Mpsc_ring.capacity r);
+  Alcotest.(check int) "minimum capacity" 2
+    (Mpsc_ring.capacity (Mpsc_ring.create ~capacity:1));
+  Alcotest.(check (option int)) "pop on empty" None (Mpsc_ring.pop r);
+  List.iter (fun i -> Alcotest.(check bool) "push" true (Mpsc_ring.try_push r i))
+    [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Mpsc_ring.length r);
+  Alcotest.(check (option int)) "FIFO" (Some 1) (Mpsc_ring.pop r);
+  Alcotest.(check (list int)) "drain oldest first" [ 2; 3 ] (Mpsc_ring.drain r);
+  Alcotest.(check int) "empty after drain" 0 (Mpsc_ring.length r);
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Mpsc_ring.create: capacity <= 0") (fun () ->
+      ignore (Mpsc_ring.create ~capacity:0))
+
+let test_mpsc_backpressure () =
+  let r = Mpsc_ring.create ~capacity:4 in
+  for i = 1 to 4 do
+    Alcotest.(check bool) "fills" true (Mpsc_ring.try_push r i)
+  done;
+  Alcotest.(check bool) "full ring refuses" false (Mpsc_ring.try_push r 5);
+  Alcotest.(check (option int)) "consumer frees a slot" (Some 1)
+    (Mpsc_ring.pop r);
+  Alcotest.(check bool) "freed slot accepts" true (Mpsc_ring.try_push r 5);
+  Alcotest.(check (list int)) "order preserved across wrap" [ 2; 3; 4; 5 ]
+    (Mpsc_ring.drain r);
+  Alcotest.(check int) "pushed counts successes only" 5 (Mpsc_ring.pushed r);
+  Alcotest.(check int) "popped matches" 5 (Mpsc_ring.popped r)
+
+let test_mpsc_concurrent () =
+  (* 4 producer domains, 1000 items each, spinning on a ring much
+     smaller than the item count while the main domain drains: every
+     item must arrive exactly once, and per-producer order must hold *)
+  let producers = 4 and per = 1000 in
+  let r = Mpsc_ring.create ~capacity:64 in
+  let doms =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              while not (Mpsc_ring.try_push r ((p * per) + i)) do
+                Domain.cpu_relax ()
+              done
+            done))
+  in
+  let seen = Array.make (producers * per) 0 in
+  let last = Array.make producers (-1) in
+  let total = ref 0 in
+  while !total < producers * per do
+    match Mpsc_ring.pop r with
+    | None -> Domain.cpu_relax ()
+    | Some x ->
+      seen.(x) <- seen.(x) + 1;
+      let p = x / per in
+      Alcotest.(check bool) "per-producer FIFO" true (x mod per > last.(p));
+      last.(p) <- x mod per;
+      incr total
+  done;
+  List.iter Domain.join doms;
+  Alcotest.(check bool) "exactly once" true (Array.for_all (( = ) 1) seen);
+  Alcotest.(check int) "nothing left" 0 (Mpsc_ring.length r)
+
+(* --- Json escaping ----------------------------------------------------- *)
+
+let test_json_escape_pinned () =
+  Alcotest.(check string) "two-char escapes + control escapes"
+    "a\\\"b\\\\c\\nd\\te\\rf\\bg\\fh\\u0001i"
+    (Json.escape "a\"b\\c\nd\te\rf\bg\012h\001i");
+  Alcotest.(check string) "valid UTF-8 copied verbatim" "caf\xc3\xa9"
+    (Json.escape "caf\xc3\xa9");
+  Alcotest.(check string) "stray high bytes become \\u00XX" "\\u00ff\\u00fe"
+    (Json.escape "\xff\xfe");
+  Alcotest.(check string) "truncated UTF-8 lead byte escaped" "\\u00c3"
+    (Json.escape "\xc3");
+  Alcotest.(check string) "4-byte emoji verbatim" "\xf0\x9f\x99\x82"
+    (Json.escape "\xf0\x9f\x99\x82");
+  Alcotest.(check string) "UTF-8-encoded surrogate is not valid UTF-8"
+    "\\u00ed\\u00a0\\u0080"
+    (Json.escape "\xed\xa0\x80")
+
+let test_json_roundtrip_pinned () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "round-trips %S" s)
+        true
+        (Json.parse (Json.to_string (Json.Str s)) = Json.Str s))
+    [
+      "";
+      "plain";
+      "a\"b\\c\nd\te\rf\bg\012h\001i";
+      "\x00\x1f\x7f";
+      "caf\xc3\xa9";
+      "\xff\xfe";
+      "\xc3";
+      "\xc3\x28";
+      "\xf0\x9f\x99\x82";
+      "\xed\xa0\x80";
+      "\xe2\x82";
+    ]
+
+let prop_json_string_roundtrip =
+  qprop "parse (to_string (Str s)) = Str s for arbitrary bytes"
+    QCheck2.Gen.(string_size (int_range 0 64) ~gen:char)
+    (fun s -> Json.parse (Json.to_string (Json.Str s)) = Json.Str s)
+
+let prop_json_escape_ascii_clean =
+  qprop "escaped output never contains raw quotes, backslashes or controls"
+    QCheck2.Gen.(string_size (int_range 0 64) ~gen:char)
+    (fun s ->
+      let e = Json.escape s in
+      let n = String.length e in
+      (* consume escape sequences so the backslash that *introduces* an
+         escape is distinguished from escaped content *)
+      let rec scan i =
+        if i >= n then true
+        else
+          match e.[i] with
+          | '"' -> false
+          | c when Char.code c < 0x20 -> false
+          | '\\' -> (
+            if i + 1 >= n then false
+            else
+              match e.[i + 1] with
+              | '"' | '\\' | 'n' | 't' | 'r' | 'b' | 'f' -> scan (i + 2)
+              | 'u' -> i + 6 <= n && scan (i + 6)
+              | _ -> false)
+          | _ -> scan (i + 1)
+      in
+      scan 0)
+
 (* --- Table / Gantt / Dot rendering ----------------------------------- *)
 
 let test_table_render () =
@@ -445,6 +581,19 @@ let () =
           Alcotest.test_case "copy/split" `Quick test_prng_copy_split;
           Alcotest.test_case "bounds" `Quick test_prng_bounds;
           Alcotest.test_case "shuffle/pick" `Quick test_prng_shuffle_pick;
+        ] );
+      ( "mpsc_ring",
+        [
+          Alcotest.test_case "basic" `Quick test_mpsc_basic;
+          Alcotest.test_case "backpressure" `Quick test_mpsc_backpressure;
+          Alcotest.test_case "concurrent producers" `Quick test_mpsc_concurrent;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "escape pinned" `Quick test_json_escape_pinned;
+          Alcotest.test_case "round-trip pinned" `Quick test_json_roundtrip_pinned;
+          prop_json_string_roundtrip;
+          prop_json_escape_ascii_clean;
         ] );
       ( "render",
         [
